@@ -1,0 +1,125 @@
+// Ablation A3: google-benchmark microbenchmarks of the kernel library on the
+// host: numeric kernels (Full mode, no simulator), simulator-coupled runs
+// (Full + Timing), and the cache simulator itself. Useful for tracking the
+// cost of the simulation infrastructure over time.
+#include <benchmark/benchmark.h>
+
+#include "kernels/depthwise.hpp"
+#include "kernels/pointwise.hpp"
+#include "sim/mcu.hpp"
+#include "tensor/tensor.hpp"
+
+#include <random>
+
+namespace daedvfs {
+namespace {
+
+kernels::DepthwiseArgs make_dw(tensor::QTensor& in, tensor::QTensor& w,
+                               tensor::QTensor& out, int g) {
+  kernels::DepthwiseArgs a;
+  a.input = {in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  a.weights = {w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  a.output = {out.view(), {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  a.params.stride = 1;
+  a.params.pad = 1;
+  a.params.requant = tensor::quantize_multiplier(0.004);
+  a.granularity = g;
+  return a;
+}
+
+void fill(tensor::QTensor& t, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(-90, 90);
+  for (int64_t i = 0; i < t.shape().elems(); ++i) {
+    t.data()[i] = static_cast<int8_t>(d(rng));
+  }
+}
+
+void BM_DepthwiseHost(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  tensor::QTensor in({1, 48, 48, 32}, {0.05, -1});
+  tensor::QTensor w({1, 3, 3, 32}, {0.02, 0});
+  tensor::QTensor out({1, 48, 48, 32}, {0.05, -1});
+  fill(in, 1);
+  fill(w, 2);
+  kernels::ExecContext ctx;  // numerics only
+  auto args = make_dw(in, w, out, g);
+  for (auto _ : state) {
+    kernels::depthwise_conv(args, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 48 * 48 * 32 * 9);
+}
+BENCHMARK(BM_DepthwiseHost)->Arg(0)->Arg(4)->Arg(16);
+
+void BM_DepthwiseSimulated(benchmark::State& state) {
+  const bool full = state.range(0) != 0;
+  tensor::QTensor in({1, 48, 48, 32}, {0.05, -1});
+  tensor::QTensor w({1, 3, 3, 32}, {0.02, 0});
+  tensor::QTensor out({1, 48, 48, 32}, {0.05, -1});
+  fill(in, 1);
+  fill(w, 2);
+  auto args = make_dw(in, w, out, 8);
+  for (auto _ : state) {
+    sim::Mcu mcu(sim::SimParams{
+        .boot = clock::ClockConfig::pll_hse(50.0, 25, 216, 2)});
+    kernels::LfoHfoPolicy policy(clock::ClockConfig::hse_direct(50.0),
+                                 clock::ClockConfig::pll_hse(50.0, 25, 216, 2));
+    kernels::ExecContext ctx;
+    ctx.mcu = &mcu;
+    ctx.mode = full ? kernels::ExecMode::kFull : kernels::ExecMode::kTiming;
+    ctx.dvfs = &policy;
+    kernels::depthwise_conv(args, ctx);
+    benchmark::DoNotOptimize(mcu.energy_uj());
+  }
+}
+BENCHMARK(BM_DepthwiseSimulated)->Arg(0)->Arg(1);  // 0=Timing, 1=Full
+
+void BM_PointwiseHost(benchmark::State& state) {
+  const int g = static_cast<int>(state.range(0));
+  tensor::QTensor in({1, 24, 24, 64}, {0.05, -1});
+  tensor::QTensor w({128, 1, 1, 64}, {0.02, 0});
+  tensor::QTensor out({1, 24, 24, 128}, {0.05, -1});
+  fill(in, 1);
+  fill(w, 2);
+  kernels::PointwiseArgs a;
+  a.input = {in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  a.weights = {w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  a.output = {out.view(), {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  a.params.requant = tensor::quantize_multiplier(0.002);
+  a.granularity = g;
+  kernels::ExecContext ctx;
+  for (auto _ : state) {
+    kernels::pointwise_conv(a, ctx);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 24 * 24 * 64 * 128);
+}
+BENCHMARK(BM_PointwiseHost)->Arg(0)->Arg(8);
+
+void BM_CacheSim(benchmark::State& state) {
+  sim::CacheSim cache;
+  uint64_t addr = sim::kSramBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access(addr, 256, false));
+    addr += 1 << 12;
+  }
+  state.SetItemsProcessed(state.iterations() * 8);  // 8 lines per access
+}
+BENCHMARK(BM_CacheSim);
+
+void BM_CacheSimStrided(benchmark::State& state) {
+  sim::CacheSim cache;
+  uint64_t addr = sim::kSramBase;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.access_strided(addr, 64, 32, 1, false));
+    addr += 1 << 12;
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_CacheSimStrided);
+
+}  // namespace
+}  // namespace daedvfs
+
+BENCHMARK_MAIN();

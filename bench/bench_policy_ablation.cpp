@@ -1,0 +1,90 @@
+// Ablation A4: which ingredient buys what. Evaluates, on VWW at a 30% QoS
+// window, the iso-latency energy of:
+//   1. TinyEngine @216 (busy idle)            — the paper's baseline;
+//   2. TinyEngine + clock gating              — baseline #2;
+//   3. DAE only (g=8 @216, no DVFS toggling)  — kernel restructuring alone;
+//   4. DVFS only (per-layer f via MCKP, g=0)  — frequency selection alone;
+//   5. full DAE+DVFS                          — the paper's methodology;
+//   6. full DAE+DVFS on an SMPS-fed core      — voltage_exponent = 2 (what
+//      the methodology would buy with a switching regulator).
+#include <iomanip>
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "graph/zoo.hpp"
+
+using namespace daedvfs;
+
+namespace {
+
+void report(const char* label, double uj, double base_uj) {
+  std::cout << "  " << std::left << std::setw(34) << label << std::right
+            << std::fixed << std::setprecision(2) << std::setw(8)
+            << uj / 1000.0 << " mJ   " << std::showpos
+            << std::setprecision(1) << 100.0 * (base_uj - uj) / base_uj
+            << "% vs TinyEngine\n"
+            << std::noshowpos;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== A4: policy ablation (VWW, QoS +30%) ===\n\n";
+  const graph::Model model = graph::zoo::make_vww();
+
+  core::PipelineConfig cfg;
+  cfg.qos_slack = 0.30;
+  cfg.space =
+      dse::make_paper_design_space(power::PowerModel{cfg.explore.sim.power});
+
+  const core::PipelineResult full = core::Pipeline(cfg).run(model);
+  const double qos = full.qos_us;
+  const double te_uj = full.comparison.tinyengine.total_uj();
+
+  runtime::InferenceEngine engine(model);
+  auto run_case = [&](const runtime::Schedule& s, bool gated) {
+    sim::SimParams params = cfg.explore.sim;
+    params.boot = s.plans.front().hfo;
+    sim::Mcu mcu(params);
+    return runtime::run_iso_latency(engine, mcu, s, qos, gated,
+                                    kernels::ExecMode::kTiming)
+        .total_uj();
+  };
+
+  // 3. DAE restructuring alone: uniform 216 MHz, g=8, no clock toggling.
+  runtime::Schedule dae_only = runtime::make_tinyengine_schedule(model);
+  for (auto& plan : dae_only.plans) plan.granularity = 8;
+
+  // 4. DVFS alone: restrict the design space to g=0 and re-run the pipeline.
+  core::PipelineConfig dvfs_cfg = cfg;
+  dvfs_cfg.space.granularities = {0};
+  const core::PipelineResult dvfs_only =
+      core::Pipeline(dvfs_cfg).run(model);
+
+  // 6. SMPS-fed core: same methodology, quadratic voltage term.
+  core::PipelineConfig smps_cfg = cfg;
+  smps_cfg.explore.sim.power.voltage_exponent = 2.0;
+  smps_cfg.space = dse::make_paper_design_space(
+      power::PowerModel{smps_cfg.explore.sim.power});
+  const core::PipelineResult smps = core::Pipeline(smps_cfg).run(model);
+  const double smps_te = smps.comparison.tinyengine.total_uj();
+
+  report("1. TinyEngine @216 (busy idle)", te_uj, te_uj);
+  report("2. TinyEngine + clock gating",
+         full.comparison.tinyengine_gated.total_uj(), te_uj);
+  report("3. DAE only (g=8 @216, gated idle)",
+         run_case(dae_only, /*gated=*/true), te_uj);
+  report("4. DVFS only (g=0, MCKP)",
+         dvfs_only.comparison.dae_dvfs.total_uj(), te_uj);
+  report("5. DAE+DVFS (paper methodology)",
+         full.comparison.dae_dvfs.total_uj(), te_uj);
+  std::cout << "\n  -- same methodology, SMPS-fed core (V^2 rail) --\n";
+  report("6. DAE+DVFS, voltage_exponent=2",
+         smps.comparison.dae_dvfs.total_uj(), smps_te);
+
+  std::cout << "\nReading: DAE and DVFS each contribute; combined they beat "
+               "clock gating.\nOn an LDO-fed MCU (the STM32F767 Nucleo) the "
+               "voltage term is linear, which\nbounds DVFS gains — an SMPS "
+               "rail (case 6) would roughly double them.\n";
+  return 0;
+}

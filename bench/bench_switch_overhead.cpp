@@ -1,0 +1,80 @@
+// Reproduces the §II-A switching-overhead characterization (E2):
+//   * reprogramming the PLL costs ~200 us (relock),
+//   * muxing to the HSE — and back to a still-locked PLL — is near instant,
+// and quantifies the consequence the DAE design exploits: with cheap mux
+// toggles, fine-grained LFO/HFO switching becomes affordable, while per-layer
+// HFO changes must amortize a relock.
+#include <iomanip>
+#include <iostream>
+
+#include "sim/mcu.hpp"
+
+using namespace daedvfs;
+
+namespace {
+
+const clock::ClockConfig kHfo216 = clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+const clock::ClockConfig kHfo168 = clock::ClockConfig::pll_hse(50.0, 25, 168, 2);
+const clock::ClockConfig kHfo108 = clock::ClockConfig::pll_hse(50.0, 50, 216, 2);
+const clock::ClockConfig kLfo = clock::ClockConfig::hse_direct(50.0);
+
+enum class PllState { kAsBooted, kLockedAt216, kStopped };
+
+double switch_us(const clock::ClockConfig& from, const clock::ClockConfig& to,
+                 PllState pll = PllState::kAsBooted) {
+  sim::SimParams p;
+  p.boot = kHfo216;
+  sim::Mcu mcu(p);
+  if (pll == PllState::kStopped) {
+    mcu.rcc().switch_to(kLfo);
+    mcu.rcc().stop_pll();
+  }
+  mcu.rcc().switch_to(from);  // position without charging simulated time
+  const double t0 = mcu.time_us();
+  mcu.switch_clock(to);
+  return mcu.time_us() - t0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Switch-overhead matrix (paper SSII-A) ===\n";
+  std::cout << std::fixed << std::setprecision(1);
+  std::cout << "  PLL(216) -> HSE(50)  [mux only]          : "
+            << switch_us(kHfo216, kLfo) << " us\n";
+  std::cout << "  HSE(50) -> PLL(216)  [PLL still locked]  : "
+            << switch_us(kLfo, kHfo216) << " us   <- the DAE fast path\n";
+  std::cout << "  PLL(216) -> PLL(168) [reprogram + relock]: "
+            << switch_us(kHfo216, kHfo168)
+            << " us (paper: ~200 us)\n";
+  std::cout << "  PLL(216) -> PLL(108) [relock + VOS drop] : "
+            << switch_us(kHfo216, kHfo108) << " us\n";
+  std::cout << "  cold PLL -> PLL(216) [after clock gating]: "
+            << switch_us(kLfo, kHfo216, PllState::kStopped) << " us\n\n";
+
+  std::cout << "=== Relock amortization: why DAE toggles LFO<->HFO instead of"
+               " reprogramming the PLL ===\n";
+  std::cout << "(1 ms of work split into N segments, memory halves at 50 MHz)\n";
+  std::cout << "  segments   mux-toggle total   relock total\n";
+  for (int n : {1, 4, 16, 64, 256}) {
+    sim::SimParams p;
+    p.boot = kHfo216;
+    sim::Mcu mux_mcu(p), relock_mcu(p);
+    for (int i = 0; i < n; ++i) {
+      mux_mcu.switch_clock(kLfo);
+      mux_mcu.switch_clock(kHfo216);
+    }
+    // Reprogramming alternative: swing the PLL itself each time.
+    for (int i = 0; i < n; ++i) {
+      relock_mcu.switch_clock(kHfo108);
+      relock_mcu.switch_clock(kHfo216);
+    }
+    std::cout << "  " << std::setw(8) << n << "   " << std::setw(13)
+              << mux_mcu.time_us() << " us   " << std::setw(10)
+              << relock_mcu.time_us() << " us\n";
+  }
+  std::cout << "\nConclusion: high-to-low switches should use the HSE mux "
+               "(paper SSII-A); PLL reprogramming only pays off across layer "
+               "boundaries.\n";
+  return 0;
+}

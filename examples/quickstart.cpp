@@ -1,0 +1,38 @@
+// Quickstart: the whole methodology in ~40 lines.
+//
+// Builds the VWW model, runs the three-step DAE+DVFS pipeline at a 30% QoS
+// slack, and prints the energy comparison against the TinyEngine baselines.
+//
+//   $ ./build/examples/quickstart
+#include <iostream>
+
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "graph/zoo.hpp"
+
+int main() {
+  using namespace daedvfs;
+
+  // 1. A model (deterministic int8 weights; see graph/zoo.hpp).
+  const graph::Model model = graph::zoo::make_vww();
+  const auto stats = model.stats();
+  std::cout << "model " << model.name() << ": " << stats.num_layers
+            << " layers, " << stats.total_macs / 1e6 << " MMACs, "
+            << stats.num_dae_eligible << " DAE-eligible layers\n\n";
+
+  // 2. Pipeline configuration: the paper's design space on the simulated
+  //    STM32F767ZI, 30% latency slack over TinyEngine at 216 MHz.
+  core::PipelineConfig cfg;
+  cfg.qos_slack = 0.30;
+  cfg.explore.sim = sim::SimParams{};  // Nucleo-F767ZI defaults
+  cfg.space =
+      dse::make_paper_design_space(power::PowerModel{cfg.explore.sim.power});
+
+  // 3. Run: DAE enabling -> per-layer DSE -> MCKP -> schedule -> evaluation.
+  const core::PipelineResult result = core::Pipeline(cfg).run(model);
+
+  core::print_summary(std::cout, result);
+  std::cout << "\n";
+  core::print_layer_map(std::cout, result);
+  return 0;
+}

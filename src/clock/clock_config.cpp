@@ -1,0 +1,80 @@
+#include "clock/clock_config.hpp"
+
+#include <sstream>
+
+namespace daedvfs::clock {
+
+double ClockConfig::sysclk_mhz() const {
+  switch (source) {
+    case ClockSource::kHsi: return kHsiMhz;
+    case ClockSource::kHse: return hse_mhz;
+    case ClockSource::kPll: return pll ? pll->sysclk_mhz() : 0.0;
+  }
+  return 0.0;
+}
+
+std::optional<std::string> ClockConfig::validation_error() const {
+  switch (source) {
+    case ClockSource::kHsi:
+      return std::nullopt;
+    case ClockSource::kHse:
+      if (hse_mhz < kHseMinMhz || hse_mhz > kHseMaxMhz) {
+        return "HSE frequency outside the board's 1..50 MHz range";
+      }
+      return std::nullopt;
+    case ClockSource::kPll:
+      if (!pll) return "PLL selected as SYSCLK source without parameters";
+      if (pll->input == ClockSource::kHse && pll->input_mhz != hse_mhz) {
+        return "PLL HSE input frequency disagrees with the board HSE";
+      }
+      return pll->validation_error();
+  }
+  return "unknown clock source";
+}
+
+std::string ClockConfig::str() const {
+  std::ostringstream os;
+  switch (source) {
+    case ClockSource::kHsi:
+      os << "HSI-direct -> 16 MHz";
+      break;
+    case ClockSource::kHse:
+      os << "HSE-direct -> " << hse_mhz << " MHz";
+      break;
+    case ClockSource::kPll:
+      os << (pll ? pll->str() : std::string("PLL(<unset>)"));
+      break;
+  }
+  return os.str();
+}
+
+ClockConfig ClockConfig::hse_direct(double hse_mhz) {
+  return {.source = ClockSource::kHse, .hse_mhz = hse_mhz, .pll = std::nullopt};
+}
+
+ClockConfig ClockConfig::hsi_direct() {
+  return {.source = ClockSource::kHsi, .hse_mhz = 0.0, .pll = std::nullopt};
+}
+
+ClockConfig ClockConfig::pll_hse(double hse_mhz, int pllm, int plln,
+                                 int pllp) {
+  return {.source = ClockSource::kPll,
+          .hse_mhz = hse_mhz,
+          .pll = PllConfig{.input = ClockSource::kHse,
+                           .input_mhz = hse_mhz,
+                           .pllm = pllm,
+                           .plln = plln,
+                           .pllp = pllp}};
+}
+
+ClockConfig ClockConfig::pll_hsi(int pllm, int plln, int pllp) {
+  return {.source = ClockSource::kPll,
+          .hse_mhz = 0.0,
+          .pll = PllConfig{.input = ClockSource::kHsi,
+                           .input_mhz = kHsiMhz,
+                           .pllm = pllm,
+                           .plln = plln,
+                           .pllp = pllp}};
+}
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,48 @@
+// A complete SYSCLK configuration: which source drives the SYSCLK mux and,
+// if the PLL is involved, its parameterization. This is the unit the DVFS
+// runtime switches between (paper §III-B: LFO = HSE-direct, HFO = PLL).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "clock/clock_source.hpp"
+#include "clock/pll.hpp"
+#include "clock/voltage.hpp"
+
+namespace daedvfs::clock {
+
+/// SYSCLK mux selection + (optional) PLL parameters.
+struct ClockConfig {
+  ClockSource source = ClockSource::kPll;
+  /// HSE crystal frequency; meaningful when source == kHse or the PLL input
+  /// is HSE.
+  double hse_mhz = 50.0;
+  /// Programmed PLL parameters; required when source == kPll.
+  std::optional<PllConfig> pll;
+
+  /// Resulting SYSCLK frequency in MHz.
+  [[nodiscard]] double sysclk_mhz() const;
+  /// Lowest regulator scale able to sustain this SYSCLK.
+  [[nodiscard]] VoltageScale voltage_scale() const {
+    return required_scale(sysclk_mhz());
+  }
+  /// Returns an error if the configuration is not programmable.
+  [[nodiscard]] std::optional<std::string> validation_error() const;
+  [[nodiscard]] bool valid() const { return !validation_error().has_value(); }
+
+  [[nodiscard]] bool operator==(const ClockConfig&) const = default;
+  [[nodiscard]] std::string str() const;
+
+  /// HSE wired directly to SYSCLK (the paper's LFO mode at 50 MHz).
+  [[nodiscard]] static ClockConfig hse_direct(double hse_mhz);
+  /// HSI wired directly to SYSCLK (16 MHz).
+  [[nodiscard]] static ClockConfig hsi_direct();
+  /// PLL-driven SYSCLK from an HSE input (the paper's HFO mode).
+  [[nodiscard]] static ClockConfig pll_hse(double hse_mhz, int pllm, int plln,
+                                           int pllp = 2);
+  /// PLL-driven SYSCLK from the HSI.
+  [[nodiscard]] static ClockConfig pll_hsi(int pllm, int plln, int pllp = 2);
+};
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,34 @@
+// SYSCLK source selection for the STM32F7 RCC model (paper §II, Fig. 1).
+#pragma once
+
+#include <string_view>
+
+namespace daedvfs::clock {
+
+/// The three sources the SYSCLK mux can select (RM0410 §5.2).
+enum class ClockSource {
+  kHsi,  ///< High-speed internal RC oscillator, fixed 16 MHz.
+  kHse,  ///< High-speed external crystal/clock, 1..50 MHz on the Nucleo-F767ZI.
+  kPll,  ///< Main PLL output (driven by HSI or HSE).
+};
+
+[[nodiscard]] constexpr std::string_view to_string(ClockSource s) {
+  switch (s) {
+    case ClockSource::kHsi: return "HSI";
+    case ClockSource::kHse: return "HSE";
+    case ClockSource::kPll: return "PLL";
+  }
+  return "?";
+}
+
+/// Fixed HSI frequency (RM0410 §5.2.2).
+inline constexpr double kHsiMhz = 16.0;
+
+/// HSE range supported by the examined board (paper §II).
+inline constexpr double kHseMinMhz = 1.0;
+inline constexpr double kHseMaxMhz = 50.0;
+
+/// Maximum SYSCLK of the STM32F767 (with over-drive).
+inline constexpr double kMaxSysclkMhz = 216.0;
+
+}  // namespace daedvfs::clock

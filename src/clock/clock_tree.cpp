@@ -1,0 +1,82 @@
+#include "clock/clock_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace daedvfs::clock {
+
+EnumerationSpace paper_hfo_space() {
+  EnumerationSpace s;
+  s.hse_mhz = {50.0};
+  s.pllm = {25, 50};
+  s.plln = {75, 100, 150, 168, 216, 336, 432};
+  s.pllp = {2};
+  s.include_hsi_input = false;
+  return s;
+}
+
+std::vector<ClockConfig> enumerate_pll_configs(const EnumerationSpace& space,
+                                               double target_sysclk_mhz,
+                                               double tolerance_mhz) {
+  std::vector<ClockConfig> out;
+  auto consider = [&](ClockConfig cfg) {
+    if (!cfg.valid()) return;
+    if (target_sysclk_mhz > 0.0 &&
+        std::abs(cfg.sysclk_mhz() - target_sysclk_mhz) > tolerance_mhz) {
+      return;
+    }
+    out.push_back(std::move(cfg));
+  };
+  for (int m : space.pllm) {
+    for (int n : space.plln) {
+      for (int p : space.pllp) {
+        for (double hse : space.hse_mhz) {
+          consider(ClockConfig::pll_hse(hse, m, n, p));
+        }
+        if (space.include_hsi_input) {
+          consider(ClockConfig::pll_hsi(m, n, p));
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.sysclk_mhz() != b.sysclk_mhz()) {
+      return a.sysclk_mhz() < b.sysclk_mhz();
+    }
+    return a.pll->vco_mhz() < b.pll->vco_mhz();
+  });
+  return out;
+}
+
+std::vector<double> reachable_sysclks(const EnumerationSpace& space) {
+  std::vector<double> freqs;
+  for (const auto& cfg : enumerate_pll_configs(space)) {
+    freqs.push_back(cfg.sysclk_mhz());
+  }
+  std::sort(freqs.begin(), freqs.end());
+  freqs.erase(std::unique(freqs.begin(), freqs.end(),
+                          [](double a, double b) {
+                            return std::abs(a - b) < 1e-6;
+                          }),
+              freqs.end());
+  return freqs;
+}
+
+std::optional<ClockConfig> min_power_config(
+    const EnumerationSpace& space, double target_sysclk_mhz,
+    const std::function<double(const ClockConfig&)>& power_mw) {
+  std::optional<ClockConfig> best;
+  double best_mw = std::numeric_limits<double>::infinity();
+  for (const auto& cfg :
+       enumerate_pll_configs(space, target_sysclk_mhz)) {
+    const double mw = power_mw(cfg);
+    if (mw < best_mw) {
+      best_mw = mw;
+      best = cfg;
+    }
+  }
+  return best;
+}
+
+}  // namespace daedvfs::clock

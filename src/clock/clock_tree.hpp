@@ -1,0 +1,46 @@
+// Clock-tree enumeration: generates every programmable {HSE, PLLM, PLLN,
+// PLLP} tuple in a caller-defined search space, optionally filtered to an
+// exact target SYSCLK. This is the machinery behind the paper's Fig. 2
+// (iso-frequency configurations with different power) and behind the HFO
+// frequency set used by the DSE (§III-B).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "clock/clock_config.hpp"
+
+namespace daedvfs::clock {
+
+/// Which tuples to enumerate. Defaults cover the paper's exploration space.
+struct EnumerationSpace {
+  std::vector<double> hse_mhz = {8.0, 16.0, 25.0, 50.0};
+  std::vector<int> pllm = {4, 8, 12, 16, 25, 50};
+  std::vector<int> plln = {50, 75, 100, 108, 144, 150, 168, 200, 216, 336, 432};
+  std::vector<int> pllp = {2, 4, 6, 8};
+  bool include_hsi_input = false;  ///< Also try the HSI as PLL input.
+};
+
+/// The exact HFO space of the paper (§III-B): HSE = 50 MHz, PLLP = 2,
+/// PLLN in {75, 100, 150, 168, 216, 336, 432}, PLLM in {25, 50}.
+[[nodiscard]] EnumerationSpace paper_hfo_space();
+
+/// All *valid* PLL configurations in `space`. If `target_sysclk_mhz > 0`,
+/// only configurations within `tolerance_mhz` of the target are returned.
+[[nodiscard]] std::vector<ClockConfig> enumerate_pll_configs(
+    const EnumerationSpace& space, double target_sysclk_mhz = 0.0,
+    double tolerance_mhz = 1e-6);
+
+/// Distinct SYSCLK frequencies reachable in `space`, ascending.
+[[nodiscard]] std::vector<double> reachable_sysclks(
+    const EnumerationSpace& space);
+
+/// Picks the configuration minimizing `power_mw(cfg)` among all valid configs
+/// in `space` that hit `target_sysclk_mhz` exactly. Returns std::nullopt when
+/// the target is unreachable. Power is injected as a callback so the clock
+/// library stays independent of the power library.
+[[nodiscard]] std::optional<ClockConfig> min_power_config(
+    const EnumerationSpace& space, double target_sysclk_mhz,
+    const std::function<double(const ClockConfig&)>& power_mw);
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,51 @@
+#include "clock/pll.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace daedvfs::clock {
+
+std::optional<std::string> PllConfig::validation_error() const {
+  if (input != ClockSource::kHse && input != ClockSource::kHsi) {
+    return "PLL input must be HSE or HSI";
+  }
+  if (input == ClockSource::kHsi && input_mhz != kHsiMhz) {
+    return "HSI runs at a fixed 16 MHz";
+  }
+  if (input == ClockSource::kHse &&
+      (input_mhz < kHseMinMhz || input_mhz > kHseMaxMhz)) {
+    return "HSE frequency outside the board's 1..50 MHz range";
+  }
+  if (pllm < PllLimits::kPllmMin || pllm > PllLimits::kPllmMax) {
+    return "PLLM outside [2, 63]";
+  }
+  if (plln < PllLimits::kPllnMin || plln > PllLimits::kPllnMax) {
+    return "PLLN outside [50, 432]";
+  }
+  if (!PllLimits::pllp_valid(pllp)) {
+    return "PLLP must be one of {2, 4, 6, 8}";
+  }
+  const double vin = vco_input_mhz();
+  if (vin < PllLimits::kVcoInMinMhz - 1e-9 ||
+      vin > PllLimits::kVcoInMaxMhz + 1e-9) {
+    return "VCO input frequency outside [1, 2] MHz";
+  }
+  const double vout = vco_mhz();
+  if (vout < PllLimits::kVcoOutMinMhz - 1e-9 ||
+      vout > PllLimits::kVcoOutMaxMhz + 1e-9) {
+    return "VCO output frequency outside [100, 432] MHz";
+  }
+  if (sysclk_mhz() > kMaxSysclkMhz + 1e-9) {
+    return "SYSCLK above the 216 MHz device maximum";
+  }
+  return std::nullopt;
+}
+
+std::string PllConfig::str() const {
+  std::ostringstream os;
+  os << "PLL(" << to_string(input) << "=" << input_mhz << ", M=" << pllm
+     << ", N=" << plln << ", P=" << pllp << ") -> " << sysclk_mhz() << " MHz";
+  return os.str();
+}
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,64 @@
+// Main PLL model of the STM32F7 RCC (paper §II, Eq. 1):
+//
+//   F_SYSCLK = F_in * PLLN / (PLLM * PLLP)
+//
+// with the hardware constraints from RM0410 §5.3.2:
+//   PLLM in [2, 63], PLLN in [50, 432], PLLP in {2, 4, 6, 8},
+//   VCO input  = F_in / PLLM      in [1, 2] MHz,
+//   VCO output = VCO input * PLLN in [100, 432] MHz,
+//   SYSCLK <= 216 MHz.
+//
+// The VCO frequency matters beyond validity: PLL power grows with the VCO
+// frequency, which is why iso-frequency configurations differ in power
+// (paper Fig. 2) and why PLLP = 2 is the minimum-power divider choice.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "clock/clock_source.hpp"
+
+namespace daedvfs::clock {
+
+/// One concrete PLL parameterization, including its input source.
+struct PllConfig {
+  ClockSource input = ClockSource::kHse;  ///< kHse or kHsi.
+  double input_mhz = 50.0;                ///< HSE crystal (or 16 for HSI).
+  int pllm = 25;
+  int plln = 216;
+  int pllp = 2;
+
+  [[nodiscard]] double vco_input_mhz() const { return input_mhz / pllm; }
+  [[nodiscard]] double vco_mhz() const { return vco_input_mhz() * plln; }
+  [[nodiscard]] double sysclk_mhz() const { return vco_mhz() / pllp; }
+
+  /// Returns an error description if any RM0410 constraint is violated,
+  /// std::nullopt if the configuration is programmable.
+  [[nodiscard]] std::optional<std::string> validation_error() const;
+  [[nodiscard]] bool valid() const { return !validation_error().has_value(); }
+
+  /// True when both configs program identical divider/multiplier settings
+  /// (the relock-free case when toggling the SYSCLK mux).
+  [[nodiscard]] bool operator==(const PllConfig&) const = default;
+
+  /// e.g. "PLL(HSE=50, M=25, N=216, P=2) -> 216 MHz".
+  [[nodiscard]] std::string str() const;
+};
+
+/// Hardware constraint bounds, exposed for enumeration and tests.
+struct PllLimits {
+  static constexpr int kPllmMin = 2;
+  static constexpr int kPllmMax = 63;
+  static constexpr int kPllnMin = 50;
+  static constexpr int kPllnMax = 432;
+  static constexpr double kVcoInMinMhz = 1.0;
+  static constexpr double kVcoInMaxMhz = 2.0;
+  static constexpr double kVcoOutMinMhz = 100.0;
+  static constexpr double kVcoOutMaxMhz = 432.0;
+  /// Legal PLLP dividers.
+  [[nodiscard]] static constexpr bool pllp_valid(int p) {
+    return p == 2 || p == 4 || p == 6 || p == 8;
+  }
+};
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,60 @@
+#include "clock/rcc.hpp"
+
+#include <stdexcept>
+
+namespace daedvfs::clock {
+
+Rcc::Rcc(ClockConfig boot, SwitchCostParams params)
+    : current_(std::move(boot)),
+      scale_(current_.voltage_scale()),
+      params_(params) {
+  if (auto err = current_.validation_error()) {
+    throw std::invalid_argument("invalid boot clock config: " + *err);
+  }
+  if (current_.source == ClockSource::kPll) locked_pll_ = current_.pll;
+}
+
+SwitchCost Rcc::switch_to(const ClockConfig& target) {
+  if (auto err = target.validation_error()) {
+    throw std::invalid_argument("invalid clock config: " + *err);
+  }
+  SwitchCost cost = switch_cost(params_, current_, target, locked_pll_);
+  if (cost.total_us == 0.0) return cost;  // no-op switch
+
+  // Regulator-scale policy: raising the scale is mandatory before running
+  // faster; lowering it is only worthwhile on "slow" transitions (PLL
+  // relocks, i.e. between layers). Fast intra-layer mux toggles keep the
+  // pinned scale so they never wait the ~40 us regulator settle time.
+  const VoltageScale needed = target.voltage_scale();
+  if (core_voltage(needed) > core_voltage(scale_)) {
+    scale_ = needed;
+    cost.total_us += params_.vos_change_us;
+    cost.vos_changed = true;
+  } else if (needed != scale_ && cost.pll_relocked) {
+    scale_ = needed;
+    cost.total_us += params_.vos_change_us;
+    cost.vos_changed = true;
+  }
+
+  if (target.source == ClockSource::kPll) {
+    locked_pll_ = target.pll;  // (re)locked by the switch
+  }
+  // Selecting HSE/HSI leaves the PLL running (hardware behaviour): the mux
+  // merely bypasses it. stop_pll() models explicit gating.
+
+  current_ = target;
+  ++stats_.switches;
+  if (cost.pll_relocked) ++stats_.pll_relocks;
+  if (cost.vos_changed) ++stats_.vos_changes;
+  stats_.total_switch_us += cost.total_us;
+  return cost;
+}
+
+void Rcc::stop_pll() {
+  if (current_.source == ClockSource::kPll) {
+    throw std::logic_error("cannot stop the PLL while it drives SYSCLK");
+  }
+  locked_pll_.reset();
+}
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,3 @@
+#include "clock/voltage.hpp"
+
+// Header-only today; TU anchors the target.

@@ -1,0 +1,59 @@
+// Internal voltage-regulator scales of the STM32F7 (RM0410 §4.1.4) — the
+// "voltage" axis of DVFS. Higher SYSCLK frequencies require a higher core
+// voltage; dynamic power scales with V^2 * f, so dropping to a lower scale at
+// lower frequency is where most of the DVFS energy saving comes from.
+#pragma once
+
+#include <string_view>
+
+namespace daedvfs::clock {
+
+/// Regulator output scales, ordered from lowest to highest voltage.
+enum class VoltageScale {
+  kScale3,           ///< up to 144 MHz.
+  kScale2,           ///< up to 168 MHz.
+  kScale1,           ///< up to 180 MHz.
+  kScale1OverDrive,  ///< up to 216 MHz (over-drive mode).
+};
+
+/// Typical regulator output voltage for each scale (volts).
+[[nodiscard]] constexpr double core_voltage(VoltageScale s) {
+  switch (s) {
+    case VoltageScale::kScale3: return 1.14;
+    case VoltageScale::kScale2: return 1.26;
+    case VoltageScale::kScale1: return 1.32;
+    case VoltageScale::kScale1OverDrive: return 1.38;
+  }
+  return 1.38;
+}
+
+/// Maximum SYSCLK sustained by each scale (MHz).
+[[nodiscard]] constexpr double max_sysclk_mhz(VoltageScale s) {
+  switch (s) {
+    case VoltageScale::kScale3: return 144.0;
+    case VoltageScale::kScale2: return 168.0;
+    case VoltageScale::kScale1: return 180.0;
+    case VoltageScale::kScale1OverDrive: return 216.0;
+  }
+  return 216.0;
+}
+
+/// Lowest (most power-efficient) scale that sustains `sysclk_mhz`.
+[[nodiscard]] constexpr VoltageScale required_scale(double sysclk_mhz) {
+  if (sysclk_mhz <= 144.0) return VoltageScale::kScale3;
+  if (sysclk_mhz <= 168.0) return VoltageScale::kScale2;
+  if (sysclk_mhz <= 180.0) return VoltageScale::kScale1;
+  return VoltageScale::kScale1OverDrive;
+}
+
+[[nodiscard]] constexpr std::string_view to_string(VoltageScale s) {
+  switch (s) {
+    case VoltageScale::kScale3: return "Scale3";
+    case VoltageScale::kScale2: return "Scale2";
+    case VoltageScale::kScale1: return "Scale1";
+    case VoltageScale::kScale1OverDrive: return "Scale1+OD";
+  }
+  return "?";
+}
+
+}  // namespace daedvfs::clock

@@ -1,0 +1,98 @@
+#include "core/report.hpp"
+
+#include <iomanip>
+#include <sstream>
+
+namespace daedvfs::core {
+
+void print_summary(std::ostream& os, const PipelineResult& r) {
+  const auto& c = r.comparison;
+  os << std::fixed << std::setprecision(1);
+  os << "model=" << r.model_name << " qos=+" << r.qos_slack * 100.0 << "%"
+     << " (T_base=" << r.t_base_us / 1000.0 << " ms, window="
+     << r.qos_us / 1000.0 << " ms)\n";
+  os << "  planned:   t=" << r.planned_t_us / 1000.0
+     << " ms, E=" << r.planned_e_uj / 1000.0 << " mJ"
+     << (r.mckp_feasible ? "" : "  [MCKP infeasible -> baseline schedule]")
+     << "\n";
+  os << std::setprecision(2);
+  os << "  TinyEngine:          E=" << c.tinyengine.total_uj() / 1000.0
+     << " mJ (inference " << c.tinyengine.inference_us / 1000.0 << " ms + idle "
+     << c.tinyengine.idle_uj / 1000.0 << " mJ)\n";
+  os << "  TinyEngine+Gating:   E=" << c.tinyengine_gated.total_uj() / 1000.0
+     << " mJ (gain vs TE " << c.gated_gain_vs_tinyengine_pct() << "%)\n";
+  os << "  DAE+DVFS:            E=" << c.dae_dvfs.total_uj() / 1000.0
+     << " mJ (gain vs TE " << c.gain_vs_tinyengine_pct() << "%, vs gated "
+     << c.gain_vs_gated_pct() << "%)"
+     << (c.dae_dvfs.met_qos ? "" : "  [QoS MISSED]") << "\n";
+}
+
+void print_layer_map(std::ostream& os, const PipelineResult& r) {
+  os << "layer map for " << r.model_name << " (qos=+" << r.qos_slack * 100.0
+     << "%)\n";
+  os << "  idx  kind        g    HFO(MHz)  t(us)      E(uJ)\n";
+  for (const auto& ch : r.choices) {
+    const auto& s = ch.solution;
+    os << "  " << std::setw(3) << ch.layer_idx << "  " << std::left
+       << std::setw(10) << to_string(r.dse[static_cast<std::size_t>(ch.layer_idx)].kind)
+       << std::right << "  " << std::setw(2) << s.granularity << "  "
+       << std::setw(8) << std::fixed << std::setprecision(0)
+       << s.hfo.sysclk_mhz() << "  " << std::setw(9) << std::setprecision(1)
+       << s.t_us << "  " << std::setw(9) << std::setprecision(2)
+       << s.energy_uj << "\n";
+  }
+}
+
+FrequencyStats compute_frequency_stats(const PipelineResult& r,
+                                       double max_mhz, double low_mhz) {
+  FrequencyStats st;
+  int pw = 0, dw = 0, pw_max = 0, dw_max = 0, pw_low = 0, dw_low = 0;
+  int at_max = 0, dae = 0, g16 = 0;
+  for (const auto& ch : r.choices) {
+    const auto kind = r.dse[static_cast<std::size_t>(ch.layer_idx)].kind;
+    const double f = ch.solution.hfo.sysclk_mhz();
+    if (f >= max_mhz - 1e-6) ++at_max;
+    if (kind == graph::LayerKind::kPointwise) {
+      ++pw;
+      if (f >= max_mhz - 1e-6) ++pw_max;
+      if (f <= low_mhz + 1e-6) ++pw_low;
+    } else if (kind == graph::LayerKind::kDepthwise) {
+      ++dw;
+      if (f >= max_mhz - 1e-6) ++dw_max;
+      if (f <= low_mhz + 1e-6) ++dw_low;
+    }
+    if (graph::dae_eligible(kind)) {
+      ++dae;
+      if (ch.solution.granularity >= 16) ++g16;
+    }
+  }
+  const auto pct = [](int num, int den) {
+    return den > 0 ? 100.0 * num / den : 0.0;
+  };
+  st.pct_pointwise_at_max = pct(pw_max, pw);
+  st.pct_depthwise_at_max = pct(dw_max, dw);
+  st.pct_pointwise_low_freq = pct(pw_low, pw);
+  st.pct_depthwise_low_freq = pct(dw_low, dw);
+  st.pct_layers_at_max = pct(at_max, static_cast<int>(r.choices.size()));
+  st.pct_dae_layers_g16 = pct(g16, dae);
+  return st;
+}
+
+std::string csv_header() {
+  return "model,qos_slack,t_base_us,qos_us,planned_t_us,planned_e_uj,"
+         "te_uj,te_gated_uj,dae_dvfs_uj,gain_vs_te_pct,gain_vs_gated_pct,"
+         "met_qos";
+}
+
+std::string csv_row(const PipelineResult& r) {
+  const auto& c = r.comparison;
+  std::ostringstream os;
+  os << r.model_name << ',' << r.qos_slack << ',' << r.t_base_us << ','
+     << r.qos_us << ',' << r.planned_t_us << ',' << r.planned_e_uj << ','
+     << c.tinyengine.total_uj() << ',' << c.tinyengine_gated.total_uj() << ','
+     << c.dae_dvfs.total_uj() << ',' << c.gain_vs_tinyengine_pct() << ','
+     << c.gain_vs_gated_pct() << ',' << (c.dae_dvfs.met_qos ? 1 : 0);
+  return os.str();
+}
+
+}  // namespace daedvfs::core

@@ -1,0 +1,38 @@
+// Human-readable and CSV reporting for pipeline results — the formatting
+// layer behind the Fig. 5 / Fig. 6 reproduction benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "core/pipeline.hpp"
+
+namespace daedvfs::core {
+
+/// One-block summary: QoS window, planned vs measured, three-way energy
+/// comparison with gain percentages (Fig. 5 row).
+void print_summary(std::ostream& os, const PipelineResult& result);
+
+/// Per-layer table: layer kind, chosen granularity and HFO frequency —
+/// the Fig. 6 frequency/granularity map.
+void print_layer_map(std::ostream& os, const PipelineResult& result);
+
+/// Aggregate frequency-distribution statistics quoted in §IV (share of
+/// pointwise/depthwise layers at max/low frequency, granularity shares).
+struct FrequencyStats {
+  double pct_pointwise_at_max = 0.0;
+  double pct_depthwise_at_max = 0.0;
+  double pct_pointwise_low_freq = 0.0;   ///< <= 100 MHz.
+  double pct_depthwise_low_freq = 0.0;
+  double pct_layers_at_max = 0.0;
+  double pct_dae_layers_g16 = 0.0;
+};
+[[nodiscard]] FrequencyStats compute_frequency_stats(
+    const PipelineResult& result, double max_mhz = 216.0,
+    double low_mhz = 100.0);
+
+/// CSV row (header via csv_header()) for scripted post-processing.
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string csv_row(const PipelineResult& result);
+
+}  // namespace daedvfs::core

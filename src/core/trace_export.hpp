@@ -1,0 +1,29 @@
+// Export utilities: power traces, per-layer profiles and firmware-ready
+// schedule headers. These make the simulator's internals consumable by
+// external tooling (plotting the Fig. 4/5 series, flashing the plan).
+#pragma once
+
+#include <ostream>
+
+#include "power/energy_meter.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/schedule.hpp"
+
+namespace daedvfs::core {
+
+/// Writes the retained power trace as CSV: t_begin_us,t_end_us,power_mw,tag.
+/// The meter must have been recording with keep_trace(true).
+void write_power_trace_csv(std::ostream& os, const power::EnergyMeter& meter);
+
+/// Writes per-layer profiles as CSV:
+/// layer,name,kind,t_us,energy_uj,mem_segment_uj,avg_power_mw,misses,switches.
+void write_layer_profile_csv(std::ostream& os,
+                             const runtime::InferenceResult& result);
+
+/// Emits a C header describing the schedule for firmware integration: one
+/// row per layer with {granularity, PLLM, PLLN, PLLP, lfo_mhz, dvfs flag}.
+void write_schedule_header(std::ostream& os, const graph::Model& model,
+                           const runtime::Schedule& schedule,
+                           const std::string& guard = "DAEDVFS_SCHEDULE_H");
+
+}  // namespace daedvfs::core

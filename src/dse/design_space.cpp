@@ -1,0 +1,42 @@
+#include "dse/design_space.hpp"
+
+#include <algorithm>
+
+namespace daedvfs::dse {
+namespace {
+
+std::vector<clock::ClockConfig> dedupe_min_power(
+    const clock::EnumerationSpace& space, const power::PowerModel& power) {
+  std::vector<clock::ClockConfig> out;
+  for (double f : clock::reachable_sysclks(space)) {
+    auto best = clock::min_power_config(
+        space, f, [&](const clock::ClockConfig& cfg) {
+          return power.config_power_mw(cfg, power::Activity::kCompute);
+        });
+    if (best) out.push_back(*best);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) {
+              return a.sysclk_mhz() < b.sysclk_mhz();
+            });
+  return out;
+}
+
+}  // namespace
+
+DesignSpace make_paper_design_space(const power::PowerModel& power) {
+  DesignSpace ds;
+  ds.hfo_configs = dedupe_min_power(clock::paper_hfo_space(), power);
+  return ds;
+}
+
+DesignSpace make_reduced_design_space(const power::PowerModel& power) {
+  clock::EnumerationSpace space = clock::paper_hfo_space();
+  space.plln = {100, 216, 432};
+  DesignSpace ds;
+  ds.hfo_configs = dedupe_min_power(space, power);
+  ds.granularities = {0, 4, 16};
+  return ds;
+}
+
+}  // namespace daedvfs::dse

@@ -1,0 +1,35 @@
+// The co-exploration space of the paper's Step 2 (§III-B): HFO frequencies
+// generated from the PLLN/PLLM enumeration (deduplicated to the minimum-
+// power configuration per distinct SYSCLK), the fixed 50 MHz HSE-direct LFO,
+// and the DAE granularity set.
+#pragma once
+
+#include <vector>
+
+#include "clock/clock_config.hpp"
+#include "clock/clock_tree.hpp"
+#include "power/power_model.hpp"
+
+namespace daedvfs::dse {
+
+struct DesignSpace {
+  /// Candidate HFO configurations, ascending SYSCLK, one (min-power) config
+  /// per distinct frequency.
+  std::vector<clock::ClockConfig> hfo_configs;
+  /// The LFO used for memory-bound segments (paper: HSE-direct 50 MHz).
+  clock::ClockConfig lfo = clock::ClockConfig::hse_direct(50.0);
+  /// DAE granularities; 0 = no decoupling (paper: {0, 2, 4, 8, 12, 16}).
+  std::vector<int> granularities = {0, 2, 4, 8, 12, 16};
+};
+
+/// Builds the paper's design space: PLLN in {75,100,150,168,216,336,432},
+/// PLLM in {25,50}, HSE = 50 MHz, PLLP = 2; iso-frequency tuples resolved to
+/// minimum power under `power`.
+[[nodiscard]] DesignSpace make_paper_design_space(
+    const power::PowerModel& power);
+
+/// Smaller space for unit tests / quick demos.
+[[nodiscard]] DesignSpace make_reduced_design_space(
+    const power::PowerModel& power);
+
+}  // namespace daedvfs::dse

@@ -1,0 +1,88 @@
+#include "dse/explorer.hpp"
+
+#include "dse/pareto.hpp"
+
+namespace daedvfs::dse {
+namespace {
+
+/// Gather-buffer bytes a candidate needs (mirrors the kernels' scratch
+/// formulas without instantiating kernel args).
+std::size_t scratch_bytes(const graph::Model& model,
+                          const graph::LayerSpec& layer, int granularity) {
+  if (granularity <= 0) return 0;
+  const auto& in = model.tensor_shape(layer.inputs.at(0));
+  switch (layer.kind) {
+    case graph::LayerKind::kDepthwise:
+      return static_cast<std::size_t>(granularity) * in.h * in.w;
+    case graph::LayerKind::kPointwise:
+      return static_cast<std::size_t>(granularity) * in.c;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+LayerSolution profile_candidate(runtime::InferenceEngine& engine,
+                                int layer_idx, const LayerSolution& candidate,
+                                const clock::ClockConfig& lfo,
+                                const ExploreOptions& opts) {
+  // Fresh MCU booted directly at the candidate HFO: the layer-entry clock
+  // switch is then a no-op and the profile captures only the layer itself.
+  // Inter-layer relock costs are paid (and measured) in the final schedule
+  // evaluation, matching the paper's per-layer profiling methodology.
+  sim::SimParams params = opts.sim;
+  params.boot = candidate.hfo;
+  sim::Mcu mcu(params);
+  const runtime::LayerProfile prof = engine.run_layer(
+      mcu, layer_idx, candidate.to_plan(lfo), kernels::ExecMode::kTiming);
+  LayerSolution out = candidate;
+  out.t_us = prof.t_us;
+  out.energy_uj = prof.energy_uj;
+  return out;
+}
+
+std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
+                                            const DesignSpace& space,
+                                            const ExploreOptions& opts) {
+  runtime::InferenceEngine engine(model);
+  std::vector<LayerSolutionSet> sets;
+  sets.reserve(static_cast<std::size_t>(model.num_layers()));
+
+  for (int i = 0; i < model.num_layers(); ++i) {
+    const graph::LayerSpec& layer =
+        model.layers()[static_cast<std::size_t>(i)];
+    LayerSolutionSet set;
+    set.layer_idx = i;
+    set.kind = layer.kind;
+
+    std::vector<int> gs;
+    if (layer.is_dae_eligible()) {
+      gs = space.granularities;
+    } else {
+      gs = {0};  // "rest" layers: frequency-only exploration (Fig. 6).
+    }
+
+    for (int g : gs) {
+      if (opts.max_scratch_bytes != 0 &&
+          scratch_bytes(model, layer, g) > opts.max_scratch_bytes) {
+        continue;
+      }
+      for (const clock::ClockConfig& hfo : space.hfo_configs) {
+        LayerSolution cand;
+        cand.granularity = g;
+        cand.hfo = hfo;
+        cand.dvfs_enabled = g > 0;
+        set.all.push_back(profile_candidate(engine, i, cand, space.lfo, opts));
+      }
+    }
+
+    set.pareto = pareto_front(
+        set.all, [](const LayerSolution& s) { return s.t_us; },
+        [](const LayerSolution& s) { return s.energy_uj; });
+    sets.push_back(std::move(set));
+  }
+  return sets;
+}
+
+}  // namespace daedvfs::dse

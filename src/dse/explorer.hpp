@@ -1,0 +1,64 @@
+// Per-layer DAE-granularity x clocking co-exploration (Step 2 of the paper,
+// §III-B): every (g, HFO) candidate of each layer is profiled on a fresh
+// simulated MCU in Timing mode; Pareto-optimal (latency, energy) solutions
+// are extracted per layer for the MCKP stage.
+#pragma once
+
+#include <vector>
+
+#include "dse/design_space.hpp"
+#include "graph/model.hpp"
+#include "runtime/engine.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::dse {
+
+/// One explored operating point of one layer.
+struct LayerSolution {
+  int granularity = 0;
+  clock::ClockConfig hfo;
+  bool dvfs_enabled = false;  ///< LFO/HFO toggling active (g > 0).
+  double t_us = 0.0;
+  double energy_uj = 0.0;
+
+  [[nodiscard]] runtime::LayerPlan to_plan(
+      const clock::ClockConfig& lfo) const {
+    runtime::LayerPlan plan;
+    plan.granularity = granularity;
+    plan.hfo = hfo;
+    plan.lfo = lfo;
+    plan.dvfs_enabled = dvfs_enabled;
+    return plan;
+  }
+};
+
+/// All solutions of one layer + its Pareto front.
+struct LayerSolutionSet {
+  int layer_idx = 0;
+  graph::LayerKind kind = graph::LayerKind::kConv2d;
+  std::vector<LayerSolution> all;
+  std::vector<LayerSolution> pareto;  ///< Ascending latency.
+};
+
+/// Explorer options.
+struct ExploreOptions {
+  /// Simulator parameterization used for the profiling runs.
+  sim::SimParams sim;
+  /// Skip granularities whose gather buffer would exceed this bound
+  /// (board SRAM scratch budget). 0 = no bound.
+  std::size_t max_scratch_bytes = 96 * 1024;
+};
+
+/// Profiles one (layer, plan) candidate on a fresh MCU; returns (t, E).
+[[nodiscard]] LayerSolution profile_candidate(runtime::InferenceEngine& engine,
+                                              int layer_idx,
+                                              const LayerSolution& candidate,
+                                              const clock::ClockConfig& lfo,
+                                              const ExploreOptions& opts);
+
+/// Runs the full per-layer DSE for `model`.
+[[nodiscard]] std::vector<LayerSolutionSet> explore_model(
+    const graph::Model& model, const DesignSpace& space,
+    const ExploreOptions& opts);
+
+}  // namespace daedvfs::dse

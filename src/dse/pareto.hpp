@@ -1,0 +1,32 @@
+// Pareto-front extraction over (latency, energy) points — Step 2B of the
+// paper: only Pareto-optimal per-layer solutions are handed to the MCKP.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+namespace daedvfs::dse {
+
+/// Returns the subset of `points` not dominated in (latency(p), energy(p)),
+/// sorted by ascending latency (and therefore descending energy). Both
+/// objectives are minimized. Duplicate-latency points keep the lower energy.
+template <class T, class LatencyFn, class EnergyFn>
+[[nodiscard]] std::vector<T> pareto_front(std::vector<T> points,
+                                          LatencyFn latency, EnergyFn energy) {
+  std::sort(points.begin(), points.end(), [&](const T& a, const T& b) {
+    if (latency(a) != latency(b)) return latency(a) < latency(b);
+    return energy(a) < energy(b);
+  });
+  std::vector<T> front;
+  double best_energy = std::numeric_limits<double>::infinity();
+  for (auto& p : points) {
+    if (energy(p) < best_energy) {
+      best_energy = energy(p);
+      front.push_back(std::move(p));
+    }
+  }
+  return front;
+}
+
+}  // namespace daedvfs::dse

@@ -1,0 +1,180 @@
+#include "graph/builder.hpp"
+
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+#include "sim/memory_model.hpp"
+
+namespace daedvfs::graph {
+namespace {
+
+// Global quantization conventions (values are arbitrary but fixed; the
+// requant multiplier normalizes accumulators regardless).
+constexpr double kActScale = 0.047;
+constexpr int32_t kActZeroPoint = -1;
+constexpr double kWeightScale = 0.02;
+// Uniform int8 weights in [-90, 90] have a standard deviation of ~52; the
+// requant multiplier 1 / (sqrt(N) * 52) maps a length-N random dot product
+// to a comfortably spread int8 output.
+constexpr double kWeightSigma = 52.0;
+
+}  // namespace
+
+int make_divisible(double v, int divisor) {
+  // Canonical MobileNet rule: round half up to the nearest multiple, floor
+  // at the divisor, and never round down by more than 10%.
+  const int rounded = std::max(
+      divisor,
+      static_cast<int>((v + divisor / 2.0) / divisor) * divisor);
+  if (static_cast<double>(rounded) < 0.9 * v) return rounded + divisor;
+  return rounded;
+}
+
+ModelBuilder::ModelBuilder(std::string name, int height, int width,
+                           int channels, uint32_t seed)
+    : model_(std::move(name), tensor::Shape4{1, height, width, channels},
+             tensor::QuantParams{kActScale, 0}),
+      seed_(seed),
+      flash_cursor_(sim::kFlashBase + 0x8000) {}
+
+tensor::QuantParams ModelBuilder::next_act_quant() const {
+  return {kActScale, kActZeroPoint};
+}
+
+ModelBuilder::WeightInit ModelBuilder::init_weights(tensor::Shape4 shape,
+                                                    int bias_count) {
+  WeightInit w{tensor::QTensor(shape, {kWeightScale, 0}),
+               tensor::BiasVector(static_cast<std::size_t>(bias_count)),
+               0,
+               0};
+  std::mt19937 rng(seed_ + 0x9e3779b9u * static_cast<uint32_t>(layer_counter_));
+  std::uniform_int_distribution<int> wdist(-90, 90);
+  std::uniform_int_distribution<int> bdist(-400, 400);
+  for (int64_t i = 0; i < shape.elems(); ++i) {
+    w.weights.data()[i] = static_cast<int8_t>(wdist(rng));
+  }
+  for (auto& b : w.bias) b = bdist(rng);
+
+  auto align = [](uint64_t v) { return (v + 31) / 32 * 32; };
+  w.weight_vaddr = flash_cursor_;
+  flash_cursor_ = align(flash_cursor_ + static_cast<uint64_t>(shape.elems()));
+  w.bias_vaddr = flash_cursor_;
+  flash_cursor_ = align(flash_cursor_ + static_cast<uint64_t>(bias_count) * 4);
+  return w;
+}
+
+int ModelBuilder::add_conv_like(LayerKind kind, int in_id,
+                                tensor::Shape4 out_shape,
+                                tensor::Shape4 w_shape, int /*kernel*/,
+                                int stride, int pad, bool relu,
+                                int64_t macs_per_out) {
+  ++layer_counter_;
+  WeightInit w = init_weights(w_shape, out_shape.c);
+
+  LayerSpec spec;
+  spec.name = std::string(to_string(kind)) + "_" +
+              std::to_string(layer_counter_);
+  spec.kind = kind;
+  spec.inputs = {in_id};
+  spec.out_shape = out_shape;
+  spec.out_quant = next_act_quant();
+  spec.params.stride = stride;
+  spec.params.pad = pad;
+  spec.params.input_zero_point = model_.tensor_quant(in_id).zero_point;
+  spec.params.output_zero_point = spec.out_quant.zero_point;
+  spec.params.requant = tensor::quantize_multiplier(
+      1.0 / (std::sqrt(static_cast<double>(macs_per_out)) * kWeightSigma));
+  if (relu) {
+    spec.params.act_min = spec.out_quant.zero_point;  // quantized zero
+  }
+  spec.weights = std::move(w.weights);
+  spec.bias = std::move(w.bias);
+  spec.weight_vaddr = w.weight_vaddr;
+  spec.bias_vaddr = w.bias_vaddr;
+  return model_.add_layer(std::move(spec));
+}
+
+int ModelBuilder::conv2d(int in_id, int out_channels, int kernel, int stride,
+                         bool relu) {
+  const auto& in = model_.tensor_shape(in_id);
+  const int pad = kernel / 2;
+  const tensor::Shape4 out{1, (in.h + 2 * pad - kernel) / stride + 1,
+                           (in.w + 2 * pad - kernel) / stride + 1,
+                           out_channels};
+  const tensor::Shape4 w{out_channels, kernel, kernel, in.c};
+  return add_conv_like(LayerKind::kConv2d, in_id, out, w, kernel, stride, pad,
+                       relu, static_cast<int64_t>(kernel) * kernel * in.c);
+}
+
+int ModelBuilder::depthwise(int in_id, int kernel, int stride, bool relu) {
+  const auto& in = model_.tensor_shape(in_id);
+  const int pad = kernel / 2;
+  const tensor::Shape4 out{1, (in.h + 2 * pad - kernel) / stride + 1,
+                           (in.w + 2 * pad - kernel) / stride + 1, in.c};
+  const tensor::Shape4 w{1, kernel, kernel, in.c};
+  return add_conv_like(LayerKind::kDepthwise, in_id, out, w, kernel, stride,
+                       pad, relu, static_cast<int64_t>(kernel) * kernel);
+}
+
+int ModelBuilder::pointwise(int in_id, int out_channels, bool relu) {
+  const auto& in = model_.tensor_shape(in_id);
+  const tensor::Shape4 out{1, in.h, in.w, out_channels};
+  const tensor::Shape4 w{out_channels, 1, 1, in.c};
+  return add_conv_like(LayerKind::kPointwise, in_id, out, w, 1, 1, 0, relu,
+                       in.c);
+}
+
+int ModelBuilder::global_avg_pool(int in_id) {
+  ++layer_counter_;
+  const auto& in = model_.tensor_shape(in_id);
+  LayerSpec spec;
+  spec.name = "avgpool_" + std::to_string(layer_counter_);
+  spec.kind = LayerKind::kGlobalAvgPool;
+  spec.inputs = {in_id};
+  spec.out_shape = {1, 1, 1, in.c};
+  spec.out_quant = model_.tensor_quant(in_id);  // TFLM: pooling keeps quant
+  return model_.add_layer(std::move(spec));
+}
+
+int ModelBuilder::fully_connected(int in_id, int out_features) {
+  const auto& in = model_.tensor_shape(in_id);
+  const int64_t in_elems = in.elems();
+  ++layer_counter_;
+  WeightInit w = init_weights(
+      tensor::Shape4{out_features, 1, 1, static_cast<int32_t>(in_elems)},
+      out_features);
+  LayerSpec spec;
+  spec.name = "fc_" + std::to_string(layer_counter_);
+  spec.kind = LayerKind::kFullyConnected;
+  spec.inputs = {in_id};
+  spec.out_shape = {1, 1, 1, out_features};
+  spec.out_quant = next_act_quant();
+  spec.params.input_zero_point = model_.tensor_quant(in_id).zero_point;
+  spec.params.output_zero_point = spec.out_quant.zero_point;
+  spec.params.requant = tensor::quantize_multiplier(
+      1.0 / (std::sqrt(static_cast<double>(in_elems)) * kWeightSigma));
+  spec.weights = std::move(w.weights);
+  spec.bias = std::move(w.bias);
+  spec.weight_vaddr = w.weight_vaddr;
+  spec.bias_vaddr = w.bias_vaddr;
+  return model_.add_layer(std::move(spec));
+}
+
+int ModelBuilder::add(int a_id, int b_id) {
+  if (!(model_.tensor_shape(a_id) == model_.tensor_shape(b_id))) {
+    throw std::invalid_argument("add: operand shape mismatch");
+  }
+  ++layer_counter_;
+  LayerSpec spec;
+  spec.name = "add_" + std::to_string(layer_counter_);
+  spec.kind = LayerKind::kAdd;
+  spec.inputs = {a_id, b_id};
+  spec.out_shape = model_.tensor_shape(a_id);
+  spec.out_quant = next_act_quant();
+  return model_.add_layer(std::move(spec));
+}
+
+Model ModelBuilder::take() { return std::move(model_); }
+
+}  // namespace daedvfs::graph

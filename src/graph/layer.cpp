@@ -1,0 +1,29 @@
+#include "graph/layer.hpp"
+
+namespace daedvfs::graph {
+
+int64_t LayerSpec::macs() const {
+  const auto& w = weights.shape();
+  const int64_t out_px = static_cast<int64_t>(out_shape.h) * out_shape.w;
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return out_px * out_shape.c * w.h * w.w * w.c;
+    case LayerKind::kDepthwise:
+      return out_px * out_shape.c * w.h * w.w;
+    case LayerKind::kPointwise:
+      return out_px * out_shape.c * w.c;
+    case LayerKind::kFullyConnected:
+      return static_cast<int64_t>(w.n) * w.c;
+    case LayerKind::kGlobalAvgPool:
+    case LayerKind::kAdd:
+      return 0;
+  }
+  return 0;
+}
+
+int64_t LayerSpec::param_bytes() const {
+  return weights.shape().elems() +
+         static_cast<int64_t>(bias.size()) * static_cast<int64_t>(sizeof(int32_t));
+}
+
+}  // namespace daedvfs::graph

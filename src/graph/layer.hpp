@@ -1,0 +1,64 @@
+// Layer specification: a node in the inference graph. Owns its (quantized)
+// weights and records its simulated flash placement so kernels can drive the
+// cache model deterministically.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "kernels/conv_params.hpp"
+#include "tensor/tensor.hpp"
+
+namespace daedvfs::graph {
+
+enum class LayerKind {
+  kConv2d,          ///< "rest" layer category of the paper (Fig. 6).
+  kDepthwise,       ///< DAE-eligible.
+  kPointwise,       ///< DAE-eligible.
+  kGlobalAvgPool,
+  kFullyConnected,
+  kAdd,             ///< Residual skip-connection addition.
+};
+
+[[nodiscard]] constexpr const char* to_string(LayerKind k) {
+  switch (k) {
+    case LayerKind::kConv2d: return "conv2d";
+    case LayerKind::kDepthwise: return "depthwise";
+    case LayerKind::kPointwise: return "pointwise";
+    case LayerKind::kGlobalAvgPool: return "avgpool";
+    case LayerKind::kFullyConnected: return "fc";
+    case LayerKind::kAdd: return "add";
+  }
+  return "?";
+}
+
+/// True for the layer types the paper applies DAE to (§III-A).
+[[nodiscard]] constexpr bool dae_eligible(LayerKind k) {
+  return k == LayerKind::kDepthwise || k == LayerKind::kPointwise;
+}
+
+struct LayerSpec {
+  int id = 0;              ///< Output tensor id (== position + 1; 0 = input).
+  std::string name;
+  LayerKind kind = LayerKind::kConv2d;
+  std::vector<int> inputs;  ///< Tensor ids consumed (1 or, for add, 2).
+
+  tensor::Shape4 out_shape;
+  tensor::QuantParams out_quant;
+  kernels::ConvParams params;  ///< Conv-like layers only.
+
+  tensor::QTensor weights;     ///< Empty for pool/add.
+  tensor::BiasVector bias;
+  uint64_t weight_vaddr = 0;   ///< Simulated flash address.
+  uint64_t bias_vaddr = 0;
+
+  [[nodiscard]] bool is_dae_eligible() const { return dae_eligible(kind); }
+
+  /// Multiply-accumulate count of this layer (0 for pool/add).
+  [[nodiscard]] int64_t macs() const;
+  /// Bytes of parameters (weights + bias).
+  [[nodiscard]] int64_t param_bytes() const;
+};
+
+}  // namespace daedvfs::graph

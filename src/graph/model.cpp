@@ -1,0 +1,46 @@
+#include "graph/model.hpp"
+
+#include <stdexcept>
+
+namespace daedvfs::graph {
+
+int Model::add_layer(LayerSpec spec) {
+  const int id = static_cast<int>(layers_.size()) + 1;
+  spec.id = id;
+  for (int in : spec.inputs) {
+    if (in < 0 || in >= id) {
+      throw std::invalid_argument("layer input id out of range: " +
+                                  std::to_string(in));
+    }
+  }
+  layers_.push_back(std::move(spec));
+  return id;
+}
+
+const tensor::Shape4& Model::tensor_shape(int id) const {
+  if (id == 0) return input_shape_;
+  return layers_.at(static_cast<std::size_t>(id) - 1).out_shape;
+}
+
+const tensor::QuantParams& Model::tensor_quant(int id) const {
+  if (id == 0) return input_quant_;
+  return layers_.at(static_cast<std::size_t>(id) - 1).out_quant;
+}
+
+ModelStats Model::stats() const {
+  ModelStats s;
+  s.num_layers = num_layers();
+  int64_t live = input_shape_.elems();
+  for (const auto& l : layers_) {
+    s.total_macs += l.macs();
+    s.param_bytes += l.param_bytes();
+    live += l.out_shape.elems();
+    if (l.kind == LayerKind::kDepthwise) ++s.num_depthwise;
+    if (l.kind == LayerKind::kPointwise) ++s.num_pointwise;
+    if (l.is_dae_eligible()) ++s.num_dae_eligible;
+  }
+  s.peak_activation_bytes = live;
+  return s;
+}
+
+}  // namespace daedvfs::graph

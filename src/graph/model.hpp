@@ -1,0 +1,63 @@
+// Inference-graph container: a topologically ordered list of layers plus the
+// model input description. Tensor id convention: id 0 is the model input;
+// layer at position i produces tensor id i+1.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/layer.hpp"
+
+namespace daedvfs::graph {
+
+/// Summary statistics for reporting.
+struct ModelStats {
+  int64_t total_macs = 0;
+  int64_t param_bytes = 0;
+  int64_t peak_activation_bytes = 0;  ///< Naive all-live upper bound.
+  int num_layers = 0;
+  int num_depthwise = 0;
+  int num_pointwise = 0;
+  int num_dae_eligible = 0;
+};
+
+class Model {
+ public:
+  Model(std::string name, tensor::Shape4 input_shape,
+        tensor::QuantParams input_quant)
+      : name_(std::move(name)),
+        input_shape_(input_shape),
+        input_quant_(input_quant) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const tensor::Shape4& input_shape() const {
+    return input_shape_;
+  }
+  [[nodiscard]] const tensor::QuantParams& input_quant() const {
+    return input_quant_;
+  }
+  [[nodiscard]] const std::vector<LayerSpec>& layers() const {
+    return layers_;
+  }
+  [[nodiscard]] std::vector<LayerSpec>& layers() { return layers_; }
+  [[nodiscard]] int num_layers() const {
+    return static_cast<int>(layers_.size());
+  }
+
+  /// Appends a layer; returns its output tensor id.
+  int add_layer(LayerSpec spec);
+
+  /// Shape/quant of tensor `id` (0 = input, i+1 = layer i output).
+  [[nodiscard]] const tensor::Shape4& tensor_shape(int id) const;
+  [[nodiscard]] const tensor::QuantParams& tensor_quant(int id) const;
+
+  [[nodiscard]] ModelStats stats() const;
+
+ private:
+  std::string name_;
+  tensor::Shape4 input_shape_;
+  tensor::QuantParams input_quant_;
+  std::vector<LayerSpec> layers_;
+};
+
+}  // namespace daedvfs::graph

@@ -1,0 +1,99 @@
+#include "graph/zoo.hpp"
+
+#include "graph/builder.hpp"
+
+namespace daedvfs::graph::zoo {
+namespace {
+
+/// Appends one inverted-residual block; returns the output tensor id.
+int inverted_residual(ModelBuilder& b, int in_id, int in_ch, int expand_ratio,
+                      int out_ch, int stride) {
+  int x = in_id;
+  if (expand_ratio != 1) {
+    x = b.pointwise(x, in_ch * expand_ratio, /*relu=*/true);
+  }
+  x = b.depthwise(x, 3, stride, /*relu=*/true);
+  x = b.pointwise(x, out_ch, /*relu=*/false);  // linear bottleneck
+  if (stride == 1 && in_ch == out_ch) {
+    x = b.add(x, in_id);
+  }
+  return x;
+}
+
+}  // namespace
+
+Model make_mobilenet_v2(const std::string& name, int resolution,
+                        double width_multiplier,
+                        const std::vector<InvertedResidualSpec>& blocks,
+                        int first_conv_channels, int last_channels,
+                        int num_classes, uint32_t seed) {
+  ModelBuilder b(name, resolution, resolution, 3, seed);
+  const int first = make_divisible(first_conv_channels * width_multiplier);
+  int x = b.conv2d(ModelBuilder::input(), first, 3, 2, /*relu=*/true);
+  int ch = first;
+  for (const auto& blk : blocks) {
+    const int out_ch = make_divisible(blk.channels * width_multiplier);
+    for (int r = 0; r < blk.repeats; ++r) {
+      const int stride = r == 0 ? blk.stride : 1;
+      x = inverted_residual(b, x, ch, blk.expand_ratio, out_ch, stride);
+      ch = out_ch;
+    }
+  }
+  const int last = make_divisible(last_channels * width_multiplier);
+  x = b.pointwise(x, last, /*relu=*/true);
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, num_classes);
+  return b.take();
+}
+
+Model make_vww(uint32_t seed) {
+  // Reduced MobileNetV2 backbone in the MCUNet VWW deployment class.
+  const std::vector<InvertedResidualSpec> blocks = {
+      {1, 8, 1, 1}, {4, 16, 2, 2}, {4, 24, 2, 2},
+      {4, 40, 3, 2}, {4, 48, 2, 1}, {4, 96, 2, 2},
+  };
+  return make_mobilenet_v2("VWW", 96, 1.0, blocks,
+                           /*first_conv_channels=*/16,
+                           /*last_channels=*/160, /*num_classes=*/2, seed);
+}
+
+Model make_person_detection(uint32_t seed) {
+  // MobileNetV1-style depthwise-separable chain at 0.5 width, 128x128 input
+  // (the resolution/width class of the MCUNet person-detection deployment).
+  ModelBuilder b("PD", 128, 128, 3, seed);
+  int x = b.conv2d(ModelBuilder::input(), 16, 3, 2, /*relu=*/true);
+  const struct {
+    int out_ch;
+    int stride;
+  } stages[] = {{16, 1}, {32, 2}, {32, 1}, {64, 2},  {64, 1},
+                {128, 2}, {128, 1}, {128, 1}, {128, 1}, {128, 1},
+                {128, 1}, {256, 2}, {256, 1}};
+  for (const auto& st : stages) {
+    x = b.depthwise(x, 3, st.stride, /*relu=*/true);
+    x = b.pointwise(x, make_divisible(st.out_ch * 0.5), /*relu=*/true);
+  }
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, 2);
+  return b.take();
+}
+
+Model make_mbv2(uint32_t seed) {
+  // Standard MobileNetV2 topology at width 0.35, 96x96 input.
+  const std::vector<InvertedResidualSpec> blocks = {
+      {1, 16, 1, 1}, {6, 24, 2, 2},  {6, 32, 3, 2}, {6, 64, 4, 2},
+      {6, 96, 3, 1}, {6, 160, 3, 2}, {6, 320, 1, 1},
+  };
+  return make_mobilenet_v2("MBV2", 96, 0.35, blocks,
+                           /*first_conv_channels=*/32,
+                           /*last_channels=*/1280, /*num_classes=*/10, seed);
+}
+
+std::vector<Model> make_evaluation_suite() {
+  std::vector<Model> models;
+  models.push_back(make_vww());
+  models.push_back(make_person_detection());
+  models.push_back(make_mbv2());
+  return models;
+}
+
+}  // namespace daedvfs::graph::zoo

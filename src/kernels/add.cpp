@@ -1,0 +1,59 @@
+#include "kernels/add.hpp"
+
+#include <stdexcept>
+
+namespace daedvfs::kernels {
+
+AddArgs make_add_args(TensorRef a, TensorRef b, TensorRef out) {
+  AddArgs args;
+  args.mult_a = tensor::quantize_multiplier(a.view.quant.scale /
+                                            out.view.quant.scale);
+  args.mult_b = tensor::quantize_multiplier(b.view.quant.scale /
+                                            out.view.quant.scale);
+  args.zp_a = a.view.quant.zero_point;
+  args.zp_b = b.view.quant.zero_point;
+  args.zp_out = out.view.quant.zero_point;
+  args.input_a = a;
+  args.input_b = b;
+  args.output = out;
+  return args;
+}
+
+void elementwise_add(const AddArgs& a, ExecContext& ctx) {
+  if (!(a.input_a.view.shape == a.input_b.view.shape) ||
+      !(a.input_a.view.shape == a.output.view.shape)) {
+    throw std::invalid_argument("elementwise_add: shape mismatch");
+  }
+  const auto& cost = ctx.cost();
+  ctx.compute(cost.call_overhead_cycles);
+
+  const int64_t n = a.input_a.view.shape.elems();
+  const int64_t row_bytes = a.input_a.view.shape.row_stride();
+  const int rows = a.input_a.view.shape.h;
+  for (int y = 0; y < rows; ++y) {
+    const uint64_t off = static_cast<uint64_t>(y) * row_bytes;
+    ctx.read(a.input_a.mem.offset(off), static_cast<uint64_t>(row_bytes),
+             static_cast<double>(row_bytes) / 4.0);
+    ctx.read(a.input_b.mem.offset(off), static_cast<uint64_t>(row_bytes),
+             static_cast<double>(row_bytes) / 4.0);
+    ctx.compute(static_cast<double>(row_bytes) *
+                (2.0 * cost.cycles_per_requant + 1.0));
+    ctx.write(a.output.mem.offset(off), static_cast<uint64_t>(row_bytes),
+              static_cast<double>(row_bytes) / 4.0);
+  }
+
+  if (ctx.do_math()) {
+    for (int64_t i = 0; i < n; ++i) {
+      const int32_t qa = a.input_a.view.data[i];
+      const int32_t qb = a.input_b.view.data[i];
+      const int32_t ra =
+          tensor::multiply_by_quantized_multiplier(qa - a.zp_a, a.mult_a);
+      const int32_t rb =
+          tensor::multiply_by_quantized_multiplier(qb - a.zp_b, a.mult_b);
+      a.output.view.data[i] =
+          tensor::clamp_to_int8(ra + rb + a.zp_out, a.act_min, a.act_max);
+    }
+  }
+}
+
+}  // namespace daedvfs::kernels

@@ -1,0 +1,34 @@
+// Residual (element-wise) int8 addition for inverted-residual skip
+// connections. Each operand is rescaled into the output domain with its own
+// fixed-point multiplier, then summed and clamped:
+//
+//   out = clamp( (q1 - zp1)*m1 + (q2 - zp2)*m2 + zp_out )
+//
+// where m_i = quantize_multiplier(scale_i / scale_out).
+#pragma once
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct AddArgs {
+  TensorRef input_a;
+  TensorRef input_b;
+  TensorRef output;
+  tensor::QuantizedMultiplier mult_a;  ///< scale_a / scale_out.
+  tensor::QuantizedMultiplier mult_b;  ///< scale_b / scale_out.
+  int32_t zp_a = 0;
+  int32_t zp_b = 0;
+  int32_t zp_out = 0;
+  int32_t act_min = -128;
+  int32_t act_max = 127;
+};
+
+void elementwise_add(const AddArgs& args, ExecContext& ctx);
+
+/// Builds AddArgs multipliers/zero-points from the three tensors' quant
+/// params (views must outlive the result).
+[[nodiscard]] AddArgs make_add_args(TensorRef a, TensorRef b, TensorRef out);
+
+}  // namespace daedvfs::kernels

@@ -1,0 +1,107 @@
+#include "kernels/conv2d.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace daedvfs::kernels {
+namespace {
+
+struct Geom {
+  int h, w, cin, kh, kw, cout, oh, ow, stride, pad;
+};
+
+Geom make_geom(const Conv2dArgs& a) {
+  Geom g{};
+  g.h = a.input.view.shape.h;
+  g.w = a.input.view.shape.w;
+  g.cin = a.input.view.shape.c;
+  g.kh = a.weights.view.shape.h;
+  g.kw = a.weights.view.shape.w;
+  g.cout = a.weights.view.shape.n;
+  g.oh = a.output.view.shape.h;
+  g.ow = a.output.view.shape.w;
+  g.stride = a.params.stride;
+  g.pad = a.params.pad;
+  if (a.weights.view.shape.c != g.cin ||
+      a.output.view.shape.c != g.cout) {
+    throw std::invalid_argument("conv2d: channel mismatch");
+  }
+  const int expect_oh = (g.h + 2 * g.pad - g.kh) / g.stride + 1;
+  const int expect_ow = (g.w + 2 * g.pad - g.kw) / g.stride + 1;
+  if (expect_oh != g.oh || expect_ow != g.ow) {
+    throw std::invalid_argument("conv2d: output shape mismatch");
+  }
+  return g;
+}
+
+/// Weight element (oc, ky, kx, ic).
+inline int8_t wat(const TensorRef& w, const Geom& g, int oc, int ky, int kx,
+                  int ic) {
+  const int64_t idx =
+      ((static_cast<int64_t>(oc) * g.kh + ky) * g.kw + kx) * g.cin + ic;
+  return w.view.data[idx];
+}
+
+}  // namespace
+
+void conv2d(const Conv2dArgs& a, ExecContext& ctx) {
+  const Geom g = make_geom(a);
+  const auto& cost = ctx.cost();
+  ctx.compute(cost.call_overhead_cycles);
+
+  const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.cin;
+  const int64_t out_row_bytes = static_cast<int64_t>(g.ow) * g.cout;
+  const uint64_t weight_bytes =
+      static_cast<uint64_t>(g.cout) * g.kh * g.kw * g.cin;
+
+  for (int oy = 0; oy < g.oh; ++oy) {
+    const int iy0 = std::max(0, oy * g.stride - g.pad);
+    const int iy1 = std::min(g.h - 1, oy * g.stride - g.pad + g.kh - 1);
+    if (iy1 >= iy0) {
+      const double elems =
+          static_cast<double>(g.ow) * g.kh * g.kw * g.cin;
+      ctx.read(a.input.mem.offset(static_cast<uint64_t>(iy0) * in_row_bytes),
+               static_cast<uint64_t>(iy1 - iy0 + 1) * in_row_bytes,
+               elems / 4.0);
+    }
+    // Weight matrix streamed once per output row through the cache; early
+    // convs have small Cin so the matrix is cache-resident anyway.
+    ctx.read(a.weights.mem, weight_bytes,
+             static_cast<double>(weight_bytes) / 4.0);
+    if (a.bias != nullptr) {
+      ctx.read(a.bias_mem, static_cast<uint64_t>(g.cout) * 4,
+               static_cast<double>(g.cout));
+    }
+    ctx.compute(static_cast<double>(g.ow) * g.cout *
+                    (g.kh * g.kw * g.cin * cost.cycles_per_mac +
+                     cost.cycles_per_requant) +
+                g.ow * cost.loop_overhead_cycles);
+    ctx.write(a.output.mem.offset(static_cast<uint64_t>(oy) * out_row_bytes),
+              static_cast<uint64_t>(out_row_bytes),
+              static_cast<double>(out_row_bytes) / 4.0);
+
+    if (ctx.do_math()) {
+      for (int ox = 0; ox < g.ow; ++ox) {
+        for (int oc = 0; oc < g.cout; ++oc) {
+          int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
+          for (int ky = 0; ky < g.kh; ++ky) {
+            const int iy = oy * g.stride - g.pad + ky;
+            if (iy < 0 || iy >= g.h) continue;
+            for (int kx = 0; kx < g.kw; ++kx) {
+              const int ix = ox * g.stride - g.pad + kx;
+              if (ix < 0 || ix >= g.w) continue;
+              for (int ic = 0; ic < g.cin; ++ic) {
+                acc += (static_cast<int32_t>(a.input.view.at(iy, ix, ic)) -
+                        a.params.input_zero_point) *
+                       static_cast<int32_t>(wat(a.weights, g, oc, ky, kx, ic));
+              }
+            }
+          }
+          a.output.view.at(oy, ox, oc) = requantize(acc, a.params);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace daedvfs::kernels

@@ -1,0 +1,26 @@
+// Standard KxK convolution (int8). Used for the "rest" layer category of the
+// paper (first full conv of each network). No DAE variant — the paper applies
+// DAE only to depthwise and pointwise layers, which make up >80% of layers in
+// the evaluated models; "rest" layers still participate in per-layer DVFS.
+//
+// Layouts: input 1xHxWxCin, output 1xOHxOWxCout; weights
+// Cout x KH x KW x Cin (Shape4{n=Cout, h=KH, w=KW, c=Cin}).
+#pragma once
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct Conv2dArgs {
+  TensorRef input;
+  TensorRef weights;
+  const int32_t* bias = nullptr;
+  sim::MemRef bias_mem{};
+  TensorRef output;
+  ConvParams params;
+};
+
+void conv2d(const Conv2dArgs& args, ExecContext& ctx);
+
+}  // namespace daedvfs::kernels

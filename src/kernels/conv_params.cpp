@@ -1,0 +1,3 @@
+#include "kernels/conv_params.hpp"
+
+// Header-only today; TU anchors the target.

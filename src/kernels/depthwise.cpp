@@ -1,0 +1,200 @@
+#include "kernels/depthwise.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace daedvfs::kernels {
+namespace {
+
+struct Geom {
+  int h, w, c, kh, kw, oh, ow, stride, pad;
+};
+
+Geom make_geom(const DepthwiseArgs& a) {
+  Geom g{};
+  g.h = a.input.view.shape.h;
+  g.w = a.input.view.shape.w;
+  g.c = a.input.view.shape.c;
+  g.kh = a.weights.view.shape.h;
+  g.kw = a.weights.view.shape.w;
+  g.oh = a.output.view.shape.h;
+  g.ow = a.output.view.shape.w;
+  g.stride = a.params.stride;
+  g.pad = a.params.pad;
+  if (a.weights.view.shape.c != g.c || a.output.view.shape.c != g.c) {
+    throw std::invalid_argument("depthwise: channel mismatch");
+  }
+  const int expect_oh = (g.h + 2 * g.pad - g.kh) / g.stride + 1;
+  const int expect_ow = (g.w + 2 * g.pad - g.kw) / g.stride + 1;
+  if (expect_oh != g.oh || expect_ow != g.ow) {
+    throw std::invalid_argument("depthwise: output shape mismatch");
+  }
+  return g;
+}
+
+/// Convolves channel `ch` for output row `oy`, reading input values through
+/// `at(iy, ix)`. Kept as a template so both the NHWC path and the DAE-buffer
+/// path inline the accessor.
+template <class At>
+void convolve_row_math(const DepthwiseArgs& a, const Geom& g, int ch, int oy,
+                       At at) {
+  const auto& wv = a.weights.view;
+  for (int ox = 0; ox < g.ow; ++ox) {
+    int32_t acc = a.bias != nullptr ? a.bias[ch] : 0;
+    for (int ky = 0; ky < g.kh; ++ky) {
+      const int iy = oy * g.stride - g.pad + ky;
+      if (iy < 0 || iy >= g.h) continue;
+      for (int kx = 0; kx < g.kw; ++kx) {
+        const int ix = ox * g.stride - g.pad + kx;
+        if (ix < 0 || ix >= g.w) continue;
+        acc += (static_cast<int32_t>(at(iy, ix)) - a.params.input_zero_point) *
+               static_cast<int32_t>(wv.at(ky, kx, ch));
+      }
+    }
+    a.output.view.at(oy, ox, ch) = requantize(acc, a.params);
+  }
+}
+
+/// Accounts one output row of the *baseline* path for channel `ch`:
+/// channel-strided input-row reads (one LDRB per element, register reuse
+/// across the kernel window), strided-fed MACs, strided output stores.
+void account_row_baseline(const DepthwiseArgs& a, const Geom& g,
+                          ExecContext& ctx, int ch, int oy) {
+  const int iy0 = std::max(0, oy * g.stride - g.pad);
+  const int iy1 = std::min(g.h - 1, oy * g.stride - g.pad + g.kh - 1);
+  const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.c;
+  for (int iy = iy0; iy <= iy1; ++iy) {
+    ctx.read_strided(
+        a.input.mem.offset(static_cast<uint64_t>(iy) * in_row_bytes + ch),
+        static_cast<uint64_t>(g.c), static_cast<uint32_t>(g.w));
+  }
+  const auto& cost = ctx.cost();
+  ctx.compute(g.ow *
+              (g.kh * g.kw * cost.cycles_per_mac * cost.strided_mac_factor +
+               cost.cycles_per_requant + cost.loop_overhead_cycles));
+  ctx.write_strided(
+      a.output.mem.offset(static_cast<uint64_t>(oy) * g.ow * g.c + ch),
+      static_cast<uint64_t>(g.c), static_cast<uint32_t>(g.ow));
+}
+
+/// Accounts one output row of the *DAE compute segment* for one buffered
+/// plane: contiguous word reads from the scratch plane, SIMD-fed MACs,
+/// strided output stores (output stays NHWC).
+void account_row_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
+                     int ch, int oy, const sim::MemRef& plane_ref) {
+  const int iy0 = std::max(0, oy * g.stride - g.pad);
+  const int iy1 = std::min(g.h - 1, oy * g.stride - g.pad + g.kh - 1);
+  const double elems = static_cast<double>(g.ow) * g.kh * g.kw;
+  if (iy1 >= iy0) {
+    // Contiguous plane rows: word loads feed four operands each.
+    ctx.read(plane_ref.offset(static_cast<uint64_t>(iy0) * g.w),
+             static_cast<uint64_t>(iy1 - iy0 + 1) * g.w, elems / 4.0);
+  }
+  const auto& cost = ctx.cost();
+  ctx.compute(g.ow * (g.kh * g.kw * cost.cycles_per_mac +
+                      cost.cycles_per_requant + cost.loop_overhead_cycles));
+  ctx.write_strided(
+      a.output.mem.offset(static_cast<uint64_t>(oy) * g.ow * g.c + ch),
+      static_cast<uint64_t>(g.c), static_cast<uint32_t>(g.ow));
+}
+
+void account_weights(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
+  // Per-channel filter: KH*KW strided byte loads spanning the whole (small)
+  // weight tensor. Bias: one word.
+  ctx.read(a.weights.mem, static_cast<uint64_t>(g.kh) * g.kw * g.c,
+           static_cast<double>(g.kh) * g.kw);
+  if (a.bias != nullptr) ctx.read(a.bias_mem, 4, 1.0);
+}
+
+void run_baseline(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
+  for (int ch = 0; ch < g.c; ++ch) {
+    account_weights(a, g, ctx);
+    for (int oy = 0; oy < g.oh; ++oy) {
+      account_row_baseline(a, g, ctx, ch, oy);
+      if (ctx.do_math()) {
+        const auto& in = a.input.view;
+        convolve_row_math(a, g, ch, oy,
+                          [&](int iy, int ix) { return in.at(iy, ix, ch); });
+      }
+    }
+  }
+}
+
+void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
+             int granularity) {
+  const int64_t plane_bytes = static_cast<int64_t>(g.h) * g.w;
+  const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.c;
+  std::vector<int8_t>& buf = ctx.scratch_host(
+      static_cast<std::size_t>(granularity) * plane_bytes);
+
+  for (int c0 = 0; c0 < g.c; c0 += granularity) {
+    const int gcur = std::min(granularity, g.c - c0);
+
+    // ---- Memory-bound segment: gather gcur channel planes (Listing 1:5).
+    // Adjacent channels are contiguous in NHWC, so the gather loads the
+    // whole channel group per pixel (one word load covers four channels)
+    // and register-transposes into per-channel plane rows (word stores).
+    ctx.memory_segment();
+    for (int y = 0; y < g.h; ++y) {
+      ctx.read_strided(
+          a.input.mem.offset(static_cast<uint64_t>(y) * in_row_bytes + c0),
+          static_cast<uint64_t>(g.c), static_cast<uint32_t>(g.w),
+          /*elem_bytes=*/static_cast<uint64_t>(gcur),
+          /*issue_words=*/static_cast<double>(g.w) *
+              ((gcur + 3) / 4));
+      for (int gi = 0; gi < gcur; ++gi) {
+        ctx.write(ctx.scratch_mem.offset(
+                      static_cast<uint64_t>(gi) * plane_bytes +
+                      static_cast<uint64_t>(y) * g.w),
+                  static_cast<uint64_t>(g.w),
+                  static_cast<double>(g.w) / 4.0);
+      }
+      if (ctx.do_math()) {
+        const auto& in = a.input.view;
+        for (int gi = 0; gi < gcur; ++gi) {
+          int8_t* dst = buf.data() + gi * plane_bytes + y * g.w;
+          for (int x = 0; x < g.w; ++x) dst[x] = in.at(y, x, c0 + gi);
+        }
+      }
+    }
+
+    // ---- Compute-bound segment: convolve each buffered plane (Listing 1:9).
+    ctx.compute_segment();
+    for (int gi = 0; gi < gcur; ++gi) {
+      const int ch = c0 + gi;
+      account_weights(a, g, ctx);
+      const sim::MemRef plane_ref =
+          ctx.scratch_mem.offset(static_cast<uint64_t>(gi) * plane_bytes);
+      const int8_t* plane = buf.data() + gi * plane_bytes;
+      for (int oy = 0; oy < g.oh; ++oy) {
+        account_row_dae(a, g, ctx, ch, oy, plane_ref);
+        if (ctx.do_math()) {
+          convolve_row_math(a, g, ch, oy, [&](int iy, int ix) {
+            return plane[iy * g.w + ix];
+          });
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
+                                    int granularity) {
+  if (granularity <= 0) return 0;
+  return static_cast<std::size_t>(granularity) * args.input.view.shape.h *
+         args.input.view.shape.w;
+}
+
+void depthwise_conv(const DepthwiseArgs& args, ExecContext& ctx) {
+  const Geom g = make_geom(args);
+  ctx.compute(ctx.cost().call_overhead_cycles);
+  if (args.granularity <= 0) {
+    run_baseline(args, g, ctx);
+  } else {
+    run_dae(args, g, ctx, args.granularity);
+  }
+}
+
+}  // namespace daedvfs::kernels

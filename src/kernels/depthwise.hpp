@@ -1,0 +1,41 @@
+// Depthwise 2-D convolution (int8), in two flavours:
+//
+//  * granularity == 0  — baseline per-channel execution, as CMSIS-NN and
+//    TinyEngine implement it: loads and MACs interleaved channel by channel.
+//  * granularity  > 0  — the paper's Decoupled Access-Execute form
+//    (Listing 1): for each group of `g` channels, a *memory-bound segment*
+//    gathers the channel planes into a contiguous scratch buffer, then a
+//    *compute-bound segment* convolves each buffered plane. The ExecContext's
+//    DvfsPolicy is invoked at each segment boundary (LFO for memory, HFO for
+//    compute).
+//
+// Both paths produce bit-identical outputs (the paper's "DAE-enabled CNNs
+// entail no accuracy drops"); tests enforce this for every granularity.
+//
+// Tensor layouts: input/output NHWC (n=1); weights 1 x KH x KW x C (one
+// filter per channel); bias int32[C] with TFLM scale convention.
+#pragma once
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct DepthwiseArgs {
+  TensorRef input;
+  TensorRef weights;
+  const int32_t* bias = nullptr;  ///< C entries; nullptr = no bias.
+  sim::MemRef bias_mem{};
+  TensorRef output;
+  ConvParams params;
+  /// DAE decoupling granularity g (channels per group); 0 disables DAE.
+  int granularity = 0;
+};
+
+void depthwise_conv(const DepthwiseArgs& args, ExecContext& ctx);
+
+/// Scratch bytes a DAE depthwise call needs for granularity g.
+[[nodiscard]] std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
+                                                  int granularity);
+
+}  // namespace daedvfs::kernels

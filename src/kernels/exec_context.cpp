@@ -1,0 +1,3 @@
+#include "kernels/exec_context.hpp"
+
+// Header-only today; TU anchors vtables for the DvfsPolicy hierarchy.

@@ -1,0 +1,21 @@
+// Fully-connected (dense) layer, int8: out[o] = requant(sum_i (x[i]-zp)*W[o][i]
+// + bias[o]). Weights Shape4{n=out, h=1, w=1, c=in}, row-major per output.
+#pragma once
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct FullyConnectedArgs {
+  TensorRef input;    ///< Flattened: shape 1x1x1xIn.
+  TensorRef weights;  ///< Shape {Out, 1, 1, In}.
+  const int32_t* bias = nullptr;
+  sim::MemRef bias_mem{};
+  TensorRef output;   ///< Shape 1x1x1xOut.
+  ConvParams params;  ///< stride/pad unused.
+};
+
+void fully_connected(const FullyConnectedArgs& args, ExecContext& ctx);
+
+}  // namespace daedvfs::kernels

@@ -1,0 +1,36 @@
+// Pointwise (1x1) convolution (int8), baseline and DAE variants.
+//
+//  * granularity == 0 — baseline per-column execution as in CMSIS-NN and
+//    TinyEngine: for each spatial position ("column" = one element per input
+//    channel), load the column and immediately compute all output channels.
+//  * granularity  > 0 — the paper's DAE form: a memory-bound segment buffers
+//    `g` columns, then a compute-bound segment runs the channel mixing for
+//    each buffered column. DVFS hooks fire at the segment boundaries.
+//
+// Layouts: input 1xHxWxCin, output 1xHxWxCout; weights Cout x 1 x 1 x Cin
+// (Shape4{n=Cout, h=1, w=1, c=Cin}), row `oc` contiguous — the layout
+// CMSIS-NN uses for 1x1 kernels.
+#pragma once
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct PointwiseArgs {
+  TensorRef input;
+  TensorRef weights;  ///< Shape {Cout, 1, 1, Cin}.
+  const int32_t* bias = nullptr;
+  sim::MemRef bias_mem{};
+  TensorRef output;
+  ConvParams params;  ///< stride/pad must be 1/0.
+  int granularity = 0;  ///< Columns buffered per DAE group; 0 = baseline.
+};
+
+void pointwise_conv(const PointwiseArgs& args, ExecContext& ctx);
+
+/// Scratch bytes a DAE pointwise call needs for granularity g.
+[[nodiscard]] std::size_t pointwise_scratch_bytes(const PointwiseArgs& args,
+                                                  int granularity);
+
+}  // namespace daedvfs::kernels

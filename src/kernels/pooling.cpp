@@ -1,0 +1,48 @@
+#include "kernels/pooling.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/quant.hpp"
+
+namespace daedvfs::kernels {
+
+void global_avg_pool(const GlobalAvgPoolArgs& a, ExecContext& ctx) {
+  const auto& in = a.input.view.shape;
+  const int64_t count = static_cast<int64_t>(in.h) * in.w;
+  if (a.output.view.shape.c != in.c || count == 0) {
+    throw std::invalid_argument("global_avg_pool: shape mismatch");
+  }
+  const auto& cost = ctx.cost();
+  ctx.compute(cost.call_overhead_cycles);
+
+  const uint64_t in_bytes = static_cast<uint64_t>(in.elems());
+  ctx.read(a.input.mem, in_bytes, static_cast<double>(in_bytes) / 4.0);
+  // One add per element + one division/round/store per channel.
+  ctx.compute(static_cast<double>(in_bytes) * 0.5 +
+              in.c * (8.0 + cost.cycles_per_requant));
+  ctx.write(a.output.mem, static_cast<uint64_t>(in.c),
+            static_cast<double>(in.c) / 4.0);
+
+  if (ctx.do_math()) {
+    std::vector<int32_t> acc(static_cast<std::size_t>(in.c), 0);
+    for (int y = 0; y < in.h; ++y) {
+      for (int x = 0; x < in.w; ++x) {
+        for (int c = 0; c < in.c; ++c) {
+          acc[static_cast<std::size_t>(c)] += a.input.view.at(y, x, c);
+        }
+      }
+    }
+    for (int c = 0; c < in.c; ++c) {
+      const int32_t s = acc[static_cast<std::size_t>(c)];
+      // Round-half-away-from-zero integer mean.
+      const int32_t half = static_cast<int32_t>(count) / 2;
+      const int32_t mean =
+          s >= 0 ? (s + half) / static_cast<int32_t>(count)
+                 : -((-s + half) / static_cast<int32_t>(count));
+      a.output.view.data[c] = tensor::clamp_to_int8(mean);
+    }
+  }
+}
+
+}  // namespace daedvfs::kernels

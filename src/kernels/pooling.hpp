@@ -1,0 +1,17 @@
+// Global average pooling (int8), as used ahead of the classifier in the
+// MobileNet-family models. TFLM semantics: output scale/zero-point equal the
+// input's; each channel is the rounded mean of its plane.
+#pragma once
+
+#include "kernels/exec_context.hpp"
+
+namespace daedvfs::kernels {
+
+struct GlobalAvgPoolArgs {
+  TensorRef input;   ///< 1xHxWxC.
+  TensorRef output;  ///< 1x1x1xC.
+};
+
+void global_avg_pool(const GlobalAvgPoolArgs& args, ExecContext& ctx);
+
+}  // namespace daedvfs::kernels

@@ -1,0 +1,99 @@
+#include "kernels/reference.hpp"
+
+namespace daedvfs::kernels::reference {
+namespace {
+
+int32_t in_val(const TensorRef& t, int y, int x, int c, int32_t zp) {
+  const auto& s = t.view.shape;
+  if (y < 0 || y >= s.h || x < 0 || x >= s.w) return 0;  // zero padding
+  return static_cast<int32_t>(t.view.at(y, x, c)) - zp;
+}
+
+}  // namespace
+
+void depthwise_conv(const DepthwiseArgs& a) {
+  const auto& in = a.input.view.shape;
+  const auto& out = a.output.view.shape;
+  const auto& w = a.weights.view.shape;
+  for (int ch = 0; ch < out.c; ++ch) {
+    for (int oy = 0; oy < out.h; ++oy) {
+      for (int ox = 0; ox < out.w; ++ox) {
+        int32_t acc = a.bias != nullptr ? a.bias[ch] : 0;
+        for (int ky = 0; ky < w.h; ++ky) {
+          for (int kx = 0; kx < w.w; ++kx) {
+            const int iy = oy * a.params.stride - a.params.pad + ky;
+            const int ix = ox * a.params.stride - a.params.pad + kx;
+            if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) continue;
+            acc += in_val(a.input, iy, ix, ch, a.params.input_zero_point) *
+                   static_cast<int32_t>(a.weights.view.at(ky, kx, ch));
+          }
+        }
+        a.output.view.at(oy, ox, ch) = requantize(acc, a.params);
+      }
+    }
+  }
+}
+
+void pointwise_conv(const PointwiseArgs& a) {
+  const auto& in = a.input.view.shape;
+  const int cout = a.output.view.shape.c;
+  for (int y = 0; y < in.h; ++y) {
+    for (int x = 0; x < in.w; ++x) {
+      for (int oc = 0; oc < cout; ++oc) {
+        int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
+        for (int ic = 0; ic < in.c; ++ic) {
+          acc += in_val(a.input, y, x, ic, a.params.input_zero_point) *
+                 static_cast<int32_t>(
+                     a.weights.view.data[static_cast<int64_t>(oc) * in.c +
+                                         ic]);
+        }
+        a.output.view.at(y, x, oc) = requantize(acc, a.params);
+      }
+    }
+  }
+}
+
+void conv2d(const Conv2dArgs& a) {
+  const auto& in = a.input.view.shape;
+  const auto& out = a.output.view.shape;
+  const auto& w = a.weights.view.shape;  // {Cout, KH, KW, Cin}
+  for (int oy = 0; oy < out.h; ++oy) {
+    for (int ox = 0; ox < out.w; ++ox) {
+      for (int oc = 0; oc < out.c; ++oc) {
+        int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
+        for (int ky = 0; ky < w.h; ++ky) {
+          for (int kx = 0; kx < w.w; ++kx) {
+            for (int ic = 0; ic < w.c; ++ic) {
+              const int iy = oy * a.params.stride - a.params.pad + ky;
+              const int ix = ox * a.params.stride - a.params.pad + kx;
+              if (iy < 0 || iy >= in.h || ix < 0 || ix >= in.w) continue;
+              const int64_t widx =
+                  ((static_cast<int64_t>(oc) * w.h + ky) * w.w + kx) * w.c +
+                  ic;
+              acc +=
+                  in_val(a.input, iy, ix, ic, a.params.input_zero_point) *
+                  static_cast<int32_t>(a.weights.view.data[widx]);
+            }
+          }
+        }
+        a.output.view.at(oy, ox, oc) = requantize(acc, a.params);
+      }
+    }
+  }
+}
+
+void fully_connected(const FullyConnectedArgs& a) {
+  const int64_t in = a.input.view.shape.elems();
+  const int64_t out = a.output.view.shape.elems();
+  for (int64_t o = 0; o < out; ++o) {
+    int32_t acc = a.bias != nullptr ? a.bias[o] : 0;
+    for (int64_t i = 0; i < in; ++i) {
+      acc += (static_cast<int32_t>(a.input.view.data[i]) -
+              a.params.input_zero_point) *
+             static_cast<int32_t>(a.weights.view.data[o * in + i]);
+    }
+    a.output.view.data[o] = requantize(acc, a.params);
+  }
+}
+
+}  // namespace daedvfs::kernels::reference

@@ -1,0 +1,26 @@
+// Naive reference implementations used exclusively as *test oracles*. They
+// re-derive the quantized semantics with the simplest possible loops and no
+// simulator coupling, so a bug in the production kernels cannot hide in a
+// shared helper.
+#pragma once
+
+#include "kernels/conv2d.hpp"
+#include "kernels/depthwise.hpp"
+#include "kernels/fully_connected.hpp"
+#include "kernels/pointwise.hpp"
+
+namespace daedvfs::kernels::reference {
+
+/// Depthwise convolution oracle; writes args.output.
+void depthwise_conv(const DepthwiseArgs& args);
+
+/// Pointwise convolution oracle.
+void pointwise_conv(const PointwiseArgs& args);
+
+/// Standard convolution oracle.
+void conv2d(const Conv2dArgs& args);
+
+/// Fully-connected oracle.
+void fully_connected(const FullyConnectedArgs& args);
+
+}  // namespace daedvfs::kernels::reference

@@ -1,0 +1,189 @@
+#include "mckp/mckp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace daedvfs::mckp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Solution finalize(const Instance& inst, std::vector<int> chosen) {
+  Solution s;
+  s.chosen = std::move(chosen);
+  for (std::size_t k = 0; k < inst.classes.size(); ++k) {
+    const Item& it =
+        inst.classes[k][static_cast<std::size_t>(s.chosen[k])];
+    s.total_weight += it.weight;
+    s.total_value += it.value;
+  }
+  s.feasible = s.total_weight <= inst.capacity + 1e-9;
+  return s;
+}
+
+}  // namespace
+
+Solution solve_dp(const Instance& inst, int max_ticks) {
+  const std::size_t n = inst.classes.size();
+  if (n == 0) return {.feasible = true};
+  for (const auto& cls : inst.classes) {
+    if (cls.empty()) return {};  // infeasible: a class with no items
+  }
+
+  // Tick size: capacity / max_ticks. A zero-capacity instance has a single
+  // budget cell: only zero-weight items can be selected.
+  const int ticks = std::max(1, max_ticks);
+  const double tick = inst.capacity > 0.0
+                          ? inst.capacity / static_cast<double>(ticks)
+                          : 1.0;
+  const int width = inst.capacity > 0.0 ? ticks + 1 : 1;
+  auto to_ticks = [&](double w) {
+    return static_cast<int64_t>(std::ceil(w / tick - 1e-12));
+  };
+
+  // dp[w] = min value achievable using classes 0..k with total weight <= w.
+  std::vector<double> dp(static_cast<std::size_t>(width), kInf);
+  std::vector<double> next(static_cast<std::size_t>(width), kInf);
+  // parent[k][w] = item chosen for class k at budget w (int16 to keep the
+  // table small: n * width * 2 bytes).
+  std::vector<std::vector<int16_t>> parent(
+      n, std::vector<int16_t>(static_cast<std::size_t>(width), -1));
+
+  // Class 0 seeds the table.
+  for (int w = 0; w < width; ++w) dp[static_cast<std::size_t>(w)] = kInf;
+  for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
+    const int64_t wt = to_ticks(inst.classes[0][j].weight);
+    if (wt >= width) continue;
+    for (int w = static_cast<int>(wt); w < width; ++w) {
+      if (inst.classes[0][j].value < dp[static_cast<std::size_t>(w)]) {
+        dp[static_cast<std::size_t>(w)] = inst.classes[0][j].value;
+        parent[0][static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+      }
+    }
+  }
+
+  for (std::size_t k = 1; k < n; ++k) {
+    std::fill(next.begin(), next.end(), kInf);
+    auto& par = parent[k];
+    for (std::size_t j = 0; j < inst.classes[k].size(); ++j) {
+      const Item& it = inst.classes[k][j];
+      const int64_t wt = to_ticks(it.weight);
+      if (wt >= width) continue;
+      for (int w = static_cast<int>(wt); w < width; ++w) {
+        const double base =
+            dp[static_cast<std::size_t>(w - static_cast<int>(wt))];
+        if (base == kInf) continue;
+        const double v = base + it.value;
+        if (v < next[static_cast<std::size_t>(w)]) {
+          next[static_cast<std::size_t>(w)] = v;
+          par[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+        }
+      }
+    }
+    dp.swap(next);
+  }
+
+  if (dp[static_cast<std::size_t>(width - 1)] == kInf) return {};
+
+  // Backtrack. dp[w] is monotone non-increasing in w, so the optimum sits
+  // at the full budget.
+  std::vector<int> chosen(n, -1);
+  int w = width - 1;
+  for (std::size_t k = n; k-- > 0;) {
+    // Find the item recorded for the smallest budget >= current consumption.
+    int16_t j = parent[k][static_cast<std::size_t>(w)];
+    // parent may be -1 at w if dp[w] was inherited; scan down to the actual
+    // recording point (values only improve at recorded cells).
+    int ww = w;
+    while (j == -1 && ww > 0) {
+      --ww;
+      j = parent[k][static_cast<std::size_t>(ww)];
+    }
+    if (j == -1) return {};
+    chosen[k] = j;
+    w = ww - static_cast<int>(to_ticks(inst.classes[k][static_cast<std::size_t>(j)].weight));
+  }
+  return finalize(inst, std::move(chosen));
+}
+
+Solution solve_brute_force(const Instance& inst) {
+  const std::size_t n = inst.classes.size();
+  Solution best;
+  best.total_value = kInf;
+  std::vector<int> idx(n, 0);
+  while (true) {
+    double w = 0.0, v = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Item& it = inst.classes[k][static_cast<std::size_t>(idx[k])];
+      w += it.weight;
+      v += it.value;
+    }
+    if (w <= inst.capacity + 1e-9 && v < best.total_value) {
+      best.feasible = true;
+      best.chosen = idx;
+      best.total_weight = w;
+      best.total_value = v;
+    }
+    // Odometer increment.
+    std::size_t k = 0;
+    for (; k < n; ++k) {
+      if (++idx[k] < static_cast<int>(inst.classes[k].size())) break;
+      idx[k] = 0;
+    }
+    if (k == n) break;
+  }
+  if (!best.feasible) return {};
+  return best;
+}
+
+Solution solve_greedy(const Instance& inst) {
+  const std::size_t n = inst.classes.size();
+  std::vector<int> chosen(n);
+  double weight = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (inst.classes[k].empty()) return {};
+    // Start from the min-weight item of each class.
+    int best = 0;
+    for (std::size_t j = 1; j < inst.classes[k].size(); ++j) {
+      if (inst.classes[k][j].weight <
+          inst.classes[k][static_cast<std::size_t>(best)].weight) {
+        best = static_cast<int>(j);
+      }
+    }
+    chosen[k] = best;
+    weight += inst.classes[k][static_cast<std::size_t>(best)].weight;
+  }
+  if (weight > inst.capacity + 1e-9) return {};  // even the fastest overruns
+
+  // Repeatedly apply the best value-per-weight swap that still fits.
+  while (true) {
+    double best_ratio = 0.0;
+    std::size_t best_k = n;
+    int best_j = -1;
+    for (std::size_t k = 0; k < n; ++k) {
+      const Item& cur = inst.classes[k][static_cast<std::size_t>(chosen[k])];
+      for (std::size_t j = 0; j < inst.classes[k].size(); ++j) {
+        const Item& it = inst.classes[k][j];
+        const double dv = cur.value - it.value;   // energy saved
+        const double dw = it.weight - cur.weight; // latency added
+        if (dv <= 0.0) continue;
+        if (weight + dw > inst.capacity + 1e-9) continue;
+        const double ratio = dw > 0.0 ? dv / dw : kInf;
+        if (ratio > best_ratio) {
+          best_ratio = ratio;
+          best_k = k;
+          best_j = static_cast<int>(j);
+        }
+      }
+    }
+    if (best_j < 0) break;
+    weight += inst.classes[best_k][static_cast<std::size_t>(best_j)].weight -
+              inst.classes[best_k][static_cast<std::size_t>(chosen[best_k])]
+                  .weight;
+    chosen[best_k] = best_j;
+  }
+  return finalize(inst, std::move(chosen));
+}
+
+}  // namespace daedvfs::mckp

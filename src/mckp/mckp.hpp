@@ -1,0 +1,51 @@
+// Multiple-Choice Knapsack Problem (MCKP) solvers — Step 3 of the paper
+// (§III-C, Eq. 2-5): pick exactly one Pareto-optimal operating point per
+// layer (class) minimizing total energy (value) subject to a latency budget
+// (capacity, the QoS).
+//
+// Kellerer/Pferschy/Pisinger treat MCKP as maximization; the paper converts
+// its minimization objective with the standard transform
+// v'_kj = max_j(v_kj) - v_kj. We solve the minimization form directly — the
+// two are equivalent and direct minimization avoids the constant bookkeeping.
+//
+// The DP is pseudo-polynomial in the capacity, so weights (microseconds) are
+// discretized onto a tick grid chosen to bound the table size; item weights
+// are rounded *up*, keeping every solution feasible w.r.t. the true budget
+// (a conservative 1-tick-per-class approximation error, bounded and tested).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace daedvfs::mckp {
+
+struct Item {
+  double weight = 0.0;  ///< Latency t_kj (us).
+  double value = 0.0;   ///< Energy E_kj (uJ).
+};
+
+struct Instance {
+  std::vector<std::vector<Item>> classes;  ///< One inner vector per layer.
+  double capacity = 0.0;                   ///< QoS latency budget.
+};
+
+struct Solution {
+  bool feasible = false;
+  std::vector<int> chosen;  ///< Item index per class.
+  double total_weight = 0.0;
+  double total_value = 0.0;
+};
+
+/// Dynamic-programming solver. `max_ticks` bounds the DP width (capacity is
+/// discretized onto that many ticks; larger = finer = slower).
+[[nodiscard]] Solution solve_dp(const Instance& inst, int max_ticks = 20000);
+
+/// Exhaustive search (exponential) — test oracle for small instances.
+[[nodiscard]] Solution solve_brute_force(const Instance& inst);
+
+/// Greedy heuristic: start from the per-class minimum-weight items, then
+/// repeatedly take the swap with the best value-decrease per weight-increase
+/// that still fits. Fast lower-quality reference for the ablation bench.
+[[nodiscard]] Solution solve_greedy(const Instance& inst);
+
+}  // namespace daedvfs::mckp

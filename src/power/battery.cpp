@@ -1,0 +1,20 @@
+#include "power/battery.hpp"
+
+namespace daedvfs::power {
+
+double BatteryModel::lifetime_days(double inference_uj, double inference_us,
+                                   const DutyCycle& duty) const {
+  // Average power = inference energy amortized over the period + sleep power
+  // in the remaining time + battery self discharge.
+  const double period_us = duty.period_s * 1e6;
+  const double sleep_us = period_us > inference_us ? period_us - inference_us
+                                                   : 0.0;
+  const double sleep_uj = duty.sleep_mw * sleep_us * 1e-3;
+  const double avg_mw = (inference_uj + sleep_uj) / period_us * 1e3 +
+                        params_.self_discharge_mw;
+  if (avg_mw <= 0.0) return 0.0;
+  const double hours = params_.capacity_mwh / avg_mw;
+  return hours / 24.0;
+}
+
+}  // namespace daedvfs::power

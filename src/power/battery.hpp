@@ -1,0 +1,36 @@
+// Simple coin-cell/LiPo battery model for the far-edge deployment examples:
+// converts an inference duty cycle + measured energies into expected battery
+// life — the quantity a tinyML deployment engineer actually cares about.
+#pragma once
+
+namespace daedvfs::power {
+
+struct BatteryParams {
+  double capacity_mwh = 2400.0;  ///< e.g. 2x AA-class budget at the rail.
+  double self_discharge_mw = 0.02;
+};
+
+/// Deployment duty cycle: one inference every `period_s`, `sleep_mw` drawn
+/// between inferences.
+struct DutyCycle {
+  double period_s = 60.0;
+  double sleep_mw = 0.8;
+};
+
+class BatteryModel {
+ public:
+  explicit BatteryModel(BatteryParams p = {}) : params_(p) {}
+
+  /// Expected lifetime in days given per-inference energy (uJ) and duration
+  /// (us) under the duty cycle.
+  [[nodiscard]] double lifetime_days(double inference_uj,
+                                     double inference_us,
+                                     const DutyCycle& duty) const;
+
+  [[nodiscard]] const BatteryParams& params() const { return params_; }
+
+ private:
+  BatteryParams params_;
+};
+
+}  // namespace daedvfs::power

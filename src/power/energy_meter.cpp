@@ -1,0 +1,50 @@
+#include "power/energy_meter.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace daedvfs::power {
+
+void EnergyMeter::record(double t_begin_us, double t_end_us, double power_mw,
+                         const std::string& tag) {
+  assert(t_end_us >= t_begin_us);
+  const double uj = power_mw * (t_end_us - t_begin_us) * 1e-3;  // mW*us -> uJ
+  total_uj_ += uj;
+  by_tag_[tag] += uj;
+  if (keep_trace_) {
+    trace_.push_back({t_begin_us, t_end_us, power_mw, tag});
+  }
+}
+
+double EnergyMeter::tag_uj(const std::string& tag) const {
+  auto it = by_tag_.find(tag);
+  return it == by_tag_.end() ? 0.0 : it->second;
+}
+
+void EnergyMeter::reset() {
+  total_uj_ = 0.0;
+  by_tag_.clear();
+  trace_.clear();
+}
+
+double Ina219Sampler::sampled_energy_uj(
+    const std::vector<PowerSegment>& trace, double t0_us,
+    double t1_us) const {
+  if (trace.empty() || t1_us <= t0_us) return 0.0;
+  double energy_uj = 0.0;
+  std::size_t seg = 0;
+  for (double t = t0_us; t < t1_us; t += sample_period_us) {
+    // Advance to the segment containing t (trace is time-ordered).
+    while (seg + 1 < trace.size() && trace[seg].t_end_us <= t) ++seg;
+    double p = 0.0;
+    if (t >= trace[seg].t_begin_us && t < trace[seg].t_end_us) {
+      p = trace[seg].power_mw;
+    }
+    const double quantized = std::round(p / lsb_mw) * lsb_mw;
+    const double dt = std::min(sample_period_us, t1_us - t);
+    energy_uj += quantized * dt * 1e-3;
+  }
+  return energy_uj;
+}
+
+}  // namespace daedvfs::power

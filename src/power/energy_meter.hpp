@@ -1,0 +1,72 @@
+// Energy accounting over the simulated timeline, standing in for the INA219
+// power sensor of the paper's rig. The meter integrates P(t) dt exactly
+// (event-driven), and can additionally resample the power trace at a fixed
+// period with quantization to mimic the physical sensor's 12-bit sampling —
+// used by tests to show the measurement error the paper's rig would add.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace daedvfs::power {
+
+/// One constant-power segment of the timeline.
+struct PowerSegment {
+  double t_begin_us = 0.0;
+  double t_end_us = 0.0;
+  double power_mw = 0.0;
+  /// Attribution tag (layer index, "idle", "switch", ...).
+  std::string tag;
+};
+
+/// Exact, event-driven energy integrator with per-tag attribution.
+class EnergyMeter {
+ public:
+  /// Records that the board drew `power_mw` from `t_begin_us` to `t_end_us`.
+  void record(double t_begin_us, double t_end_us, double power_mw,
+              const std::string& tag);
+
+  /// Total integrated energy in microjoules.
+  [[nodiscard]] double total_uj() const { return total_uj_; }
+  /// Energy attributed to one tag (0 if unknown).
+  [[nodiscard]] double tag_uj(const std::string& tag) const;
+  [[nodiscard]] const std::map<std::string, double>& by_tag() const {
+    return by_tag_;
+  }
+  /// Raw trace (only retained when enabled; off by default to keep long
+  /// simulations cheap).
+  void keep_trace(bool on) { keep_trace_ = on; }
+  [[nodiscard]] const std::vector<PowerSegment>& trace() const {
+    return trace_;
+  }
+
+  /// Average power over [t0, t1] computed from the totals.
+  [[nodiscard]] double average_power_mw(double t0_us, double t1_us) const {
+    return t1_us > t0_us ? total_uj_ / (t1_us - t0_us) * 1000.0 : 0.0;
+  }
+
+  void reset();
+
+ private:
+  double total_uj_ = 0.0;
+  std::map<std::string, double> by_tag_;
+  bool keep_trace_ = false;
+  std::vector<PowerSegment> trace_;
+};
+
+/// INA219-style fixed-rate sampler: integrates a retained trace the way the
+/// physical sensor would (sample & hold at `sample_period_us`, current LSB
+/// quantization). Quantifies rig measurement error in tests.
+struct Ina219Sampler {
+  double sample_period_us = 1000.0;  ///< ~1 kHz effective sampling.
+  double lsb_mw = 0.5;               ///< Power quantization step.
+
+  /// Energy (uJ) the sensor would report for `trace` over [t0, t1].
+  [[nodiscard]] double sampled_energy_uj(
+      const std::vector<PowerSegment>& trace, double t0_us,
+      double t1_us) const;
+};
+
+}  // namespace daedvfs::power

@@ -1,0 +1,78 @@
+#include "power/power_model.hpp"
+#include <cmath>
+
+namespace daedvfs::power {
+
+using clock::ClockSource;
+
+PowerState PowerState::from_rcc(const clock::Rcc& rcc) {
+  PowerState st;
+  const clock::ClockConfig& cfg = rcc.current();
+  st.sysclk_mhz = cfg.sysclk_mhz();
+  st.scale = rcc.voltage_scale();
+  st.pll_running = rcc.pll_running();
+  if (st.pll_running) st.vco_mhz = rcc.locked_pll()->vco_mhz();
+
+  const bool uses_hse =
+      cfg.source == ClockSource::kHse ||
+      (st.pll_running && rcc.locked_pll()->input == ClockSource::kHse);
+  st.hse_running = uses_hse;
+  st.hse_mhz = uses_hse ? (cfg.source == ClockSource::kHse
+                               ? cfg.hse_mhz
+                               : rcc.locked_pll()->input_mhz)
+                        : 0.0;
+  st.hsi_running =
+      cfg.source == ClockSource::kHsi ||
+      (st.pll_running && rcc.locked_pll()->input == ClockSource::kHsi);
+  return st;
+}
+
+double PowerModel::power_mw(const PowerState& st, Activity act) const {
+  if (act == Activity::kIdleClockGated) {
+    // Clock gating deactivates unused clocks and trims the regulator
+    // (paper §IV); only the floor + the still-running oscillator remain.
+    double mw = params_.gated_idle_mw;
+    if (st.hse_running) mw += params_.hse_mw_per_mhz * st.hse_mhz;
+    return mw;
+  }
+
+  double activity = params_.compute_activity;
+  switch (act) {
+    case Activity::kCompute: activity = params_.compute_activity; break;
+    case Activity::kMemoryStall: activity = params_.mem_stall_activity; break;
+    case Activity::kIdle: activity = params_.idle_activity; break;
+    case Activity::kIdleClockGated: break;  // handled above
+  }
+
+  const double v = clock::core_voltage(st.scale);
+  double mw = params_.static_mw +
+              params_.dynamic_mw_per_mhz_v *
+                  std::pow(v, params_.voltage_exponent) * st.sysclk_mhz *
+                  activity;
+  if (st.pll_running) mw += params_.pll_mw_per_vco_mhz * st.vco_mhz;
+  if (st.hse_running) mw += params_.hse_mw_per_mhz * st.hse_mhz;
+  if (st.hsi_running) mw += params_.hsi_mw;
+  return mw;
+}
+
+double PowerModel::config_power_mw(const clock::ClockConfig& cfg,
+                                   Activity act) const {
+  PowerState st;
+  st.sysclk_mhz = cfg.sysclk_mhz();
+  st.scale = cfg.voltage_scale();
+  st.pll_running = cfg.source == ClockSource::kPll;
+  if (st.pll_running) st.vco_mhz = cfg.pll->vco_mhz();
+  st.hse_running =
+      cfg.source == ClockSource::kHse ||
+      (st.pll_running && cfg.pll->input == ClockSource::kHse);
+  st.hse_mhz = st.hse_running
+                   ? (cfg.source == ClockSource::kHse ? cfg.hse_mhz
+                                                      : cfg.pll->input_mhz)
+                   : 0.0;
+  st.hsi_running =
+      cfg.source == ClockSource::kHsi ||
+      (st.pll_running && cfg.pll->input == ClockSource::kHsi);
+  return power_mw(st, act);
+}
+
+}  // namespace daedvfs::power

@@ -1,0 +1,32 @@
+#include "runtime/baseline.hpp"
+
+namespace daedvfs::runtime {
+
+clock::ClockConfig tinyengine_clock() {
+  return clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+}
+
+Schedule make_tinyengine_schedule(const graph::Model& model) {
+  return make_uniform_schedule(model, tinyengine_clock(), "tinyengine-216");
+}
+
+IsoLatencyResult run_iso_latency(InferenceEngine& engine, sim::Mcu& mcu,
+                                 const Schedule& schedule, double qos_us,
+                                 bool gated_idle, kernels::ExecMode mode) {
+  IsoLatencyResult r;
+  const double t0 = mcu.time_us();
+  const double e0 = mcu.energy_uj();
+  r.inference = engine.run(mcu, schedule, mode);
+  r.inference_us = mcu.time_us() - t0;
+  r.inference_uj = mcu.energy_uj() - e0;
+  r.met_qos = r.inference_us <= qos_us + 1e-6;
+
+  mcu.set_tag("idle");
+  const double e1 = mcu.energy_uj();
+  mcu.idle_until(t0 + qos_us, gated_idle);
+  r.idle_us = mcu.time_us() - (t0 + r.inference_us);
+  r.idle_uj = mcu.energy_uj() - e1;
+  return r;
+}
+
+}  // namespace daedvfs::runtime

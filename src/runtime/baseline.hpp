@@ -1,0 +1,44 @@
+// The paper's comparison points (§IV) and the iso-latency evaluation
+// scenario: energy is measured over a fixed QoS window; an engine that
+// finishes early idles (plain or clock-gated) until the window closes.
+//
+//  * TinyEngine          — fixed 216 MHz, no DAE, idle at 216 MHz after the
+//                          inference until the QoS deadline.
+//  * TinyEngine + gating — same execution, but idles with clocks gated and
+//                          the regulator trimmed.
+#pragma once
+
+#include "runtime/engine.hpp"
+#include "runtime/schedule.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::runtime {
+
+/// The 216 MHz configuration TinyEngine runs at (min-power tuple for
+/// 216 MHz in the paper's space: HSE=50, M=25, N=216, P=2).
+[[nodiscard]] clock::ClockConfig tinyengine_clock();
+
+/// TinyEngine execution schedule for `model`.
+[[nodiscard]] Schedule make_tinyengine_schedule(const graph::Model& model);
+
+/// Result of one iso-latency window.
+struct IsoLatencyResult {
+  double inference_us = 0.0;
+  double inference_uj = 0.0;
+  double idle_us = 0.0;
+  double idle_uj = 0.0;
+  bool met_qos = true;  ///< False if the inference overran the window.
+  InferenceResult inference;
+
+  [[nodiscard]] double total_uj() const { return inference_uj + idle_uj; }
+};
+
+/// Runs one inference under `schedule` on a fresh timeline of `mcu`, then
+/// idles (`gated_idle` selects clock-gated idle) until `qos_us` has elapsed
+/// since the start of the inference.
+IsoLatencyResult run_iso_latency(InferenceEngine& engine, sim::Mcu& mcu,
+                                 const Schedule& schedule, double qos_us,
+                                 bool gated_idle,
+                                 kernels::ExecMode mode);
+
+}  // namespace daedvfs::runtime

@@ -1,0 +1,18 @@
+#include "runtime/schedule.hpp"
+
+namespace daedvfs::runtime {
+
+Schedule make_uniform_schedule(const graph::Model& model,
+                               const clock::ClockConfig& cfg,
+                               std::string name) {
+  Schedule s;
+  s.name = std::move(name);
+  LayerPlan plan;
+  plan.hfo = cfg;
+  plan.granularity = 0;
+  plan.dvfs_enabled = false;
+  s.plans.assign(static_cast<std::size_t>(model.num_layers()), plan);
+  return s;
+}
+
+}  // namespace daedvfs::runtime

@@ -1,0 +1,42 @@
+// Execution schedules: the per-layer DVFS/DAE decisions the optimizer emits
+// and the engine executes. One LayerPlan per model layer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clock/clock_config.hpp"
+#include "graph/model.hpp"
+
+namespace daedvfs::runtime {
+
+/// Per-layer decision: DAE granularity + clock configuration.
+struct LayerPlan {
+  /// DAE decoupling granularity g; 0 = no DAE (baseline kernel).
+  int granularity = 0;
+  /// Layer clock (the HFO of the paper when DVFS is active). The engine
+  /// switches to this configuration at layer entry.
+  clock::ClockConfig hfo = clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+  /// Memory-segment clock (LFO); only used when dvfs_enabled and the layer
+  /// is DAE-eligible with granularity > 0.
+  clock::ClockConfig lfo = clock::ClockConfig::hse_direct(50.0);
+  /// Toggle LFO/HFO at DAE segment boundaries.
+  bool dvfs_enabled = false;
+};
+
+struct Schedule {
+  std::string name;
+  std::vector<LayerPlan> plans;  ///< One entry per model layer.
+
+  [[nodiscard]] const LayerPlan& plan(int layer_idx) const {
+    return plans.at(static_cast<std::size_t>(layer_idx));
+  }
+};
+
+/// Uniform schedule: every layer at `cfg`, no DAE, no DVFS — the TinyEngine
+/// execution model (fixed 216 MHz in the paper's baseline).
+[[nodiscard]] Schedule make_uniform_schedule(const graph::Model& model,
+                                             const clock::ClockConfig& cfg,
+                                             std::string name = "uniform");
+
+}  // namespace daedvfs::runtime

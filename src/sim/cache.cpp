@@ -1,0 +1,88 @@
+#include "sim/cache.hpp"
+
+#include <cassert>
+
+namespace daedvfs::sim {
+
+CacheSim::CacheSim(CacheConfig cfg) : cfg_(cfg) {
+  assert(cfg_.num_sets() > 0);
+  lines_.resize(static_cast<std::size_t>(cfg_.num_sets()) * cfg_.ways);
+}
+
+AccessResult CacheSim::access(uint64_t vaddr, uint64_t bytes, bool is_write) {
+  AccessResult res;
+  if (bytes == 0) return res;
+  const uint64_t line = cfg_.line_bytes;
+  const uint64_t first = vaddr / line;
+  const uint64_t last = (vaddr + bytes - 1) / line;
+  for (uint64_t ln = first; ln <= last; ++ln) {
+    const uint32_t set = static_cast<uint32_t>(ln % cfg_.num_sets());
+    const uint64_t tag = ln / cfg_.num_sets();
+    Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    ++res.lines;
+    ++stats_.accesses;
+
+    Line* hit = nullptr;
+    Line* victim = &base[0];
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+      Line& l = base[w];
+      if (l.valid && l.tag == tag) {
+        hit = &l;
+        break;
+      }
+      if (!l.valid) {
+        victim = &l;  // prefer an invalid way
+      } else if (victim->valid && l.lru < victim->lru) {
+        victim = &l;
+      }
+    }
+
+    if (hit != nullptr) {
+      ++res.hits;
+      ++stats_.hits;
+      hit->lru = ++use_stamp_;
+      hit->dirty = hit->dirty || is_write;
+      continue;
+    }
+
+    ++res.misses;
+    ++stats_.misses;
+    if (victim->valid && victim->dirty) {
+      ++res.writebacks;
+      ++stats_.writebacks;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;  // write-allocate
+    victim->tag = tag;
+    victim->lru = ++use_stamp_;
+  }
+  return res;
+}
+
+AccessResult CacheSim::access_strided(uint64_t vaddr, uint64_t stride,
+                                      uint32_t count, uint64_t elem_bytes,
+                                      bool is_write) {
+  AccessResult total;
+  uint64_t prev_line = ~0ull;
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint64_t a = vaddr + static_cast<uint64_t>(i) * stride;
+    const uint64_t first = a / cfg_.line_bytes;
+    const uint64_t last = (a + elem_bytes - 1) / cfg_.line_bytes;
+    if (first == prev_line && last == prev_line) continue;
+    const AccessResult r = access(a, elem_bytes, is_write);
+    total.lines += r.lines;
+    total.hits += r.hits;
+    total.misses += r.misses;
+    total.writebacks += r.writebacks;
+    prev_line = last;
+  }
+  return total;
+}
+
+void CacheSim::flush(bool clear_stats) {
+  for (Line& l : lines_) l = {};
+  use_stamp_ = 0;
+  if (clear_stats) stats_ = {};
+}
+
+}  // namespace daedvfs::sim

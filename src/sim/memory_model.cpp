@@ -1,0 +1,29 @@
+#include "sim/memory_model.hpp"
+
+#include <cmath>
+
+namespace daedvfs::sim {
+
+int flash_wait_states(double sysclk_mhz, const MemoryTimingParams& p) {
+  if (sysclk_mhz <= p.ws_mhz_per_state) return 0;
+  return static_cast<int>(std::ceil(sysclk_mhz / p.ws_mhz_per_state)) - 1;
+}
+
+double miss_penalty_ns(MemRegion region, double sysclk_mhz,
+                       const MemoryTimingParams& p) {
+  switch (region) {
+    case MemRegion::kSram:
+      return p.sram_miss_ns;
+    case MemRegion::kFlash: {
+      // Base array access + wait-state cycles charged at the current clock.
+      const double cycle_ns = 1000.0 / sysclk_mhz;
+      return p.flash_miss_ns +
+             flash_wait_states(sysclk_mhz, p) * cycle_ns;
+    }
+    case MemRegion::kDtcm:
+      return 0.0;
+  }
+  return 0.0;
+}
+
+}  // namespace daedvfs::sim

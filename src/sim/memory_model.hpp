@@ -1,0 +1,69 @@
+// Memory-system timing: address-space map (flash / AXI SRAM / DTCM) and miss
+// latencies. Two properties matter for the paper's methodology:
+//
+//  1. Miss penalties are (mostly) wall-clock-fixed nanoseconds, so memory-
+//     bound code barely speeds up with SYSCLK — running it at LFO is nearly
+//     latency-free and strictly power-cheaper.
+//  2. Flash wait-states *grow* with SYSCLK (RM0410 Table 7: one extra WS per
+//     30 MHz at full voltage), so high clocks pay extra on instruction/weight
+//     fetches — a real, often overlooked DVFS effect.
+#pragma once
+
+#include <cstdint>
+
+#include "clock/voltage.hpp"
+
+namespace daedvfs::sim {
+
+/// Which physical memory a virtual address belongs to.
+enum class MemRegion : uint8_t {
+  kFlash,  ///< Weights & code. Read-only, long latency, wait-states.
+  kSram,   ///< AXI SRAM behind the L1 cache. Activations & DAE buffers.
+  kDtcm,   ///< Tightly-coupled memory: single-cycle, uncached.
+};
+
+[[nodiscard]] constexpr const char* to_string(MemRegion r) {
+  switch (r) {
+    case MemRegion::kFlash: return "flash";
+    case MemRegion::kSram: return "sram";
+    case MemRegion::kDtcm: return "dtcm";
+  }
+  return "?";
+}
+
+/// STM32F7 memory map bases used for deterministic virtual addressing.
+inline constexpr uint64_t kFlashBase = 0x0800'0000ull;
+inline constexpr uint64_t kSramBase = 0x2002'0000ull;
+inline constexpr uint64_t kDtcmBase = 0x2000'0000ull;
+
+/// A virtual address + region pair the kernels pass to the simulator.
+struct MemRef {
+  uint64_t vaddr = 0;
+  MemRegion region = MemRegion::kSram;
+
+  /// Ref advanced by `off` bytes within the same region.
+  [[nodiscard]] MemRef offset(uint64_t off) const {
+    return {vaddr + off, region};
+  }
+};
+
+/// Latency calibration (nanoseconds unless noted).
+struct MemoryTimingParams {
+  double sram_miss_ns = 42.0;    ///< AXI SRAM line refill.
+  double flash_miss_ns = 55.0;   ///< Flash line fetch via ART (base).
+  double writeback_ns = 30.0;    ///< Dirty line writeback to SRAM.
+  double dtcm_extra_cycles = 0.0;///< DTCM is pipelined single-cycle.
+  double ws_mhz_per_state = 30.0;///< One wait-state per 30 MHz (RM0410).
+};
+
+/// Flash wait-states required at `sysclk_mhz` (RM0410 Table 7; the voltage
+/// range of the Nucleo board, 2.7-3.6 V, gives 30 MHz per wait state).
+[[nodiscard]] int flash_wait_states(double sysclk_mhz,
+                                    const MemoryTimingParams& p);
+
+/// Miss penalty in nanoseconds for one line refill from `region` while
+/// running at `sysclk_mhz`.
+[[nodiscard]] double miss_penalty_ns(MemRegion region, double sysclk_mhz,
+                                     const MemoryTimingParams& p);
+
+}  // namespace daedvfs::sim

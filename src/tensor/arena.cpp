@@ -1,0 +1,22 @@
+#include "tensor/arena.hpp"
+
+#include <algorithm>
+#include <new>
+
+namespace daedvfs::tensor {
+
+Arena::Arena(std::size_t capacity_bytes)
+    : block_(new int8_t[capacity_bytes]), capacity_(capacity_bytes) {}
+
+int8_t* Arena::allocate(std::size_t bytes) {
+  const std::size_t aligned = (bytes + kAlignment - 1) / kAlignment * kAlignment;
+  if (used_ + aligned > capacity_) throw std::bad_alloc();
+  int8_t* p = block_.get() + used_;
+  used_ += aligned;
+  high_water_ = std::max(high_water_, used_);
+  return p;
+}
+
+void Arena::reset() { used_ = 0; }
+
+}  // namespace daedvfs::tensor

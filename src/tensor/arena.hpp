@@ -1,0 +1,47 @@
+// Bump-pointer tensor arena, mirroring the static activation arenas that
+// TinyEngine / TFLite-Micro carve out of MCU SRAM. The inference runtime
+// allocates all intermediate activations from one arena so that peak memory
+// is explicit and measurable, exactly as on the real board.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace daedvfs::tensor {
+
+/// Fixed-capacity bump allocator with high-water-mark tracking.
+/// Allocations are aligned to `kAlignment` bytes. No individual free; call
+/// reset() between inferences.
+class Arena {
+ public:
+  static constexpr std::size_t kAlignment = 16;
+
+  explicit Arena(std::size_t capacity_bytes);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+
+  /// Allocates `bytes` bytes; throws std::bad_alloc if the arena is full.
+  [[nodiscard]] int8_t* allocate(std::size_t bytes);
+
+  /// Releases all allocations (the memory block itself is retained).
+  void reset();
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t high_water_mark() const { return high_water_; }
+  /// Base address — used by the cache simulator to place activations in a
+  /// deterministic SRAM-like address range.
+  [[nodiscard]] const int8_t* base() const { return block_.get(); }
+
+ private:
+  std::unique_ptr<int8_t[]> block_;
+  std::size_t capacity_ = 0;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace daedvfs::tensor

@@ -1,0 +1,65 @@
+#include "tensor/quant.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace daedvfs::tensor {
+
+int8_t QuantParams::quantize(double real) const {
+  const double q = std::nearbyint(real / scale) + zero_point;
+  if (q < -128.0) return -128;
+  if (q > 127.0) return 127;
+  return static_cast<int8_t>(q);
+}
+
+QuantizedMultiplier quantize_multiplier(double real_multiplier) {
+  assert(real_multiplier > 0.0);
+  QuantizedMultiplier out;
+  if (real_multiplier == 0.0) return out;
+  int exponent = 0;
+  const double mantissa = std::frexp(real_multiplier, &exponent);
+  // mantissa in [0.5, 1) -> Q31 in [2^30, 2^31].
+  auto q = static_cast<int64_t>(std::nearbyint(mantissa * (1LL << 31)));
+  assert(q <= (1LL << 31));
+  if (q == (1LL << 31)) {
+    q /= 2;
+    ++exponent;
+  }
+  out.multiplier = static_cast<int32_t>(q);
+  out.shift = exponent;
+  return out;
+}
+
+int32_t saturating_rounding_doubling_high_mul(int32_t a, int32_t b) {
+  const bool overflow =
+      a == b && a == std::numeric_limits<int32_t>::min();
+  if (overflow) return std::numeric_limits<int32_t>::max();
+  const int64_t ab = static_cast<int64_t>(a) * static_cast<int64_t>(b);
+  const int32_t nudge = ab >= 0 ? (1 << 30) : (1 - (1 << 30));
+  return static_cast<int32_t>((ab + nudge) / (1LL << 31));
+}
+
+int32_t rounding_divide_by_pot(int32_t x, int32_t exponent) {
+  assert(exponent >= 0 && exponent <= 31);
+  if (exponent == 0) return x;
+  const int32_t mask = (1 << exponent) - 1;
+  const int32_t remainder = x & mask;
+  int32_t result = x >> exponent;
+  int32_t threshold = mask >> 1;
+  if (x < 0) threshold += 1;
+  if (remainder > threshold) ++result;
+  return result;
+}
+
+int32_t multiply_by_quantized_multiplier(int32_t acc,
+                                         const QuantizedMultiplier& qm) {
+  const int32_t left_shift = qm.shift > 0 ? qm.shift : 0;
+  const int32_t right_shift = qm.shift > 0 ? 0 : -qm.shift;
+  const int32_t shifted =
+      saturating_rounding_doubling_high_mul(acc * (1 << left_shift),
+                                            qm.multiplier);
+  return rounding_divide_by_pot(shifted, right_shift);
+}
+
+}  // namespace daedvfs::tensor

@@ -1,0 +1,46 @@
+// Tensor shapes for the int8 inference substrate.
+//
+// All activation tensors use NHWC layout (batch, height, width, channels) with
+// batch fixed to 1, matching the layout used by CMSIS-NN and TinyEngine on
+// Cortex-M targets. Weight tensors reuse the same container with a
+// kernel-specific interpretation documented at each kernel.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace daedvfs::tensor {
+
+/// Shape of a rank-4 NHWC tensor. `n` is always 1 for activations in this
+/// library; weights reuse the fields with per-kernel meaning.
+struct Shape4 {
+  int32_t n = 1;
+  int32_t h = 0;
+  int32_t w = 0;
+  int32_t c = 0;
+
+  /// Total number of elements.
+  [[nodiscard]] int64_t elems() const {
+    return static_cast<int64_t>(n) * h * w * c;
+  }
+
+  /// Flat offset of element (y, x, ch) in NHWC order (batch 0).
+  [[nodiscard]] int64_t index(int32_t y, int32_t x, int32_t ch) const {
+    return (static_cast<int64_t>(y) * w + x) * c + ch;
+  }
+
+  /// Stride (in elements) between two consecutive rows.
+  [[nodiscard]] int64_t row_stride() const {
+    return static_cast<int64_t>(w) * c;
+  }
+
+  [[nodiscard]] bool operator==(const Shape4&) const = default;
+
+  /// Human-readable form, e.g. "1x96x96x16".
+  [[nodiscard]] std::string str() const {
+    return std::to_string(n) + "x" + std::to_string(h) + "x" +
+           std::to_string(w) + "x" + std::to_string(c);
+  }
+};
+
+}  // namespace daedvfs::tensor

@@ -1,0 +1,5 @@
+#include "tensor/tensor.hpp"
+
+// Intentionally empty: QTensor/TensorView are header-only today. The TU keeps
+// the library target non-empty and reserves a stable home for future
+// out-of-line members (e.g. serialization).

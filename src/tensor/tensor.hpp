@@ -1,0 +1,69 @@
+// Quantized tensor containers.
+//
+// `QTensor` owns its storage (weights, biases, test inputs); `TensorView` is a
+// non-owning view used for activations living in a tensor::Arena. Kernels
+// operate exclusively on views, so ownership never leaks into the hot path.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/quant.hpp"
+#include "tensor/shape.hpp"
+
+namespace daedvfs::tensor {
+
+/// Non-owning view of an int8 NHWC tensor plus its quantization parameters.
+struct TensorView {
+  Shape4 shape;
+  QuantParams quant;
+  int8_t* data = nullptr;
+
+  /// Element access. Views have pointer semantics: a const view still
+  /// permits writing through `data` (like std::span).
+  [[nodiscard]] int8_t& at(int32_t y, int32_t x, int32_t ch) const {
+    return data[shape.index(y, x, ch)];
+  }
+  [[nodiscard]] std::span<int8_t> span() {
+    return {data, static_cast<std::size_t>(shape.elems())};
+  }
+  [[nodiscard]] std::span<const int8_t> span() const {
+    return {data, static_cast<std::size_t>(shape.elems())};
+  }
+};
+
+/// Owning int8 tensor. Used for model weights and standalone buffers in tests.
+class QTensor {
+ public:
+  QTensor() = default;
+  QTensor(Shape4 shape, QuantParams quant)
+      : shape_(shape),
+        quant_(quant),
+        storage_(static_cast<std::size_t>(shape.elems())) {}
+
+  [[nodiscard]] const Shape4& shape() const { return shape_; }
+  [[nodiscard]] const QuantParams& quant() const { return quant_; }
+  [[nodiscard]] int8_t* data() { return storage_.data(); }
+  [[nodiscard]] const int8_t* data() const { return storage_.data(); }
+  [[nodiscard]] std::size_t size_bytes() const { return storage_.size(); }
+
+  [[nodiscard]] TensorView view() {
+    return {shape_, quant_, storage_.data()};
+  }
+  [[nodiscard]] TensorView view() const {
+    // Kernels take non-const views for outputs; inputs are never written.
+    return {shape_, quant_, const_cast<int8_t*>(storage_.data())};
+  }
+
+ private:
+  Shape4 shape_;
+  QuantParams quant_;
+  std::vector<int8_t> storage_;
+};
+
+/// Per-output-channel int32 bias vector (TFLM convention: bias scale =
+/// input_scale * weight_scale, zero point 0).
+using BiasVector = std::vector<int32_t>;
+
+}  // namespace daedvfs::tensor

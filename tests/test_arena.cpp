@@ -1,0 +1,56 @@
+// Unit tests for the activation arena (tensor/arena).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <new>
+
+#include "tensor/arena.hpp"
+
+namespace daedvfs::tensor {
+namespace {
+
+TEST(Arena, AllocationsAreAligned) {
+  Arena arena(1024);
+  for (int i = 0; i < 5; ++i) {
+    int8_t* p = arena.allocate(3);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % Arena::kAlignment, 0u);
+  }
+}
+
+TEST(Arena, UsedRoundsUpToAlignment) {
+  Arena arena(1024);
+  (void)arena.allocate(1);
+  EXPECT_EQ(arena.used(), Arena::kAlignment);
+  (void)arena.allocate(Arena::kAlignment);
+  EXPECT_EQ(arena.used(), 2 * Arena::kAlignment);
+}
+
+TEST(Arena, ThrowsWhenFull) {
+  Arena arena(64);
+  (void)arena.allocate(48);
+  EXPECT_THROW((void)arena.allocate(32), std::bad_alloc);
+  // A fitting allocation still succeeds after the failed one.
+  EXPECT_NE(arena.allocate(16), nullptr);
+}
+
+TEST(Arena, ResetRetainsHighWaterMark) {
+  Arena arena(256);
+  (void)arena.allocate(128);
+  EXPECT_EQ(arena.high_water_mark(), 128u);
+  arena.reset();
+  EXPECT_EQ(arena.used(), 0u);
+  (void)arena.allocate(32);
+  EXPECT_EQ(arena.high_water_mark(), 128u);  // HWM survives reset
+  EXPECT_EQ(arena.used(), 32u);
+}
+
+TEST(Arena, SequentialAllocationsAreContiguous) {
+  Arena arena(256);
+  int8_t* a = arena.allocate(16);
+  int8_t* b = arena.allocate(16);
+  EXPECT_EQ(b - a, 16);
+  EXPECT_GE(a, arena.base());
+}
+
+}  // namespace
+}  // namespace daedvfs::tensor

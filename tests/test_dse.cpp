@@ -1,0 +1,144 @@
+// Tests for the design space, the Pareto front, and the per-layer explorer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "dse/explorer.hpp"
+#include "dse/pareto.hpp"
+#include "graph/builder.hpp"
+
+namespace daedvfs::dse {
+namespace {
+
+graph::Model tiny_model() {
+  graph::ModelBuilder b("tiny", 16, 16, 3, 99);
+  const int c1 = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  const int d1 = b.depthwise(c1, 3, 1, true);
+  b.pointwise(d1, 16, false);
+  return b.take();
+}
+
+TEST(DesignSpace, PaperSpaceHasOneConfigPerFrequency) {
+  const power::PowerModel pm;
+  const DesignSpace ds = make_paper_design_space(pm);
+  // Distinct SYSCLKs of the paper's HFO space: {50,75,84,100,108,150,168,216}.
+  ASSERT_EQ(ds.hfo_configs.size(), 8u);
+  for (std::size_t i = 1; i < ds.hfo_configs.size(); ++i) {
+    EXPECT_LT(ds.hfo_configs[i - 1].sysclk_mhz(),
+              ds.hfo_configs[i].sysclk_mhz());
+  }
+  EXPECT_DOUBLE_EQ(ds.hfo_configs.back().sysclk_mhz(), 216.0);
+  EXPECT_EQ(ds.granularities,
+            (std::vector<int>{0, 2, 4, 8, 12, 16}));
+  EXPECT_DOUBLE_EQ(ds.lfo.sysclk_mhz(), 50.0);
+}
+
+TEST(DesignSpace, IsoFrequencyResolvedToMinPower) {
+  const power::PowerModel pm;
+  const DesignSpace ds = make_paper_design_space(pm);
+  // Every config must be the min-power representative of its frequency.
+  for (const auto& cfg : ds.hfo_configs) {
+    for (const auto& alt : clock::enumerate_pll_configs(
+             clock::paper_hfo_space(), cfg.sysclk_mhz())) {
+      EXPECT_LE(pm.config_power_mw(cfg), pm.config_power_mw(alt) + 1e-9);
+    }
+  }
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted) {
+  struct P {
+    double t, e;
+  };
+  std::mt19937 rng(3);
+  std::uniform_real_distribution<double> dist(0.0, 100.0);
+  std::vector<P> pts;
+  for (int i = 0; i < 300; ++i) pts.push_back({dist(rng), dist(rng)});
+  const auto front = pareto_front(
+      pts, [](const P& p) { return p.t; }, [](const P& p) { return p.e; });
+  ASSERT_FALSE(front.empty());
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].t, front[i - 1].t);
+    EXPECT_LT(front[i].e, front[i - 1].e);
+  }
+  // No original point dominates any front point.
+  for (const auto& f : front) {
+    for (const auto& p : pts) {
+      EXPECT_FALSE(p.t < f.t && p.e < f.e)
+          << "front point (" << f.t << "," << f.e << ") dominated";
+    }
+  }
+}
+
+TEST(Pareto, SinglePointAndDuplicates) {
+  struct P {
+    double t, e;
+  };
+  std::vector<P> pts = {{1.0, 5.0}, {1.0, 3.0}, {1.0, 4.0}};
+  const auto front = pareto_front(
+      pts, [](const P& p) { return p.t; }, [](const P& p) { return p.e; });
+  ASSERT_EQ(front.size(), 1u);
+  EXPECT_DOUBLE_EQ(front[0].e, 3.0);
+}
+
+TEST(Explorer, EligibleLayersGetGranularitySweep) {
+  const graph::Model m = tiny_model();
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  ExploreOptions opts;
+  const auto sets = explore_model(m, ds, opts);
+  ASSERT_EQ(sets.size(), 3u);
+  // conv2d ("rest"): frequency-only.
+  EXPECT_EQ(sets[0].all.size(), ds.hfo_configs.size());
+  // dw/pw: granularities x frequencies.
+  EXPECT_EQ(sets[1].all.size(),
+            ds.hfo_configs.size() * ds.granularities.size());
+  EXPECT_EQ(sets[2].all.size(),
+            ds.hfo_configs.size() * ds.granularities.size());
+  for (const auto& set : sets) {
+    EXPECT_FALSE(set.pareto.empty());
+    EXPECT_LE(set.pareto.size(), set.all.size());
+  }
+}
+
+TEST(Explorer, HigherFrequencyIsFasterAtFixedGranularity) {
+  const graph::Model m = tiny_model();
+  const power::PowerModel pm;
+  const DesignSpace ds = make_paper_design_space(pm);
+  ExploreOptions opts;
+  const auto sets = explore_model(m, ds, opts);
+  // For the conv2d layer (g=0 only), latency must strictly decrease with f.
+  const auto& all = sets[0].all;
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    if (all[i].hfo.sysclk_mhz() > all[i - 1].hfo.sysclk_mhz()) {
+      EXPECT_LT(all[i].t_us, all[i - 1].t_us)
+          << "at " << all[i].hfo.sysclk_mhz() << " MHz";
+    }
+  }
+}
+
+TEST(Explorer, ScratchBoundSkipsOversizedGranularities) {
+  const graph::Model m = tiny_model();
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  ExploreOptions opts;
+  opts.max_scratch_bytes = 1;  // nothing with g>0 fits
+  const auto sets = explore_model(m, ds, opts);
+  // Depthwise layer: only the g=0 candidates remain.
+  EXPECT_EQ(sets[1].all.size(), ds.hfo_configs.size());
+}
+
+TEST(Explorer, SolutionsCarryConsistentPlans) {
+  const graph::Model m = tiny_model();
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  const auto sets = explore_model(m, ds, ExploreOptions{});
+  for (const auto& sol : sets[1].all) {
+    const auto plan = sol.to_plan(ds.lfo);
+    EXPECT_EQ(plan.granularity, sol.granularity);
+    EXPECT_EQ(plan.dvfs_enabled, sol.granularity > 0);
+    EXPECT_EQ(plan.hfo, sol.hfo);
+  }
+}
+
+}  // namespace
+}  // namespace daedvfs::dse

@@ -1,0 +1,171 @@
+// Tests for the graph builder and the model zoo.
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/zoo.hpp"
+
+namespace daedvfs::graph {
+namespace {
+
+TEST(MakeDivisible, RoundsToMultipleOfEight) {
+  EXPECT_EQ(make_divisible(32 * 0.35), 16);  // 11.2 -> 8, below 90% -> bump
+  EXPECT_EQ(make_divisible(16.0), 16);
+  EXPECT_EQ(make_divisible(1.0), 8);         // floor at divisor
+  EXPECT_EQ(make_divisible(100.0), 104);     // round half up
+  EXPECT_EQ(make_divisible(96.0), 96);
+}
+
+TEST(Builder, ConvShapesAndIds) {
+  ModelBuilder b("t", 16, 16, 3, 1);
+  const int c1 = b.conv2d(ModelBuilder::input(), 8, 3, 2, true);
+  EXPECT_EQ(c1, 1);
+  const int d1 = b.depthwise(c1, 3, 1, true);
+  const int p1 = b.pointwise(d1, 16, false);
+  Model m = b.take();
+  EXPECT_EQ(m.tensor_shape(c1), (tensor::Shape4{1, 8, 8, 8}));
+  EXPECT_EQ(m.tensor_shape(d1), (tensor::Shape4{1, 8, 8, 8}));
+  EXPECT_EQ(m.tensor_shape(p1), (tensor::Shape4{1, 8, 8, 16}));
+  EXPECT_EQ(m.num_layers(), 3);
+}
+
+TEST(Builder, ZeroPointsChainCorrectly) {
+  ModelBuilder b("t", 8, 8, 3, 1);
+  const int c1 = b.conv2d(ModelBuilder::input(), 8, 3, 1, true);
+  b.pointwise(c1, 8, false);
+  Model m = b.take();
+  // Layer 1's input zero point must equal layer 0's output zero point.
+  EXPECT_EQ(m.layers()[1].params.input_zero_point,
+            m.layers()[0].out_quant.zero_point);
+}
+
+TEST(Builder, ReluSetsActMinToZeroPoint) {
+  ModelBuilder b("t", 8, 8, 3, 1);
+  b.conv2d(ModelBuilder::input(), 8, 3, 1, /*relu=*/true);
+  b.pointwise(1, 8, /*relu=*/false);
+  Model m = b.take();
+  EXPECT_EQ(m.layers()[0].params.act_min, m.layers()[0].out_quant.zero_point);
+  EXPECT_EQ(m.layers()[1].params.act_min, -128);
+}
+
+TEST(Builder, AddRequiresMatchingShapes) {
+  ModelBuilder b("t", 8, 8, 3, 1);
+  const int c1 = b.conv2d(ModelBuilder::input(), 8, 3, 1, true);
+  const int c2 = b.pointwise(c1, 8, false);
+  EXPECT_NO_THROW(b.add(c1, c2));
+  const int c3 = b.pointwise(c2, 16, false);
+  EXPECT_THROW(b.add(c1, c3), std::invalid_argument);
+}
+
+TEST(Builder, WeightsAreDeterministicPerSeed) {
+  auto build = [](uint32_t seed) {
+    ModelBuilder b("t", 8, 8, 3, seed);
+    b.conv2d(ModelBuilder::input(), 8, 3, 1, true);
+    return b.take();
+  };
+  const Model a = build(7), b2 = build(7), c = build(8);
+  const auto& wa = a.layers()[0].weights;
+  const auto& wb = b2.layers()[0].weights;
+  const auto& wc = c.layers()[0].weights;
+  EXPECT_TRUE(std::equal(wa.data(), wa.data() + wa.size_bytes(), wb.data()));
+  EXPECT_FALSE(std::equal(wa.data(), wa.data() + wa.size_bytes(), wc.data()));
+}
+
+TEST(Builder, FlashAddressesAreDisjointAndAligned) {
+  ModelBuilder b("t", 16, 16, 3, 1);
+  const int c1 = b.conv2d(ModelBuilder::input(), 8, 3, 1, true);
+  const int d1 = b.depthwise(c1, 3, 1, true);
+  b.pointwise(d1, 16, false);
+  Model m = b.take();
+  uint64_t prev_end = 0;
+  for (const auto& l : m.layers()) {
+    EXPECT_EQ(l.weight_vaddr % 32, 0u);
+    EXPECT_GE(l.weight_vaddr, prev_end);
+    prev_end = l.bias_vaddr + l.bias.size() * 4;
+  }
+}
+
+TEST(Model, StatsCountKindsAndMacs) {
+  ModelBuilder b("t", 16, 16, 3, 1);
+  const int c1 = b.conv2d(ModelBuilder::input(), 8, 3, 2, true);  // 8x8x8
+  const int d1 = b.depthwise(c1, 3, 1, true);
+  const int p1 = b.pointwise(d1, 16, false);
+  b.global_avg_pool(p1);
+  Model m = b.take();
+  const ModelStats st = m.stats();
+  EXPECT_EQ(st.num_layers, 4);
+  EXPECT_EQ(st.num_depthwise, 1);
+  EXPECT_EQ(st.num_pointwise, 1);
+  EXPECT_EQ(st.num_dae_eligible, 2);
+  // conv: 8*8*8*3*3*3; dw: 8*8*8*9; pw: 8*8*16*8.
+  EXPECT_EQ(st.total_macs, 8 * 8 * 8 * 27 + 8 * 8 * 8 * 9 + 8 * 8 * 16 * 8);
+}
+
+TEST(Model, RejectsForwardReferences) {
+  Model m("t", {1, 8, 8, 3}, {0.05, 0});
+  LayerSpec spec;
+  spec.inputs = {5};
+  EXPECT_THROW(m.add_layer(std::move(spec)), std::invalid_argument);
+}
+
+TEST(Zoo, EvaluationSuiteMatchesPaper) {
+  const auto suite = zoo::make_evaluation_suite();
+  ASSERT_EQ(suite.size(), 3u);
+  EXPECT_EQ(suite[0].name(), "VWW");
+  EXPECT_EQ(suite[1].name(), "PD");
+  EXPECT_EQ(suite[2].name(), "MBV2");
+}
+
+TEST(Zoo, DepthwiseAndPointwiseDominate) {
+  // §III-A: dw+pw make up over 80% of layers in these model families
+  // (counting conv-like layers, i.e. excluding add/pool/fc glue).
+  for (const auto& m : zoo::make_evaluation_suite()) {
+    const ModelStats st = m.stats();
+    int conv_like = 0;
+    for (const auto& l : m.layers()) {
+      if (l.kind == LayerKind::kConv2d || l.is_dae_eligible()) ++conv_like;
+    }
+    EXPECT_GT(static_cast<double>(st.num_dae_eligible) / conv_like, 0.8)
+        << m.name();
+  }
+}
+
+TEST(Zoo, Mbv2HasResidualAdds) {
+  const Model m = zoo::make_mbv2();
+  int adds = 0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kAdd) ++adds;
+  }
+  EXPECT_EQ(adds, 10);  // standard MBV2: 17 blocks, 10 with skip
+}
+
+TEST(Zoo, PdIsPureSeparableChain) {
+  const Model m = zoo::make_person_detection();
+  for (const auto& l : m.layers()) {
+    EXPECT_NE(l.kind, LayerKind::kAdd);
+  }
+  EXPECT_EQ(m.stats().num_depthwise, 13);
+  EXPECT_EQ(m.stats().num_pointwise, 13);
+}
+
+TEST(Zoo, ResidualShapesAreConsistent) {
+  for (const auto& m : zoo::make_evaluation_suite()) {
+    for (const auto& l : m.layers()) {
+      if (l.kind != LayerKind::kAdd) continue;
+      EXPECT_EQ(m.tensor_shape(l.inputs[0]), m.tensor_shape(l.inputs[1]))
+          << m.name() << " layer " << l.name;
+      EXPECT_EQ(l.out_shape, m.tensor_shape(l.inputs[0]));
+    }
+  }
+}
+
+TEST(Zoo, ModelsAreMcuScale) {
+  for (const auto& m : zoo::make_evaluation_suite()) {
+    const ModelStats st = m.stats();
+    EXPECT_GT(st.total_macs, 5'000'000) << m.name();
+    EXPECT_LT(st.total_macs, 200'000'000) << m.name();
+    EXPECT_LT(st.param_bytes, 2'000'000) << m.name() << " must fit in flash";
+  }
+}
+
+}  // namespace
+}  // namespace daedvfs::graph

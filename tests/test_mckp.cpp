@@ -1,0 +1,162 @@
+// MCKP solver tests: DP optimality vs exhaustive search (property-based over
+// random instances), feasibility edges, discretization conservativeness, and
+// solver-quality ordering (DP <= greedy <= any feasible).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mckp/mckp.hpp"
+
+namespace daedvfs::mckp {
+namespace {
+
+Instance random_instance(uint32_t seed, int n_classes, int items_per_class,
+                         double tightness) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> w(1.0, 100.0);
+  std::uniform_real_distribution<double> v(1.0, 50.0);
+  Instance inst;
+  double min_total = 0.0, max_total = 0.0;
+  for (int k = 0; k < n_classes; ++k) {
+    std::vector<Item> cls;
+    double wmin = 1e18, wmax = 0.0;
+    for (int j = 0; j < items_per_class; ++j) {
+      cls.push_back({w(rng), v(rng)});
+      wmin = std::min(wmin, cls.back().weight);
+      wmax = std::max(wmax, cls.back().weight);
+    }
+    min_total += wmin;
+    max_total += wmax;
+    inst.classes.push_back(std::move(cls));
+  }
+  inst.capacity = min_total + tightness * (max_total - min_total);
+  return inst;
+}
+
+TEST(Dp, TrivialSingleClass) {
+  Instance inst;
+  inst.classes = {{{5.0, 10.0}, {2.0, 20.0}, {8.0, 1.0}}};
+  inst.capacity = 6.0;
+  const Solution s = solve_dp(inst);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.chosen[0], 0);  // weight 5, value 10 (8 doesn't fit)
+  EXPECT_DOUBLE_EQ(s.total_value, 10.0);
+}
+
+TEST(Dp, InfeasibleWhenNothingFits) {
+  Instance inst;
+  inst.classes = {{{5.0, 1.0}}, {{6.0, 1.0}}};
+  inst.capacity = 8.0;
+  EXPECT_FALSE(solve_dp(inst).feasible);
+}
+
+TEST(Dp, EmptyClassIsInfeasible) {
+  Instance inst;
+  inst.classes = {{{1.0, 1.0}}, {}};
+  inst.capacity = 10.0;
+  EXPECT_FALSE(solve_dp(inst).feasible);
+}
+
+TEST(Dp, EmptyInstanceIsTriviallyFeasible) {
+  EXPECT_TRUE(solve_dp(Instance{}).feasible);
+}
+
+TEST(Dp, ExactlyOneItemPerClass) {
+  const Instance inst = random_instance(1, 12, 6, 0.5);
+  const Solution s = solve_dp(inst);
+  ASSERT_TRUE(s.feasible);
+  ASSERT_EQ(s.chosen.size(), inst.classes.size());
+  for (std::size_t k = 0; k < inst.classes.size(); ++k) {
+    EXPECT_GE(s.chosen[k], 0);
+    EXPECT_LT(s.chosen[k],
+              static_cast<int>(inst.classes[k].size()));
+  }
+}
+
+TEST(Dp, SolutionRespectsTrueCapacity) {
+  // Weights are rounded *up* in the DP, so the reported solution must be
+  // feasible under the exact (unrounded) weights.
+  for (uint32_t seed = 0; seed < 20; ++seed) {
+    const Instance inst = random_instance(seed, 15, 8, 0.3);
+    const Solution s = solve_dp(inst, 5000);
+    if (!s.feasible) continue;
+    EXPECT_LE(s.total_weight, inst.capacity + 1e-9) << "seed " << seed;
+  }
+}
+
+/// Property: DP matches exhaustive search on small instances, up to the
+/// bounded discretization error (tick = capacity / ticks per class).
+class DpOptimality : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(DpOptimality, MatchesBruteForce) {
+  const Instance inst = random_instance(GetParam(), 6, 4, 0.45);
+  const Solution dp = solve_dp(inst, 20000);
+  const Solution bf = solve_brute_force(inst);
+  ASSERT_EQ(dp.feasible, bf.feasible);
+  if (!bf.feasible) return;
+  // Discretization can cost a little optimality; with 20k ticks on a 6-class
+  // instance the loss is bounded by ~6 ticks of weight -> tiny value delta.
+  EXPECT_LE(dp.total_value, bf.total_value * 1.02 + 1e-9)
+      << "DP must be within 2% of the exhaustive optimum";
+  EXPECT_GE(dp.total_value, bf.total_value - 1e-9)
+      << "DP cannot beat the true optimum";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DpOptimality,
+                         ::testing::Range(0u, 25u));
+
+/// Property: greedy is feasible but never better than DP.
+class GreedyQuality : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(GreedyQuality, NeverBeatsDp) {
+  const Instance inst = random_instance(GetParam() + 100, 10, 6, 0.4);
+  const Solution dp = solve_dp(inst, 20000);
+  const Solution greedy = solve_greedy(inst);
+  ASSERT_EQ(dp.feasible, greedy.feasible);
+  if (!dp.feasible) return;
+  EXPECT_LE(greedy.total_weight, inst.capacity + 1e-9);
+  EXPECT_GE(greedy.total_value, dp.total_value - 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GreedyQuality, ::testing::Range(0u, 15u));
+
+TEST(Dp, MonotoneInCapacity) {
+  const Instance base = random_instance(5, 10, 6, 0.3);
+  Instance relaxed = base;
+  relaxed.capacity *= 1.5;
+  const Solution tight = solve_dp(base);
+  const Solution loose = solve_dp(relaxed);
+  ASSERT_TRUE(tight.feasible);
+  ASSERT_TRUE(loose.feasible);
+  EXPECT_LE(loose.total_value, tight.total_value + 1e-9)
+      << "more budget can only reduce the optimal energy";
+}
+
+TEST(Dp, ZeroCapacityNeedsZeroWeightItems) {
+  Instance inst;
+  inst.classes = {{{0.0, 3.0}, {1.0, 1.0}}};
+  inst.capacity = 0.0;
+  const Solution s = solve_dp(inst);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.chosen[0], 0);
+}
+
+TEST(Greedy, StartsAtMinWeightAndImproves) {
+  Instance inst;
+  // Class with a clear energy-per-time trade: fastest is costly.
+  inst.classes = {{{10.0, 100.0}, {20.0, 10.0}}};
+  inst.capacity = 25.0;
+  const Solution s = solve_greedy(inst);
+  ASSERT_TRUE(s.feasible);
+  EXPECT_EQ(s.chosen[0], 1) << "greedy should take the cheap slower item";
+}
+
+TEST(Greedy, InfeasibleWhenFastestOverruns) {
+  Instance inst;
+  inst.classes = {{{10.0, 1.0}}, {{10.0, 1.0}}};
+  inst.capacity = 15.0;
+  EXPECT_FALSE(solve_greedy(inst).feasible);
+}
+
+}  // namespace
+}  // namespace daedvfs::mckp

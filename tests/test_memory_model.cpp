@@ -1,0 +1,48 @@
+// Unit tests for the memory timing model: flash wait states (RM0410 Table 7)
+// and region miss penalties.
+#include <gtest/gtest.h>
+
+#include "sim/memory_model.hpp"
+
+namespace daedvfs::sim {
+namespace {
+
+TEST(FlashWaitStates, Rm0410Table) {
+  MemoryTimingParams p;
+  EXPECT_EQ(flash_wait_states(30.0, p), 0);
+  EXPECT_EQ(flash_wait_states(50.0, p), 1);
+  EXPECT_EQ(flash_wait_states(60.0, p), 1);
+  EXPECT_EQ(flash_wait_states(90.0, p), 2);
+  EXPECT_EQ(flash_wait_states(216.0, p), 7);
+}
+
+TEST(MissPenalty, FlashGrowsWithFrequencyInNs) {
+  // Wait-state *cycles* are fixed per access, but there are more of them at
+  // high SYSCLK; in absolute ns the flash penalty is higher at 216 than the
+  // base (this is a genuine high-frequency tax).
+  MemoryTimingParams p;
+  EXPECT_GT(miss_penalty_ns(MemRegion::kFlash, 216.0, p), p.flash_miss_ns);
+  EXPECT_GE(miss_penalty_ns(MemRegion::kFlash, 216.0, p),
+            miss_penalty_ns(MemRegion::kFlash, 30.0, p) - 1e-9);
+}
+
+TEST(MissPenalty, SramIsFrequencyIndependent) {
+  MemoryTimingParams p;
+  EXPECT_DOUBLE_EQ(miss_penalty_ns(MemRegion::kSram, 50.0, p),
+                   miss_penalty_ns(MemRegion::kSram, 216.0, p));
+}
+
+TEST(MissPenalty, DtcmIsFree) {
+  MemoryTimingParams p;
+  EXPECT_DOUBLE_EQ(miss_penalty_ns(MemRegion::kDtcm, 216.0, p), 0.0);
+}
+
+TEST(MemRef, OffsetKeepsRegion) {
+  MemRef ref{kFlashBase, MemRegion::kFlash};
+  const MemRef moved = ref.offset(0x100);
+  EXPECT_EQ(moved.vaddr, kFlashBase + 0x100);
+  EXPECT_EQ(moved.region, MemRegion::kFlash);
+}
+
+}  // namespace
+}  // namespace daedvfs::sim

@@ -1,0 +1,128 @@
+// Unit tests for the power model (power/power_model) — the analytic stand-in
+// for the paper's INA219 rig. Checks the structural properties every
+// experiment relies on.
+#include <gtest/gtest.h>
+
+#include "clock/rcc.hpp"
+#include "power/battery.hpp"
+#include "power/power_model.hpp"
+
+namespace daedvfs::power {
+namespace {
+
+const clock::ClockConfig kHfo216 = clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+const clock::ClockConfig kHfo100 = clock::ClockConfig::pll_hse(50.0, 25, 100, 2);
+const clock::ClockConfig kLfo50 = clock::ClockConfig::hse_direct(50.0);
+
+TEST(PowerModel, PowerIncreasesWithFrequency) {
+  PowerModel pm;
+  EXPECT_LT(pm.config_power_mw(kHfo100), pm.config_power_mw(kHfo216));
+  EXPECT_LT(pm.config_power_mw(kLfo50), pm.config_power_mw(kHfo100));
+}
+
+TEST(PowerModel, ActivityOrdering) {
+  PowerModel pm;
+  const double compute = pm.config_power_mw(kHfo216, Activity::kCompute);
+  const double stall = pm.config_power_mw(kHfo216, Activity::kMemoryStall);
+  const double idle = pm.config_power_mw(kHfo216, Activity::kIdle);
+  const double gated =
+      pm.config_power_mw(kHfo216, Activity::kIdleClockGated);
+  EXPECT_GT(compute, stall);
+  EXPECT_GT(idle, gated);
+  EXPECT_GT(compute, idle);
+  EXPECT_LT(gated, 20.0) << "gated idle must collapse to near-static power";
+}
+
+TEST(PowerModel, IsoFrequencyVcoGap) {
+  // Same 216 MHz SYSCLK via VCO 432 (P=2) vs via a hypothetical higher-VCO
+  // path does not exist at 216; use 100 MHz: VCO 200 (P=2) vs VCO 400 (P=4).
+  PowerModel pm;
+  const auto low_vco = clock::ClockConfig::pll_hse(50.0, 25, 100, 2);
+  const auto high_vco = clock::ClockConfig::pll_hse(50.0, 25, 200, 4);
+  ASSERT_TRUE(low_vco.valid());
+  ASSERT_TRUE(high_vco.valid());
+  ASSERT_DOUBLE_EQ(low_vco.sysclk_mhz(), high_vco.sysclk_mhz());
+  EXPECT_LT(pm.config_power_mw(low_vco), pm.config_power_mw(high_vco))
+      << "iso-frequency configs must differ in power via the VCO term "
+         "(paper Fig. 2, PLLP=2 rationale)";
+}
+
+TEST(PowerModel, HseDirectCheaperThanPllAtSameFrequency) {
+  PowerModel pm;
+  const auto pll50 = clock::ClockConfig::pll_hse(50.0, 50, 100, 2);  // 50 MHz
+  ASSERT_TRUE(pll50.valid());
+  EXPECT_LT(pm.config_power_mw(kLfo50), pm.config_power_mw(pll50));
+}
+
+TEST(PowerModel, CalibrationBand) {
+  // Absolute calibration sanity (paper Fig. 2 band): ~200 mW at 216 MHz
+  // compute, ~50 mW at HSE-direct 50 MHz.
+  PowerModel pm;
+  EXPECT_NEAR(pm.config_power_mw(kHfo216), 210.0, 40.0);
+  EXPECT_NEAR(pm.config_power_mw(kLfo50), 50.0, 15.0);
+}
+
+TEST(PowerState, FromRccTracksLockedPll) {
+  clock::Rcc rcc(kHfo216);
+  rcc.switch_to(kLfo50);
+  const PowerState st = PowerState::from_rcc(rcc);
+  EXPECT_TRUE(st.pll_running) << "PLL keeps running while muxed to HSE";
+  EXPECT_DOUBLE_EQ(st.vco_mhz, 432.0);
+  EXPECT_DOUBLE_EQ(st.sysclk_mhz, 50.0);
+  EXPECT_TRUE(st.hse_running);
+
+  rcc.stop_pll();
+  const PowerState st2 = PowerState::from_rcc(rcc);
+  EXPECT_FALSE(st2.pll_running);
+
+  PowerModel pm;
+  EXPECT_LT(pm.power_mw(st2, Activity::kCompute),
+            pm.power_mw(st, Activity::kCompute))
+      << "stopping the PLL must save its analog power";
+}
+
+TEST(PowerState, LfoAtPinnedScaleCostsMoreThanNativeScale) {
+  // Running 50 MHz with the regulator pinned at Scale1+OD (intra-layer LFO)
+  // must cost more than 50 MHz at its native Scale3.
+  PowerModel pm;
+  PowerState pinned;
+  pinned.sysclk_mhz = 50.0;
+  pinned.scale = clock::VoltageScale::kScale1OverDrive;
+  PowerState native = pinned;
+  native.scale = clock::VoltageScale::kScale3;
+  EXPECT_GT(pm.power_mw(pinned, Activity::kCompute),
+            pm.power_mw(native, Activity::kCompute));
+}
+
+TEST(PowerModel, VoltageExponentAblation) {
+  // The SMPS ablation (exponent 2) must widen the high/low-frequency power
+  // ratio relative to the LDO default (exponent 1).
+  PowerModelParams ldo;
+  PowerModelParams smps;
+  smps.voltage_exponent = 2.0;
+  const PowerModel pm_ldo(ldo), pm_smps(smps);
+  const double ratio_ldo =
+      pm_ldo.config_power_mw(kHfo216) / pm_ldo.config_power_mw(kHfo100);
+  const double ratio_smps =
+      pm_smps.config_power_mw(kHfo216) / pm_smps.config_power_mw(kHfo100);
+  EXPECT_GT(ratio_smps, ratio_ldo);
+}
+
+TEST(Battery, LifetimeScalesWithEnergy) {
+  BatteryModel battery;
+  DutyCycle duty{60.0, 0.8};
+  const double cheap = battery.lifetime_days(5000.0, 50000.0, duty);
+  const double costly = battery.lifetime_days(20000.0, 50000.0, duty);
+  EXPECT_GT(cheap, costly);
+  EXPECT_GT(cheap, 0.0);
+}
+
+TEST(Battery, SleepPowerDominatesAtLongPeriods) {
+  BatteryModel battery;
+  const double rare = battery.lifetime_days(5000.0, 50000.0, {600.0, 0.8});
+  const double frequent = battery.lifetime_days(5000.0, 50000.0, {1.0, 0.8});
+  EXPECT_GT(rare, frequent);
+}
+
+}  // namespace
+}  // namespace daedvfs::power

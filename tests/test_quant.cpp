@@ -1,0 +1,102 @@
+// Unit + property tests for the fixed-point quantization math (tensor/quant).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "tensor/quant.hpp"
+#include "tensor/shape.hpp"
+
+namespace daedvfs::tensor {
+namespace {
+
+TEST(QuantParams, DequantizeRoundtrip) {
+  QuantParams q{0.05, -3};
+  EXPECT_DOUBLE_EQ(q.dequantize(-3), 0.0);
+  EXPECT_DOUBLE_EQ(q.dequantize(17), 0.05 * 20);
+  EXPECT_EQ(q.quantize(0.0), -3);
+  EXPECT_EQ(q.quantize(1.0), 17);
+}
+
+TEST(QuantParams, QuantizeSaturates) {
+  QuantParams q{1.0, 0};
+  EXPECT_EQ(q.quantize(1000.0), 127);
+  EXPECT_EQ(q.quantize(-1000.0), -128);
+}
+
+TEST(QuantizedMultiplier, MantissaInRange) {
+  for (double m : {1e-6, 0.001, 0.1, 0.5, 0.9999, 1.0, 4.2}) {
+    const QuantizedMultiplier qm = quantize_multiplier(m);
+    EXPECT_GE(qm.multiplier, 1 << 30) << "m=" << m;
+    EXPECT_LE(static_cast<int64_t>(qm.multiplier), (1LL << 31) - 1);
+    // Reconstruction: m ~= multiplier / 2^31 * 2^shift.
+    const double back =
+        static_cast<double>(qm.multiplier) / (1LL << 31) *
+        std::ldexp(1.0, qm.shift);
+    EXPECT_NEAR(back, m, m * 1e-8);
+  }
+}
+
+TEST(RoundingDivideByPot, RoundsHalfAwayFromZero) {
+  EXPECT_EQ(rounding_divide_by_pot(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(rounding_divide_by_pot(-5, 1), -3);  // -2.5 -> -3 (away from 0)
+  EXPECT_EQ(rounding_divide_by_pot(4, 2), 1);
+  EXPECT_EQ(rounding_divide_by_pot(6, 2), 2);    // 1.5 -> 2
+  EXPECT_EQ(rounding_divide_by_pot(7, 0), 7);
+}
+
+TEST(SaturatingRoundingDoublingHighMul, SaturatesOnlyOnMinTimesMin) {
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(INT32_MIN, INT32_MIN),
+            INT32_MAX);
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(1 << 30, 1 << 30), 1 << 29);
+  EXPECT_EQ(saturating_rounding_doubling_high_mul(0, INT32_MIN), 0);
+}
+
+/// Property: multiply_by_quantized_multiplier(acc, qm(m)) ~= acc * m
+/// for a sweep of multipliers and accumulators.
+class MultiplierProperty
+    : public ::testing::TestWithParam<double> {};
+
+TEST_P(MultiplierProperty, MatchesRealArithmetic) {
+  const double m = GetParam();
+  const QuantizedMultiplier qm = quantize_multiplier(m);
+  std::mt19937 rng(42);
+  std::uniform_int_distribution<int32_t> dist(-2'000'000, 2'000'000);
+  for (int i = 0; i < 2000; ++i) {
+    const int32_t acc = dist(rng);
+    const int32_t got = multiply_by_quantized_multiplier(acc, qm);
+    const double want = static_cast<double>(acc) * m;
+    // Fixed-point rounding error is at most 1 ulp of the result + 0.5.
+    EXPECT_NEAR(static_cast<double>(got), want,
+                1.0 + std::abs(want) * 1e-6)
+        << "acc=" << acc << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MultiplierProperty,
+                         ::testing::Values(0.00001, 0.0001, 0.0005, 0.001,
+                                           0.0042, 0.01, 0.05, 0.1, 0.25,
+                                           0.5, 0.75, 0.99));
+
+TEST(ClampToInt8, Bounds) {
+  EXPECT_EQ(clamp_to_int8(300), 127);
+  EXPECT_EQ(clamp_to_int8(-300), -128);
+  EXPECT_EQ(clamp_to_int8(7), 7);
+  EXPECT_EQ(clamp_to_int8(100, 0, 6), 6);   // ReLU6-style clamp
+  EXPECT_EQ(clamp_to_int8(-5, 0, 6), 0);
+}
+
+TEST(Shape4, IndexingIsNhwc) {
+  Shape4 s{1, 4, 5, 3};
+  EXPECT_EQ(s.elems(), 60);
+  EXPECT_EQ(s.index(0, 0, 0), 0);
+  EXPECT_EQ(s.index(0, 0, 2), 2);
+  EXPECT_EQ(s.index(0, 1, 0), 3);
+  EXPECT_EQ(s.index(1, 0, 0), 15);
+  EXPECT_EQ(s.index(3, 4, 2), 59);
+  EXPECT_EQ(s.row_stride(), 15);
+  EXPECT_EQ(s.str(), "1x4x5x3");
+}
+
+}  // namespace
+}  // namespace daedvfs::tensor

@@ -1,0 +1,116 @@
+// Tests for the export utilities (power trace CSV, layer profile CSV,
+// firmware schedule header) and the DTCM scratch-placement option.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/trace_export.hpp"
+#include "graph/builder.hpp"
+#include "runtime/baseline.hpp"
+
+namespace daedvfs::core {
+namespace {
+
+graph::Model tiny_model() {
+  graph::ModelBuilder b("tiny", 16, 16, 3, 99);
+  const int c1 = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  const int d1 = b.depthwise(c1, 3, 1, true);
+  b.pointwise(d1, 8, false);
+  return b.take();
+}
+
+sim::Mcu fresh_mcu() {
+  sim::SimParams p;
+  p.boot = runtime::tinyengine_clock();
+  return sim::Mcu(p);
+}
+
+TEST(TraceExport, PowerTraceCsvHasOneRowPerSegment) {
+  sim::Mcu mcu = fresh_mcu();
+  mcu.meter().keep_trace(true);
+  mcu.set_tag("a");
+  mcu.compute(1000.0);
+  mcu.set_tag("b");
+  mcu.idle_for(5.0, true);
+  std::ostringstream os;
+  write_power_trace_csv(os, mcu.meter());
+  const std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);  // header + 2 segments
+  EXPECT_NE(s.find("t_begin_us,t_end_us,power_mw,tag"), std::string::npos);
+  EXPECT_NE(s.find(",a"), std::string::npos);
+  EXPECT_NE(s.find(",b"), std::string::npos);
+}
+
+TEST(TraceExport, LayerProfileCsvMatchesLayerCount) {
+  const graph::Model m = tiny_model();
+  runtime::InferenceEngine engine(m);
+  sim::Mcu mcu = fresh_mcu();
+  const auto r = engine.run(mcu, runtime::make_tinyengine_schedule(m),
+                            kernels::ExecMode::kTiming);
+  std::ostringstream os;
+  write_layer_profile_csv(os, r);
+  const std::string s = os.str();
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 1 + m.num_layers());
+  EXPECT_NE(s.find("depthwise"), std::string::npos);
+}
+
+TEST(TraceExport, ScheduleHeaderIsWellFormedC) {
+  const graph::Model m = tiny_model();
+  runtime::Schedule s = runtime::make_tinyengine_schedule(m);
+  s.plans[1].granularity = 8;
+  s.plans[1].dvfs_enabled = true;
+  std::ostringstream os;
+  write_schedule_header(os, m, s, "TEST_GUARD_H");
+  const std::string h = os.str();
+  EXPECT_NE(h.find("#ifndef TEST_GUARD_H"), std::string::npos);
+  EXPECT_NE(h.find("#endif"), std::string::npos);
+  EXPECT_NE(h.find("kDaedvfsSchedule[3]"), std::string::npos);
+  EXPECT_NE(h.find("{8, 1, 25, 216, 2, 50}"), std::string::npos);
+  // Balanced braces.
+  EXPECT_EQ(std::count(h.begin(), h.end(), '{'),
+            std::count(h.begin(), h.end(), '}'));
+}
+
+TEST(ScratchPlacement, DtcmRemovesBufferCacheTraffic) {
+  const graph::Model m = tiny_model();
+  runtime::Schedule s = runtime::make_tinyengine_schedule(m);
+  for (auto& plan : s.plans) {
+    plan.granularity = 4;
+    plan.dvfs_enabled = true;
+  }
+  auto run_with = [&](std::optional<sim::MemRegion> region) {
+    runtime::InferenceEngine engine(m);
+    if (region) engine.place_scratch(*region);
+    sim::Mcu mcu = fresh_mcu();
+    const auto r = engine.run(mcu, s, kernels::ExecMode::kTiming);
+    return std::pair{r.total_us, mcu.cache().stats().misses};
+  };
+  const auto sram = run_with(std::nullopt);
+  const auto dtcm = run_with(sim::MemRegion::kDtcm);
+  EXPECT_LT(dtcm.second, sram.second)
+      << "DTCM scratch must not consume cache lines";
+  EXPECT_LT(dtcm.first, sram.first)
+      << "uncached single-cycle scratch must be faster";
+}
+
+TEST(ScratchPlacement, NumericsUnchanged) {
+  const graph::Model m = tiny_model();
+  runtime::Schedule s = runtime::make_tinyengine_schedule(m);
+  for (auto& plan : s.plans) plan.granularity = 4;
+  std::vector<int8_t> in(static_cast<std::size_t>(m.input_shape().elems()),
+                         7);
+  auto out_with = [&](sim::MemRegion region) {
+    runtime::InferenceEngine engine(m);
+    engine.place_scratch(region);
+    sim::Mcu mcu = fresh_mcu();
+    return engine
+        .run(mcu, s, kernels::ExecMode::kFull,
+             std::span<const int8_t>(in.data(), in.size()))
+        .output;
+  };
+  EXPECT_EQ(out_with(sim::MemRegion::kSram),
+            out_with(sim::MemRegion::kDtcm));
+}
+
+}  // namespace
+}  // namespace daedvfs::core

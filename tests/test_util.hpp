@@ -1,0 +1,51 @@
+// Shared helpers for kernel tests: deterministic random tensors and
+// ready-made kernel argument bundles with simulated addresses.
+#pragma once
+
+#include <random>
+
+#include "kernels/conv_params.hpp"
+#include "kernels/exec_context.hpp"
+#include "sim/memory_model.hpp"
+#include "tensor/tensor.hpp"
+
+namespace daedvfs::testutil {
+
+inline tensor::QTensor random_tensor(tensor::Shape4 shape, uint32_t seed,
+                                     int lo = -100, int hi = 100,
+                                     tensor::QuantParams q = {0.05, -1}) {
+  tensor::QTensor t(shape, q);
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(lo, hi);
+  for (int64_t i = 0; i < shape.elems(); ++i) {
+    t.data()[i] = static_cast<int8_t>(dist(rng));
+  }
+  return t;
+}
+
+inline tensor::BiasVector random_bias(int n, uint32_t seed) {
+  tensor::BiasVector b(static_cast<std::size_t>(n));
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> dist(-500, 500);
+  for (auto& v : b) v = dist(rng);
+  return b;
+}
+
+/// Simulated placements: weights in flash, activations in SRAM.
+inline kernels::TensorRef ref_of(tensor::QTensor& t, uint64_t vaddr,
+                                 sim::MemRegion region) {
+  return {t.view(), {vaddr, region}};
+}
+
+inline kernels::ConvParams basic_params(int stride = 1, int pad = 0,
+                                        double requant_mult = 0.004) {
+  kernels::ConvParams p;
+  p.stride = stride;
+  p.pad = pad;
+  p.input_zero_point = -1;
+  p.output_zero_point = -1;
+  p.requant = tensor::quantize_multiplier(requant_mult);
+  return p;
+}
+
+}  // namespace daedvfs::testutil
