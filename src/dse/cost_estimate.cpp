@@ -1,0 +1,282 @@
+#include "dse/cost_estimate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/power_model.hpp"
+#include "sim/memory_model.hpp"
+
+namespace daedvfs::dse {
+namespace {
+
+/// Work totals of one candidate, split by clock domain. The compute segment
+/// (MACs, weight streaming, buffered-plane reads, output stores) runs at the
+/// HFO; the memory segment (the DAE gather) runs at the LFO when DVFS
+/// toggles, at the HFO otherwise.
+struct Work {
+  double compute_cycles = 0.0;    ///< HFO, Activity::kCompute.
+  double hfo_issue_cycles = 0.0;  ///< Load/store issue in the compute segment.
+  double hfo_sram_lines = 0.0;    ///< SRAM misses taken in the compute segment.
+  double flash_lines = 0.0;       ///< Flash misses (compute segment: weights).
+  double mem_issue_cycles = 0.0;  ///< Gather issue, memory segment.
+  double mem_sram_lines = 0.0;    ///< Gather misses, memory segment.
+  double mux_switches = 0.0;      ///< LFO<->HFO toggles (DVFS only).
+};
+
+double ceil_div(double a, double b) { return std::ceil(a / b); }
+double lines(double bytes, double line_bytes) {
+  return ceil_div(bytes, line_bytes);
+}
+
+Work conv2d_work(const tensor::Shape4& in, const tensor::Shape4& out,
+                 const tensor::Shape4& w, bool has_bias,
+                 const sim::CostModelParams& c, double cache_bytes,
+                 double line_bytes) {
+  Work wk;
+  const double macs = static_cast<double>(out.h) * out.w * out.c *
+                      (static_cast<double>(w.h) * w.w * w.c);
+  const double out_elems = static_cast<double>(out.elems());
+  const double in_bytes = static_cast<double>(in.elems());
+  const double weight_bytes = static_cast<double>(w.elems());
+  const double row_bytes = static_cast<double>(in.w) * in.c;
+  wk.compute_cycles = macs * c.cycles_per_mac +
+                      out_elems * c.cycles_per_requant +
+                      static_cast<double>(out.h) * out.w *
+                          c.loop_overhead_cycles;
+  const double in_read_bytes = static_cast<double>(out.h) * w.h * row_bytes;
+  wk.hfo_issue_cycles =
+      (in_read_bytes / 4.0 + out_elems / 4.0 +
+       static_cast<double>(out.h) * weight_bytes / 4.0 +
+       (has_bias ? static_cast<double>(out.h) * out.c : 0.0)) *
+      c.cycles_per_load_word;
+  // Input rows are re-read KH/stride times across output rows; they stay
+  // cache-resident only while the weight stream is not thrashing the cache.
+  wk.hfo_sram_lines = in_bytes + weight_bytes <= cache_bytes
+                          ? lines(in_bytes, line_bytes)
+                          : static_cast<double>(out.h) * w.h *
+                                lines(row_bytes, line_bytes);
+  wk.hfo_sram_lines += lines(out_elems, line_bytes);
+  wk.flash_lines = weight_bytes <= cache_bytes
+                       ? lines(weight_bytes, line_bytes)
+                       : static_cast<double>(out.h) * lines(weight_bytes, line_bytes);
+  return wk;
+}
+
+Work depthwise_work(const tensor::Shape4& in, const tensor::Shape4& out,
+                    const tensor::Shape4& w, int g,
+                    const sim::CostModelParams& c, double cache_bytes,
+                    double line_bytes) {
+  Work wk;
+  const double kk = static_cast<double>(w.h) * w.w;
+  const double out_rows = static_cast<double>(out.h) * in.c;
+  const double in_bytes = static_cast<double>(in.elems());
+  const double out_bytes = static_cast<double>(out.elems());
+  wk.flash_lines = lines(kk * in.c, line_bytes);
+  // A channel-strided pass (stride C, element width e) only touches the
+  // fraction max(e, line)/C of each row's lines, and adjacent channels
+  // share those lines — so the thrash regime is governed by the
+  // *per-channel* working set, and a full re-miss sweep costs
+  // min(C, line/e)-ish passes over the touched fraction, not C passes over
+  // everything.
+  const auto strided_pass_miss = [&](double bytes, double elem,
+                                     double resident_extra) {
+    const double frac =
+        std::min(1.0, std::max(elem, line_bytes) / static_cast<double>(in.c));
+    const double per_chan = bytes * frac + resident_extra;
+    const double passes =
+        per_chan <= cache_bytes
+            ? 1.0
+            : std::min<double>(in.c, line_bytes / std::max(elem, 1.0)) * frac;
+    return passes * lines(bytes, line_bytes);
+  };
+  if (g <= 0) {
+    // Baseline: strided byte-fed MACs, channel-major traversal.
+    wk.compute_cycles =
+        out_rows * (static_cast<double>(out.w) * kk * c.cycles_per_mac *
+                        c.strided_mac_factor +
+                    static_cast<double>(out.w) *
+                        (c.cycles_per_requant + c.loop_overhead_cycles));
+    wk.hfo_issue_cycles =
+        (out_rows * w.h * in.w + out_rows * out.w + kk * in.c) *
+        c.cycles_per_load_word;
+    wk.hfo_sram_lines = strided_pass_miss(in_bytes, 1.0, out_bytes / in.c) +
+                        strided_pass_miss(out_bytes, 1.0, in_bytes / in.c);
+  } else {
+    // DAE: the memory segment gathers g-channel groups into contiguous
+    // planes; the compute segment runs word-fed MACs over the buffers.
+    const double groups = ceil_div(static_cast<double>(in.c), g);
+    const double plane_bytes = static_cast<double>(in.h) * in.w;
+    const double scratch_bytes = static_cast<double>(g) * plane_bytes;
+    wk.compute_cycles =
+        out_rows * (static_cast<double>(out.w) * kk * c.cycles_per_mac +
+                    static_cast<double>(out.w) *
+                        (c.cycles_per_requant + c.loop_overhead_cycles));
+    wk.mem_issue_cycles =
+        (in_bytes * ceil_div(g, 4.0) / g +                // group gather loads
+         static_cast<double>(in.c) * plane_bytes / 4.0) * // plane stores
+        c.cycles_per_load_word;
+    const double gfrac = std::min(
+        1.0, std::max<double>(g, line_bytes) / static_cast<double>(in.c));
+    wk.mem_sram_lines =
+        (in_bytes * gfrac + scratch_bytes <= cache_bytes
+             ? lines(in_bytes, line_bytes)
+             : groups * gfrac * lines(in_bytes, line_bytes)) +
+        (scratch_bytes <= cache_bytes ? lines(scratch_bytes, line_bytes)
+                                      : groups * lines(scratch_bytes, line_bytes));
+    wk.hfo_issue_cycles =
+        (out_rows * static_cast<double>(out.w) * kk / 4.0 +  // plane reads
+         out_rows * out.w +                          // strided output stores
+         kk * in.c) *
+        c.cycles_per_load_word;
+    wk.hfo_sram_lines =
+        strided_pass_miss(out_bytes, 1.0, scratch_bytes / in.c) +
+        (scratch_bytes <= cache_bytes ? 0.0 : groups * lines(scratch_bytes, line_bytes));
+    wk.mux_switches = 2.0 * groups;
+  }
+  return wk;
+}
+
+Work pointwise_work(const tensor::Shape4& in, const tensor::Shape4& out,
+                    int g, const sim::CostModelParams& c, double cache_bytes,
+                    double line_bytes) {
+  Work wk;
+  const double columns = static_cast<double>(in.h) * in.w;
+  const double weight_bytes = static_cast<double>(out.c) * in.c;
+  const double in_bytes = static_cast<double>(in.elems());
+  const double out_bytes = static_cast<double>(out.elems());
+  wk.compute_cycles =
+      columns * (static_cast<double>(out.c) * in.c * c.cycles_per_mac +
+                 static_cast<double>(out.c) * c.cycles_per_requant +
+                 c.loop_overhead_cycles);
+  // Baseline streams the weight matrix once per column pair; DAE once per
+  // buffered group.
+  const double streams =
+      g <= 0 ? static_cast<double>(in.h) *
+                   ceil_div(static_cast<double>(in.w), 2.0)
+             : ceil_div(columns, g);
+  wk.flash_lines = weight_bytes <= cache_bytes
+                       ? lines(weight_bytes, line_bytes)
+                       : streams * lines(weight_bytes, line_bytes);
+  if (g <= 0) {
+    wk.hfo_issue_cycles = (in_bytes / 4.0 + out_bytes / 4.0 +
+                           streams * weight_bytes / 4.0) *
+                          c.cycles_per_load_word;
+    wk.hfo_sram_lines = lines(in_bytes, line_bytes) + lines(out_bytes, line_bytes);
+  } else {
+    wk.mem_issue_cycles = 2.0 * in_bytes / 4.0 * c.cycles_per_load_word;
+    wk.mem_sram_lines = lines(in_bytes, line_bytes) + lines(in_bytes, line_bytes);  // read + scratch
+    wk.hfo_issue_cycles = (in_bytes / 4.0 + out_bytes / 4.0 +
+                           streams * weight_bytes / 4.0) *
+                          c.cycles_per_load_word;
+    wk.hfo_sram_lines = lines(out_bytes, line_bytes);
+    wk.mux_switches = 2.0 * streams;
+  }
+  return wk;
+}
+
+/// Pool/add/fully-connected "rest" layers, mirroring their kernels' cycle
+/// formulas. Only the frequency varies across their candidates.
+Work generic_work(const graph::Model& model, const graph::LayerSpec& layer,
+                  const sim::CostModelParams& c, double line_bytes) {
+  Work wk;
+  double in_bytes = 0.0;
+  for (const int id : layer.inputs) {
+    in_bytes += static_cast<double>(model.tensor_shape(id).elems());
+  }
+  const double out_elems = static_cast<double>(layer.out_shape.elems());
+  const double weight_bytes =
+      static_cast<double>(layer.weights.shape().elems());
+  switch (layer.kind) {
+    case graph::LayerKind::kAdd:
+      wk.compute_cycles = out_elems * (2.0 * c.cycles_per_requant + 1.0);
+      break;
+    case graph::LayerKind::kGlobalAvgPool:
+      wk.compute_cycles =
+          in_bytes * 0.5 + out_elems * (8.0 + c.cycles_per_requant);
+      break;
+    default:
+      wk.compute_cycles = static_cast<double>(layer.macs()) *
+                              c.cycles_per_mac +
+                          out_elems * c.cycles_per_requant;
+      break;
+  }
+  wk.hfo_issue_cycles = (in_bytes + out_elems + weight_bytes) / 4.0 *
+                        c.cycles_per_load_word;
+  wk.hfo_sram_lines = lines(in_bytes + out_elems, line_bytes);
+  wk.flash_lines = lines(weight_bytes, line_bytes);
+  return wk;
+}
+
+}  // namespace
+
+CostEstimate estimate_candidate(const graph::Model& model,
+                                const graph::LayerSpec& layer, int granularity,
+                                bool dvfs_enabled,
+                                const clock::ClockConfig& hfo,
+                                const clock::ClockConfig& lfo,
+                                const sim::SimParams& sim) {
+  const int g = layer.is_dae_eligible() ? granularity : 0;
+  const bool dvfs = dvfs_enabled && g > 0;
+  const double cache_bytes = static_cast<double>(sim.cache.size_bytes);
+  const double line_bytes = static_cast<double>(sim.cache.line_bytes);
+  const tensor::Shape4& in = model.tensor_shape(layer.inputs.at(0));
+
+  Work wk;
+  switch (layer.kind) {
+    case graph::LayerKind::kConv2d:
+      wk = conv2d_work(in, layer.out_shape, layer.weights.shape(),
+                       !layer.bias.empty(), sim.cost, cache_bytes,
+                       line_bytes);
+      break;
+    case graph::LayerKind::kDepthwise:
+      wk = depthwise_work(in, layer.out_shape, layer.weights.shape(), g,
+                          sim.cost, cache_bytes, line_bytes);
+      break;
+    case graph::LayerKind::kPointwise:
+      wk = pointwise_work(in, layer.out_shape, g, sim.cost, cache_bytes,
+                          line_bytes);
+      break;
+    default:
+      wk = generic_work(model, layer, sim.cost, line_bytes);
+      break;
+  }
+
+  const double f_hi = hfo.sysclk_mhz();
+  const clock::ClockConfig& mem_clk = dvfs ? lfo : hfo;
+  const double f_mem = mem_clk.sysclk_mhz();
+  const double sram_ns =
+      sim::miss_penalty_ns(sim::MemRegion::kSram, f_hi, sim.memory);
+  const double flash_hi_ns =
+      sim::miss_penalty_ns(sim::MemRegion::kFlash, f_hi, sim.memory);
+
+  const double t_cmp_us = wk.compute_cycles / f_hi;
+  // Compute-segment memory traffic (weights, planes, outputs) runs at HFO.
+  const double t_hfo_mem_us =
+      wk.hfo_issue_cycles / f_hi +
+      (wk.hfo_sram_lines * sram_ns + wk.flash_lines * flash_hi_ns) * 1e-3;
+  // The gather runs at the memory clock; SRAM refills are wall-clock-fixed.
+  const double t_gather_us =
+      wk.mem_issue_cycles / f_mem + wk.mem_sram_lines * sram_ns * 1e-3;
+  const double t_switch_us =
+      dvfs ? wk.mux_switches * sim.switching.mux_switch_us : 0.0;
+
+  const power::PowerModel pm(sim.power);
+  // During LFO segments the PLL stays locked at the HFO setting (only the
+  // SYSCLK mux toggles), so its analog power is still drawn.
+  double p_mem_mw = pm.config_power_mw(mem_clk, power::Activity::kMemoryStall);
+  if (dvfs && hfo.pll.has_value()) {
+    p_mem_mw += sim.power.pll_mw_per_vco_mhz * hfo.pll->vco_mhz();
+  }
+  const double p_hfo_stall_mw =
+      pm.config_power_mw(hfo, power::Activity::kMemoryStall);
+  const double p_cmp_mw = pm.config_power_mw(hfo, power::Activity::kCompute);
+
+  CostEstimate e;
+  e.t_us = t_cmp_us + t_hfo_mem_us + t_gather_us + t_switch_us;
+  e.energy_uj = t_cmp_us * p_cmp_mw * 1e-3 +
+                t_hfo_mem_us * p_hfo_stall_mw * 1e-3 +
+                (t_gather_us + t_switch_us) * p_mem_mw * 1e-3;
+  return e;
+}
+
+}  // namespace daedvfs::dse

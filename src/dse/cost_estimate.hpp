@@ -1,0 +1,44 @@
+// Closed-form (time, energy) estimate of one DSE candidate, used by the
+// explorer's dominance prefilter to skip simulating candidates that are
+// provably worse than another candidate of the same layer on *both* axes by
+// more than the model's error margin.
+//
+// The estimator mirrors the kernels' own work accounting (MAC/requant/issue
+// cycle formulas from sim::CostModelParams, flash/SRAM miss penalties from
+// sim::MemoryTimingParams, segment powers from power::PowerModel) but
+// replaces the cache simulation with a working-set heuristic. It is a
+// *ranking* model: absolute numbers are approximate, relative ordering
+// within one layer's candidate set is what the prefilter consumes, and the
+// dominance test inflates both axes by ExploreOptions::prefilter_margin to
+// absorb the approximation error.
+#pragma once
+
+#include "clock/clock_config.hpp"
+#include "graph/model.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::dse {
+
+struct CostEstimate {
+  double t_us = 0.0;
+  double energy_uj = 0.0;
+};
+
+/// Analytic estimate for candidate (granularity, hfo) of `layer`.
+/// `dvfs_enabled` selects LFO-clocked memory segments (granularity > 0).
+[[nodiscard]] CostEstimate estimate_candidate(
+    const graph::Model& model, const graph::LayerSpec& layer, int granularity,
+    bool dvfs_enabled, const clock::ClockConfig& hfo,
+    const clock::ClockConfig& lfo, const sim::SimParams& sim);
+
+/// True when candidate `a` is dominated by candidate `b` beyond the given
+/// relative margin: b is better on both axes even if the model erred by
+/// `margin` in b's disfavor and in a's favor.
+[[nodiscard]] inline bool dominated_with_margin(const CostEstimate& a,
+                                                const CostEstimate& b,
+                                                double margin) {
+  return b.t_us * (1.0 + margin) <= a.t_us * (1.0 - margin) &&
+         b.energy_uj * (1.0 + margin) <= a.energy_uj * (1.0 - margin);
+}
+
+}  // namespace daedvfs::dse

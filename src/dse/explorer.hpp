@@ -2,8 +2,20 @@
 // §III-B): every (g, HFO) candidate of each layer is profiled on a fresh
 // simulated MCU in Timing mode; Pareto-optimal (latency, energy) solutions
 // are extracted per layer for the MCKP stage.
+//
+// Exploration cost is kept near the information-theoretic minimum by three
+// orthogonal mechanisms (docs/perf.md):
+//   * memoization — structurally identical layers (ubiquitous in the
+//     MobileNet family) share one profile per candidate config;
+//   * parallel profiling — candidates fan out over a thread pool (each
+//     profile runs on its own isolated sim::Mcu);
+//   * analytic prefiltering — candidates dominated on both axes beyond the
+//     cost model's error margin are never simulated (opt-in).
+// Results are bitwise independent of thread count and (with the prefilter
+// off) identical to the serial unmemoized sweep.
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "dse/design_space.hpp"
@@ -12,6 +24,8 @@
 #include "sim/mcu.hpp"
 
 namespace daedvfs::dse {
+
+class ProfileCache;
 
 /// One explored operating point of one layer.
 struct LayerSolution {
@@ -47,18 +61,87 @@ struct ExploreOptions {
   /// Skip granularities whose gather buffer would exceed this bound
   /// (board SRAM scratch budget). 0 = no bound.
   std::size_t max_scratch_bytes = 96 * 1024;
+  /// Profiling threads. 0 = the DAEDVFS_THREADS environment variable,
+  /// falling back to the hardware concurrency; 1 = serial.
+  int num_threads = 0;
+  /// Profile each (layer signature, candidate) pair once and reuse the
+  /// result for structurally identical layers. Exact: memoized results are
+  /// bitwise equal to profiling every layer individually.
+  bool memoize = true;
+  /// Share profiles across explore_model calls (e.g. QoS sweeps over the
+  /// same model). nullptr = a fresh per-call cache.
+  ProfileCache* cache = nullptr;
+  /// Frequency replay (requires memoize): simulate each (layer signature,
+  /// granularity) pair once while recording a sim::WorkLedger, then evaluate
+  /// every other HFO of the sweep in closed form (dse/freq_replay.hpp).
+  /// Replayed values match direct simulation to FP-reassociation error
+  /// (~1e-12 relative) — candidate rankings, Pareto fronts and MCKP
+  /// schedules are preserved. Off by default: the default path reports
+  /// bitwise-exact simulator output for every candidate.
+  bool freq_replay = false;
+  /// Skip simulating candidates whose analytic estimate is dominated by
+  /// another candidate of the same layer on both time and energy by more
+  /// than `prefilter_margin` (relative) — see dse/cost_estimate.hpp. Pruned
+  /// candidates do not appear in LayerSolutionSet::all. Off by default: the
+  /// sweep is then exhaustive and exact. The default margin is calibrated
+  /// against the zoo models (tools: tests/test_explore_fast.cpp pins front
+  /// preservation; bench_explore re-verifies it on every run).
+  bool prefilter = false;
+  double prefilter_margin = 0.10;
 };
 
-/// Profiles one (layer, plan) candidate on a fresh MCU; returns (t, E).
-[[nodiscard]] LayerSolution profile_candidate(runtime::InferenceEngine& engine,
-                                              int layer_idx,
-                                              const LayerSolution& candidate,
-                                              const clock::ClockConfig& lfo,
-                                              const ExploreOptions& opts);
+/// Exploration accounting, for benchmarking and regression tracking.
+struct ExploreStats {
+  std::int64_t total_candidates = 0;  ///< After the scratch bound.
+  std::int64_t pruned = 0;            ///< Removed by the analytic prefilter.
+  std::int64_t profiled = 0;          ///< Simulations actually executed.
+  std::int64_t cache_hits = 0;        ///< Candidates served from the memo.
+  std::int64_t replayed = 0;          ///< Candidates evaluated by freq replay.
 
-/// Runs the full per-layer DSE for `model`.
+  [[nodiscard]] double hit_rate() const {
+    const std::int64_t served = total_candidates - pruned;
+    return served > 0 ? static_cast<double>(cache_hits) /
+                            static_cast<double>(served)
+                      : 0.0;
+  }
+};
+
+/// Profiles one (layer, plan) candidate in situ on `engine`'s activation
+/// placement, on a fresh MCU; returns (t, E). Kept for single-layer probes
+/// (bench_fig4); explore_model uses the canonical isolated profiler below.
+[[nodiscard]] LayerSolution profile_candidate(
+    const runtime::InferenceEngine& engine, int layer_idx,
+    const LayerSolution& candidate, const clock::ClockConfig& lfo,
+    const ExploreOptions& opts);
+
+/// Profiles one candidate with *canonical* tensor placement (input at the
+/// SRAM base, output/scratch/weights at deterministic offsets derived from
+/// the shapes alone), so the result is a pure function of the layer's
+/// structural signature — the property the profile memoization relies on.
+/// Thread-safe: builds its own Mcu and ExecContext. `ledger` (optional)
+/// records the run's per-clock-domain work totals for frequency replay.
+[[nodiscard]] LayerSolution profile_candidate_isolated(
+    const graph::Model& model, int layer_idx, const LayerSolution& candidate,
+    const clock::ClockConfig& lfo, const ExploreOptions& opts,
+    sim::WorkLedger* ledger);
+
+[[nodiscard]] inline LayerSolution profile_candidate_isolated(
+    const graph::Model& model, int layer_idx, const LayerSolution& candidate,
+    const clock::ClockConfig& lfo, const ExploreOptions& opts) {
+  return profile_candidate_isolated(model, layer_idx, candidate, lfo, opts,
+                                    nullptr);
+}
+
+/// Runs the full per-layer DSE for `model`. Deterministic for any thread
+/// count. `stats` (optional) receives exploration accounting.
 [[nodiscard]] std::vector<LayerSolutionSet> explore_model(
     const graph::Model& model, const DesignSpace& space,
-    const ExploreOptions& opts);
+    const ExploreOptions& opts, ExploreStats* stats);
+
+[[nodiscard]] inline std::vector<LayerSolutionSet> explore_model(
+    const graph::Model& model, const DesignSpace& space,
+    const ExploreOptions& opts) {
+  return explore_model(model, space, opts, nullptr);
+}
 
 }  // namespace daedvfs::dse

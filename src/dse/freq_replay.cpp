@@ -1,0 +1,80 @@
+#include "dse/freq_replay.hpp"
+
+#include "clock/voltage.hpp"
+#include "power/power_model.hpp"
+#include "sim/memory_model.hpp"
+
+namespace daedvfs::dse {
+namespace {
+
+/// Power-relevant state while `active` drives SYSCLK during a run booted at
+/// `boot_hfo` — mirrors power::PowerState::from_rcc for a profiling run:
+/// the regulator scale stays pinned at the boot requirement (intra-layer
+/// toggles never change it) and a boot-locked PLL keeps running through LFO
+/// segments.
+power::PowerState replay_state(const clock::ClockConfig& active,
+                               const clock::ClockConfig& boot_hfo) {
+  power::PowerState st = power::PowerState::from_config(boot_hfo);
+  st.sysclk_mhz = active.sysclk_mhz();
+  if (active.source == clock::ClockSource::kHse) {
+    st.hse_running = true;
+    st.hse_mhz = active.hse_mhz;
+  }
+  if (active.source == clock::ClockSource::kHsi) st.hsi_running = true;
+  return st;
+}
+
+}  // namespace
+
+ProfileEntry replay_profile(const sim::WorkLedger& ledger,
+                            const clock::ClockConfig& hfo_ref,
+                            const clock::ClockConfig& hfo_new,
+                            const sim::SimParams& sim) {
+  const power::PowerModel pm(sim.power);
+  ProfileEntry out;
+
+  for (const sim::WorkLedger::Domain& d : ledger.domains) {
+    const bool is_hfo = d.config == hfo_ref;
+    const clock::ClockConfig& active = is_hfo ? hfo_new : d.config;
+    const double f = active.sysclk_mhz();
+
+    // Compute-activity time: pure cycles at the domain clock.
+    const double t_cmp_us = d.compute_cycles / f;
+
+    // Memory-activity time, mirroring Mcu::mem_access / charge_memory:
+    // issue cycles at the clock, SRAM refills and writebacks wall-clock
+    // fixed, flash refills at the (wait-state-dependent) new penalty. The
+    // analytically charged stalls (pointwise weight restreaming) are flash
+    // refills taken at the domain clock: rescale by the penalty ratio.
+    const double flash_pen_ns =
+        sim::miss_penalty_ns(sim::MemRegion::kFlash, f, sim.memory);
+    double charge_stall_ns = d.charge_stall_ns;
+    if (is_hfo && charge_stall_ns > 0.0) {
+      const double ref_pen_ns = sim::miss_penalty_ns(
+          sim::MemRegion::kFlash, d.config.sysclk_mhz(), sim.memory);
+      charge_stall_ns = charge_stall_ns / ref_pen_ns * flash_pen_ns;
+    }
+    const double t_mem_us =
+        (d.issue_cycles + d.charge_issue_cycles) / f +
+        (d.sram_misses * sim.memory.sram_miss_ns +
+         d.flash_misses * flash_pen_ns +
+         d.writebacks * sim.memory.writeback_ns + charge_stall_ns) *
+            1e-3;
+
+    // Clock switches that landed in this domain: intra-layer LFO<->HFO
+    // toggles only pay the mux cost (the PLL stays locked, the scale stays
+    // pinned) — the only kind a single-candidate profiling run performs.
+    const double t_switch_us =
+        static_cast<double>(d.switches_in) * sim.switching.mux_switch_us;
+
+    const power::PowerState st = replay_state(active, hfo_new);
+    out.t_us += t_cmp_us + t_mem_us + t_switch_us;
+    out.energy_uj +=
+        t_cmp_us * pm.power_mw(st, power::Activity::kCompute) * 1e-3 +
+        (t_mem_us + t_switch_us) *
+            pm.power_mw(st, power::Activity::kMemoryStall) * 1e-3;
+  }
+  return out;
+}
+
+}  // namespace daedvfs::dse

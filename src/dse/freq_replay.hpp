@@ -1,0 +1,36 @@
+// Frequency replay: evaluate a recorded profiling run under a different HFO
+// without re-simulating.
+//
+// The cache hit/miss stream of a kernel execution does not depend on the
+// operating frequency — only shapes, addresses and access order drive it.
+// Frequency enters the simulator exclusively through four linear channels:
+// cycles / f, flash wait-states (miss_penalty_ns), the voltage scale, and
+// the power model's (V, f, VCO) terms. A sim::WorkLedger captures the
+// frequency-independent totals of one run per clock domain; this module
+// re-evaluates them in closed form for any other HFO, mirroring
+// sim::Mcu::advance / PowerModel::power_mw arithmetic term by term. The
+// result matches a direct simulation to floating-point reassociation error
+// (~1e-12 relative; asserted in tests/test_explore_fast.cpp).
+//
+// This turns the HFO axis of the DSE from |HFO| simulations per (layer, g)
+// into one simulation plus |HFO|-1 constant-time evaluations.
+#pragma once
+
+#include "clock/clock_config.hpp"
+#include "dse/profile_cache.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::dse {
+
+/// Evaluates `ledger` (recorded while profiling a candidate booted at
+/// `hfo_ref`, toggling against `lfo` when DVFS was active) as if the run had
+/// used `hfo_new` instead. The LFO domain is re-evaluated unchanged; the HFO
+/// domain is re-timed and re-powered at the new configuration, including
+/// the pinned voltage scale and the still-locked PLL's VCO power during LFO
+/// segments.
+[[nodiscard]] ProfileEntry replay_profile(const sim::WorkLedger& ledger,
+                                          const clock::ClockConfig& hfo_ref,
+                                          const clock::ClockConfig& hfo_new,
+                                          const sim::SimParams& sim);
+
+}  // namespace daedvfs::dse

@@ -11,10 +11,13 @@ namespace daedvfs::dse {
 /// Returns the subset of `points` not dominated in (latency(p), energy(p)),
 /// sorted by ascending latency (and therefore descending energy). Both
 /// objectives are minimized. Duplicate-latency points keep the lower energy.
+/// Stable sort: among exactly tied points the earliest input wins, so front
+/// membership is deterministic (equivalent DSE candidates — e.g. two
+/// granularities that both cover a layer in one group — tie exactly).
 template <class T, class LatencyFn, class EnergyFn>
 [[nodiscard]] std::vector<T> pareto_front(std::vector<T> points,
                                           LatencyFn latency, EnergyFn energy) {
-  std::sort(points.begin(), points.end(), [&](const T& a, const T& b) {
+  std::stable_sort(points.begin(), points.end(), [&](const T& a, const T& b) {
     if (latency(a) != latency(b)) return latency(a) < latency(b);
     return energy(a) < energy(b);
   });

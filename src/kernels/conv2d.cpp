@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace daedvfs::kernels {
 namespace {
@@ -34,12 +35,86 @@ Geom make_geom(const Conv2dArgs& a) {
   return g;
 }
 
-/// Weight element (oc, ky, kx, ic).
-inline int8_t wat(const TensorRef& w, const Geom& g, int oc, int ky, int kx,
-                  int ic) {
-  const int64_t idx =
-      ((static_cast<int64_t>(oc) * g.kh + ky) * g.kw + kx) * g.cin + ic;
-  return w.view.data[idx];
+/// Per-filter sums of all weight elements, for folding the input zero point
+/// out of the interior hot loop: sum((x - zp) * w) == sum(x * w) - zp * sum(w)
+/// whenever every tap of the filter window is in bounds.
+std::vector<int32_t> filter_weight_sums(const Conv2dArgs& a, const Geom& g) {
+  std::vector<int32_t> sums(static_cast<std::size_t>(g.cout));
+  const int64_t kelems = static_cast<int64_t>(g.kh) * g.kw * g.cin;
+  const int8_t* w = a.weights.view.data;
+  for (int oc = 0; oc < g.cout; ++oc) {
+    int32_t s = 0;
+    const int8_t* wp = w + oc * kelems;
+    for (int64_t j = 0; j < kelems; ++j) s += wp[j];
+    sums[static_cast<std::size_t>(oc)] = s;
+  }
+  return sums;
+}
+
+/// int8 math for one output row, split into an interior region (full filter
+/// window in bounds: zero-point-folded contiguous MACs over row pointers) and
+/// border columns (bounds-checked per tap, as the padding semantics require).
+void math_output_row(const Conv2dArgs& a, const Geom& g, int oy,
+                     const int32_t* wsum) {
+  const int8_t* in = a.input.view.data;
+  const int8_t* wts = a.weights.view.data;
+  int8_t* out_row =
+      a.output.view.data + static_cast<int64_t>(oy) * g.ow * g.cout;
+  const int64_t in_row_elems = static_cast<int64_t>(g.w) * g.cin;
+  const int64_t w_row_elems = static_cast<int64_t>(g.kw) * g.cin;
+  const int32_t zp = a.params.input_zero_point;
+  const int iy_base = oy * g.stride - g.pad;
+  const int ky0 = std::max(0, -iy_base);
+  const int ky1 = std::min(g.kh, g.h - iy_base);
+  const bool full_rows = ky0 == 0 && ky1 == g.kh;
+
+  for (int ox = 0; ox < g.ow; ++ox) {
+    const int ix_base = ox * g.stride - g.pad;
+    int8_t* out_px = out_row + static_cast<int64_t>(ox) * g.cout;
+    if (full_rows && ix_base >= 0 && ix_base + g.kw <= g.w) {
+      const int8_t* in_base =
+          in + static_cast<int64_t>(iy_base) * in_row_elems +
+          static_cast<int64_t>(ix_base) * g.cin;
+      for (int oc = 0; oc < g.cout; ++oc) {
+        int32_t acc =
+            (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
+        const int8_t* wp =
+            wts + static_cast<int64_t>(oc) * g.kh * w_row_elems;
+        const int8_t* ip = in_base;
+        for (int ky = 0; ky < g.kh; ++ky) {
+          for (int64_t j = 0; j < w_row_elems; ++j) {
+            acc += static_cast<int32_t>(ip[j]) * static_cast<int32_t>(wp[j]);
+          }
+          ip += in_row_elems;
+          wp += w_row_elems;
+        }
+        out_px[oc] = requantize(acc, a.params);
+      }
+    } else {
+      const int kx0 = std::max(0, -ix_base);
+      const int kx1 = std::min(g.kw, g.w - ix_base);
+      for (int oc = 0; oc < g.cout; ++oc) {
+        int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
+        for (int ky = ky0; ky < ky1; ++ky) {
+          const int8_t* ip = in +
+                             static_cast<int64_t>(iy_base + ky) * in_row_elems +
+                             static_cast<int64_t>(ix_base) * g.cin;
+          const int8_t* wp = wts +
+                             (static_cast<int64_t>(oc) * g.kh + ky) *
+                                 w_row_elems;
+          for (int kx = kx0; kx < kx1; ++kx) {
+            const int8_t* ipx = ip + static_cast<int64_t>(kx) * g.cin;
+            const int8_t* wpx = wp + static_cast<int64_t>(kx) * g.cin;
+            for (int ic = 0; ic < g.cin; ++ic) {
+              acc += (static_cast<int32_t>(ipx[ic]) - zp) *
+                     static_cast<int32_t>(wpx[ic]);
+            }
+          }
+        }
+        out_px[oc] = requantize(acc, a.params);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -48,6 +123,9 @@ void conv2d(const Conv2dArgs& a, ExecContext& ctx) {
   const Geom g = make_geom(a);
   const auto& cost = ctx.cost();
   ctx.compute(cost.call_overhead_cycles);
+
+  const std::vector<int32_t> wsum =
+      ctx.do_math() ? filter_weight_sums(a, g) : std::vector<int32_t>{};
 
   const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.cin;
   const int64_t out_row_bytes = static_cast<int64_t>(g.ow) * g.cout;
@@ -81,25 +159,7 @@ void conv2d(const Conv2dArgs& a, ExecContext& ctx) {
               static_cast<double>(out_row_bytes) / 4.0);
 
     if (ctx.do_math()) {
-      for (int ox = 0; ox < g.ow; ++ox) {
-        for (int oc = 0; oc < g.cout; ++oc) {
-          int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
-          for (int ky = 0; ky < g.kh; ++ky) {
-            const int iy = oy * g.stride - g.pad + ky;
-            if (iy < 0 || iy >= g.h) continue;
-            for (int kx = 0; kx < g.kw; ++kx) {
-              const int ix = ox * g.stride - g.pad + kx;
-              if (ix < 0 || ix >= g.w) continue;
-              for (int ic = 0; ic < g.cin; ++ic) {
-                acc += (static_cast<int32_t>(a.input.view.at(iy, ix, ic)) -
-                        a.params.input_zero_point) *
-                       static_cast<int32_t>(wat(a.weights, g, oc, ky, kx, ic));
-              }
-            }
-          }
-          a.output.view.at(oy, ox, oc) = requantize(acc, a.params);
-        }
-      }
+      math_output_row(a, g, oy, wsum.data());
     }
   }
 }

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace daedvfs::kernels {
 namespace {
@@ -32,26 +33,83 @@ Geom make_geom(const DepthwiseArgs& a) {
   return g;
 }
 
-/// Convolves channel `ch` for output row `oy`, reading input values through
-/// `at(iy, ix)`. Kept as a template so both the NHWC path and the DAE-buffer
-/// path inline the accessor.
-template <class At>
+/// One channel of input as (base, strides): the NHWC path walks the shared
+/// tensor with col_stride == C; the DAE path walks a gathered plane with
+/// col_stride == 1.
+struct ChannelView {
+  const int8_t* base;
+  int64_t row_stride;
+  int64_t col_stride;
+};
+
+/// Per-channel filter taps extracted into a contiguous scratch (kh*kw) plus
+/// their sum, hoisted out of the row loop: the interior hot loop then runs
+/// zero-point-folded MACs over row pointers with no index recomputation.
+struct ChannelFilter {
+  std::vector<int8_t> taps;  ///< kh * kw, row-major.
+  int32_t sum = 0;
+};
+
+ChannelFilter extract_filter(const DepthwiseArgs& a, const Geom& g, int ch) {
+  ChannelFilter f;
+  f.taps.resize(static_cast<std::size_t>(g.kh) * g.kw);
+  for (int ky = 0; ky < g.kh; ++ky) {
+    for (int kx = 0; kx < g.kw; ++kx) {
+      const int8_t w = a.weights.view.at(ky, kx, ch);
+      f.taps[static_cast<std::size_t>(ky) * g.kw + kx] = w;
+      f.sum += w;
+    }
+  }
+  return f;
+}
+
+/// Convolves channel `ch` for output row `oy`. Interior columns (full window
+/// in bounds) use folded zero-point + pointer-walked MACs; border columns
+/// keep the bounds-checked per-tap form.
 void convolve_row_math(const DepthwiseArgs& a, const Geom& g, int ch, int oy,
-                       At at) {
-  const auto& wv = a.weights.view;
+                       const ChannelView& in, const ChannelFilter& f) {
+  const int32_t zp = a.params.input_zero_point;
+  const int32_t bias = a.bias != nullptr ? a.bias[ch] : 0;
+  const int iy_base = oy * g.stride - g.pad;
+  const int ky0 = std::max(0, -iy_base);
+  const int ky1 = std::min(g.kh, g.h - iy_base);
+  const bool full_rows = ky0 == 0 && ky1 == g.kh;
+  int8_t* out_row =
+      a.output.view.data + (static_cast<int64_t>(oy) * g.ow) * g.c + ch;
+
   for (int ox = 0; ox < g.ow; ++ox) {
-    int32_t acc = a.bias != nullptr ? a.bias[ch] : 0;
-    for (int ky = 0; ky < g.kh; ++ky) {
-      const int iy = oy * g.stride - g.pad + ky;
-      if (iy < 0 || iy >= g.h) continue;
-      for (int kx = 0; kx < g.kw; ++kx) {
-        const int ix = ox * g.stride - g.pad + kx;
-        if (ix < 0 || ix >= g.w) continue;
-        acc += (static_cast<int32_t>(at(iy, ix)) - a.params.input_zero_point) *
-               static_cast<int32_t>(wv.at(ky, kx, ch));
+    const int ix_base = ox * g.stride - g.pad;
+    int32_t acc;
+    if (full_rows && ix_base >= 0 && ix_base + g.kw <= g.w) {
+      acc = bias - zp * f.sum;
+      const int8_t* ip = in.base +
+                         static_cast<int64_t>(iy_base) * in.row_stride +
+                         static_cast<int64_t>(ix_base) * in.col_stride;
+      const int8_t* wp = f.taps.data();
+      for (int ky = 0; ky < g.kh; ++ky) {
+        for (int kx = 0; kx < g.kw; ++kx) {
+          acc += static_cast<int32_t>(ip[kx * in.col_stride]) *
+                 static_cast<int32_t>(wp[kx]);
+        }
+        ip += in.row_stride;
+        wp += g.kw;
+      }
+    } else {
+      acc = bias;
+      const int kx0 = std::max(0, -ix_base);
+      const int kx1 = std::min(g.kw, g.w - ix_base);
+      for (int ky = ky0; ky < ky1; ++ky) {
+        const int8_t* ip = in.base +
+                           static_cast<int64_t>(iy_base + ky) * in.row_stride +
+                           static_cast<int64_t>(ix_base) * in.col_stride;
+        const int8_t* wp = f.taps.data() + static_cast<int64_t>(ky) * g.kw;
+        for (int kx = kx0; kx < kx1; ++kx) {
+          acc += (static_cast<int32_t>(ip[kx * in.col_stride]) - zp) *
+                 static_cast<int32_t>(wp[kx]);
+        }
       }
     }
-    a.output.view.at(oy, ox, ch) = requantize(acc, a.params);
+    out_row[static_cast<int64_t>(ox) * g.c] = requantize(acc, a.params);
   }
 }
 
@@ -109,12 +167,15 @@ void account_weights(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
 void run_baseline(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
   for (int ch = 0; ch < g.c; ++ch) {
     account_weights(a, g, ctx);
+    const ChannelFilter f =
+        ctx.do_math() ? extract_filter(a, g, ch) : ChannelFilter{};
+    const ChannelView in{
+        ctx.do_math() ? a.input.view.data + ch : nullptr,
+        static_cast<int64_t>(g.w) * g.c, g.c};
     for (int oy = 0; oy < g.oh; ++oy) {
       account_row_baseline(a, g, ctx, ch, oy);
       if (ctx.do_math()) {
-        const auto& in = a.input.view;
-        convolve_row_math(a, g, ch, oy,
-                          [&](int iy, int ix) { return in.at(iy, ix, ch); });
+        convolve_row_math(a, g, ch, oy, in, f);
       }
     }
   }
@@ -165,13 +226,13 @@ void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
       account_weights(a, g, ctx);
       const sim::MemRef plane_ref =
           ctx.scratch_mem.offset(static_cast<uint64_t>(gi) * plane_bytes);
-      const int8_t* plane = buf.data() + gi * plane_bytes;
+      const ChannelFilter f =
+          ctx.do_math() ? extract_filter(a, g, ch) : ChannelFilter{};
+      const ChannelView plane{buf.data() + gi * plane_bytes, g.w, 1};
       for (int oy = 0; oy < g.oh; ++oy) {
         account_row_dae(a, g, ctx, ch, oy, plane_ref);
         if (ctx.do_math()) {
-          convolve_row_math(a, g, ch, oy, [&](int iy, int ix) {
-            return plane[iy * g.w + ix];
-          });
+          convolve_row_math(a, g, ch, oy, plane, f);
         }
       }
     }
@@ -180,11 +241,16 @@ void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
 
 }  // namespace
 
-std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
+std::size_t depthwise_scratch_bytes(const tensor::Shape4& input_shape,
                                     int granularity) {
   if (granularity <= 0) return 0;
-  return static_cast<std::size_t>(granularity) * args.input.view.shape.h *
-         args.input.view.shape.w;
+  return static_cast<std::size_t>(granularity) * input_shape.h *
+         input_shape.w;
+}
+
+std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
+                                    int granularity) {
+  return depthwise_scratch_bytes(args.input.view.shape, granularity);
 }
 
 void depthwise_conv(const DepthwiseArgs& args, ExecContext& ctx) {

@@ -34,7 +34,11 @@ struct DepthwiseArgs {
 
 void depthwise_conv(const DepthwiseArgs& args, ExecContext& ctx);
 
-/// Scratch bytes a DAE depthwise call needs for granularity g.
+/// Scratch bytes a DAE depthwise call needs for granularity g. The shape
+/// overload is the single source of truth for the gather-buffer formula; the
+/// DSE uses it to bound candidate granularities without building kernel args.
+[[nodiscard]] std::size_t depthwise_scratch_bytes(
+    const tensor::Shape4& input_shape, int granularity);
 [[nodiscard]] std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
                                                   int granularity);
 

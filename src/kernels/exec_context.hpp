@@ -60,6 +60,11 @@ struct TensorRef {
   sim::MemRef mem;
 };
 
+/// Simulated alignment of the DAE gather buffer (cache-line multiple). One
+/// policy shared by the engine's arena placement and the DSE's canonical
+/// isolated-layer placement.
+inline constexpr uint64_t kScratchAlignBytes = 64;
+
 /// Everything a kernel needs besides its arguments. The simulator pointer is
 /// optional: tests that only check numerics run kernels without one.
 class ExecContext {

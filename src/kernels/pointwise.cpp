@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <vector>
 
 namespace daedvfs::kernels {
 namespace {
@@ -62,18 +63,31 @@ void stream_weights(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
   ctx.charge_memory(issue_cycles, stall_ns);
 }
 
-/// Computes output channels for the column at flat position `idx`, reading
-/// the input column through `col(ic)`.
-template <class ColAt>
-void mix_column_math(const PointwiseArgs& a, const Geom& g, int64_t idx,
-                     ColAt col) {
+/// Per-output-channel sums of the weight row, folding the input zero point
+/// out of the channel-mixing hot loop: columns have no padding, so every MAC
+/// is interior and acc == sum(x * w) - zp * sum(w) + bias exactly.
+std::vector<int32_t> row_weight_sums(const PointwiseArgs& a, const Geom& g) {
+  std::vector<int32_t> sums(static_cast<std::size_t>(g.cout));
   const int8_t* wrow = a.weights.view.data;
+  for (int oc = 0; oc < g.cout; ++oc, wrow += g.cin) {
+    int32_t s = 0;
+    for (int ic = 0; ic < g.cin; ++ic) s += wrow[ic];
+    sums[static_cast<std::size_t>(oc)] = s;
+  }
+  return sums;
+}
+
+/// Computes output channels for the contiguous input column at flat position
+/// `idx`: a plain int8 dot product per output channel over row pointers.
+void mix_column_math(const PointwiseArgs& a, const Geom& g, int64_t idx,
+                     const int8_t* col, const int32_t* wsum) {
+  const int8_t* wrow = a.weights.view.data;
+  const int32_t zp = a.params.input_zero_point;
   int8_t* out = a.output.view.data + idx * g.cout;
   for (int oc = 0; oc < g.cout; ++oc, wrow += g.cin) {
-    int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
+    int32_t acc = (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
     for (int ic = 0; ic < g.cin; ++ic) {
-      acc += (static_cast<int32_t>(col(ic)) - a.params.input_zero_point) *
-             static_cast<int32_t>(wrow[ic]);
+      acc += static_cast<int32_t>(col[ic]) * static_cast<int32_t>(wrow[ic]);
     }
     out[oc] = requantize(acc, a.params);
   }
@@ -88,7 +102,8 @@ void account_mix(const Geom& g, ExecContext& ctx, int64_t n_cols) {
                cost.loop_overhead_cycles));
 }
 
-void run_baseline(const PointwiseArgs& a, const Geom& g, ExecContext& ctx) {
+void run_baseline(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
+                  const std::vector<int32_t>& wsum) {
   // Per-column execution, accounted row-by-row: each row issues its column
   // loads, one weight-matrix stream per *column pair* (TinyEngine unrolls
   // two columns to reuse each loaded weight row), the MACs, and the output
@@ -109,15 +124,15 @@ void run_baseline(const PointwiseArgs& a, const Geom& g, ExecContext& ctx) {
       const int8_t* in_row = a.input.view.data + y * in_row_bytes;
       for (int x = 0; x < g.w; ++x) {
         const int8_t* col = in_row + static_cast<int64_t>(x) * g.cin;
-        mix_column_math(a, g, static_cast<int64_t>(y) * g.w + x,
-                        [&](int ic) { return col[ic]; });
+        mix_column_math(a, g, static_cast<int64_t>(y) * g.w + x, col,
+                        wsum.data());
       }
     }
   }
 }
 
 void run_dae(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
-             int granularity) {
+             int granularity, const std::vector<int32_t>& wsum) {
   const std::size_t buf_bytes =
       static_cast<std::size_t>(granularity) * g.cin;
   std::vector<int8_t>& buf = ctx.scratch_host(buf_bytes);
@@ -154,7 +169,7 @@ void run_dae(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
     if (ctx.do_math()) {
       for (int64_t i = 0; i < gcur; ++i) {
         const int8_t* col = buf.data() + i * g.cin;
-        mix_column_math(a, g, col0 + i, [&](int ic) { return col[ic]; });
+        mix_column_math(a, g, col0 + i, col, wsum.data());
       }
     }
   }
@@ -162,19 +177,26 @@ void run_dae(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
 
 }  // namespace
 
-std::size_t pointwise_scratch_bytes(const PointwiseArgs& args,
+std::size_t pointwise_scratch_bytes(const tensor::Shape4& input_shape,
                                     int granularity) {
   if (granularity <= 0) return 0;
-  return static_cast<std::size_t>(granularity) * args.input.view.shape.c;
+  return static_cast<std::size_t>(granularity) * input_shape.c;
+}
+
+std::size_t pointwise_scratch_bytes(const PointwiseArgs& args,
+                                    int granularity) {
+  return pointwise_scratch_bytes(args.input.view.shape, granularity);
 }
 
 void pointwise_conv(const PointwiseArgs& args, ExecContext& ctx) {
   const Geom g = make_geom(args);
   ctx.compute(ctx.cost().call_overhead_cycles);
+  const std::vector<int32_t> wsum =
+      ctx.do_math() ? row_weight_sums(args, g) : std::vector<int32_t>{};
   if (args.granularity <= 0) {
-    run_baseline(args, g, ctx);
+    run_baseline(args, g, ctx, wsum);
   } else {
-    run_dae(args, g, ctx, args.granularity);
+    run_dae(args, g, ctx, args.granularity, wsum);
   }
 }
 

@@ -29,7 +29,11 @@ struct PointwiseArgs {
 
 void pointwise_conv(const PointwiseArgs& args, ExecContext& ctx);
 
-/// Scratch bytes a DAE pointwise call needs for granularity g.
+/// Scratch bytes a DAE pointwise call needs for granularity g. The shape
+/// overload is the single source of truth for the gather-buffer formula; the
+/// DSE uses it to bound candidate granularities without building kernel args.
+[[nodiscard]] std::size_t pointwise_scratch_bytes(
+    const tensor::Shape4& input_shape, int granularity);
 [[nodiscard]] std::size_t pointwise_scratch_bytes(const PointwiseArgs& args,
                                                   int granularity);
 

@@ -25,6 +25,11 @@ Solution finalize(const Instance& inst, std::vector<int> chosen) {
 }  // namespace
 
 Solution solve_dp(const Instance& inst, int max_ticks) {
+  DpWorkspace ws;
+  return solve_dp(inst, max_ticks, ws);
+}
+
+Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
   const std::size_t n = inst.classes.size();
   if (n == 0) return {.feasible = true};
   for (const auto& cls : inst.classes) {
@@ -43,29 +48,38 @@ Solution solve_dp(const Instance& inst, int max_ticks) {
   };
 
   // dp[w] = min value achievable using classes 0..k with total weight <= w.
-  std::vector<double> dp(static_cast<std::size_t>(width), kInf);
-  std::vector<double> next(static_cast<std::size_t>(width), kInf);
-  // parent[k][w] = item chosen for class k at budget w (int16 to keep the
-  // table small: n * width * 2 bytes).
-  std::vector<std::vector<int16_t>> parent(
-      n, std::vector<int16_t>(static_cast<std::size_t>(width), -1));
+  // The workspace grows monotonically and is reused across solves; only the
+  // first `width` (resp. n * width) cells are touched below.
+  const auto uwidth = static_cast<std::size_t>(width);
+  if (ws.dp.size() < uwidth) ws.dp.resize(uwidth);
+  if (ws.next.size() < uwidth) ws.next.resize(uwidth);
+  // parent[k * width + w] = item chosen for class k at budget w (int16, flat
+  // row-major: one allocation instead of n, reusable across solves).
+  if (ws.parent.size() < n * uwidth) ws.parent.resize(n * uwidth);
+  std::vector<double>& dp = ws.dp;
+  std::vector<double>& next = ws.next;
+  std::fill_n(dp.begin(), uwidth, kInf);
+  std::fill_n(ws.parent.begin(), n * uwidth, static_cast<int16_t>(-1));
+  const auto parent_row = [&](std::size_t k) {
+    return ws.parent.data() + k * uwidth;
+  };
 
   // Class 0 seeds the table.
-  for (int w = 0; w < width; ++w) dp[static_cast<std::size_t>(w)] = kInf;
+  int16_t* par0 = parent_row(0);
   for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
     const int64_t wt = to_ticks(inst.classes[0][j].weight);
     if (wt >= width) continue;
     for (int w = static_cast<int>(wt); w < width; ++w) {
       if (inst.classes[0][j].value < dp[static_cast<std::size_t>(w)]) {
         dp[static_cast<std::size_t>(w)] = inst.classes[0][j].value;
-        parent[0][static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+        par0[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
       }
     }
   }
 
   for (std::size_t k = 1; k < n; ++k) {
-    std::fill(next.begin(), next.end(), kInf);
-    auto& par = parent[k];
+    std::fill_n(next.begin(), uwidth, kInf);
+    int16_t* par = parent_row(k);
     for (std::size_t j = 0; j < inst.classes[k].size(); ++j) {
       const Item& it = inst.classes[k][j];
       const int64_t wt = to_ticks(it.weight);
@@ -91,14 +105,15 @@ Solution solve_dp(const Instance& inst, int max_ticks) {
   std::vector<int> chosen(n, -1);
   int w = width - 1;
   for (std::size_t k = n; k-- > 0;) {
+    const int16_t* par = parent_row(k);
     // Find the item recorded for the smallest budget >= current consumption.
-    int16_t j = parent[k][static_cast<std::size_t>(w)];
+    int16_t j = par[static_cast<std::size_t>(w)];
     // parent may be -1 at w if dp[w] was inherited; scan down to the actual
     // recording point (values only improve at recorded cells).
     int ww = w;
     while (j == -1 && ww > 0) {
       --ww;
-      j = parent[k][static_cast<std::size_t>(ww)];
+      j = par[static_cast<std::size_t>(ww)];
     }
     if (j == -1) return {};
     chosen[k] = j;

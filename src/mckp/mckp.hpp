@@ -36,9 +36,23 @@ struct Solution {
   double total_value = 0.0;
 };
 
+/// Reusable DP buffers. The explorer pipeline solves many instances of the
+/// same shape back to back (QoS sweeps, repair iterations); passing one
+/// workspace across solves turns the per-solve O(n * width) allocation of
+/// the value/parent tables into a one-time cost.
+struct DpWorkspace {
+  std::vector<double> dp;
+  std::vector<double> next;
+  std::vector<int16_t> parent;  ///< Flat n x width table, row-major by class.
+};
+
 /// Dynamic-programming solver. `max_ticks` bounds the DP width (capacity is
 /// discretized onto that many ticks; larger = finer = slower).
 [[nodiscard]] Solution solve_dp(const Instance& inst, int max_ticks = 20000);
+
+/// As above, reusing `ws` buffers across calls.
+[[nodiscard]] Solution solve_dp(const Instance& inst, int max_ticks,
+                                DpWorkspace& ws);
 
 /// Exhaustive search (exponential) — test oracle for small instances.
 [[nodiscard]] Solution solve_brute_force(const Instance& inst);

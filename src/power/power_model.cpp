@@ -55,8 +55,7 @@ double PowerModel::power_mw(const PowerState& st, Activity act) const {
   return mw;
 }
 
-double PowerModel::config_power_mw(const clock::ClockConfig& cfg,
-                                   Activity act) const {
+PowerState PowerState::from_config(const clock::ClockConfig& cfg) {
   PowerState st;
   st.sysclk_mhz = cfg.sysclk_mhz();
   st.scale = cfg.voltage_scale();
@@ -72,7 +71,12 @@ double PowerModel::config_power_mw(const clock::ClockConfig& cfg,
   st.hsi_running =
       cfg.source == ClockSource::kHsi ||
       (st.pll_running && cfg.pll->input == ClockSource::kHsi);
-  return power_mw(st, act);
+  return st;
+}
+
+double PowerModel::config_power_mw(const clock::ClockConfig& cfg,
+                                   Activity act) const {
+  return power_mw(PowerState::from_config(cfg), act);
 }
 
 }  // namespace daedvfs::power

@@ -56,6 +56,10 @@ struct PowerState {
   /// Derives the power-relevant state from an RCC snapshot. `hse_board_mhz`
   /// is the crystal mounted on the board (runs whenever any config uses it).
   [[nodiscard]] static PowerState from_rcc(const clock::Rcc& rcc);
+
+  /// Steady-state view of a standalone configuration: the PLL runs iff the
+  /// config uses it, the regulator sits at the config's required scale.
+  [[nodiscard]] static PowerState from_config(const clock::ClockConfig& cfg);
 };
 
 /// Calibration constants. All power in mW, frequency in MHz, voltage in V.

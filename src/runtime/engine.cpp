@@ -45,6 +45,55 @@ class TaggingPolicy final : public kernels::DvfsPolicy {
 
 }  // namespace
 
+void dispatch_layer(const graph::LayerSpec& layer, const LayerIo& io,
+                    int granularity, kernels::ExecContext& ctx) {
+  kernels::TensorRef weights;
+  weights.view = layer.weights.view();
+  weights.mem = io.weights_mem.value_or(
+      sim::MemRef{layer.weight_vaddr, sim::MemRegion::kFlash});
+  const sim::MemRef bias_mem = io.bias_mem.value_or(
+      sim::MemRef{layer.bias_vaddr, sim::MemRegion::kFlash});
+  const int32_t* bias = layer.bias.empty() ? nullptr : layer.bias.data();
+
+  switch (layer.kind) {
+    case graph::LayerKind::kConv2d: {
+      kernels::Conv2dArgs args{io.input, weights, bias, bias_mem, io.output,
+                               layer.params};
+      kernels::conv2d(args, ctx);
+      break;
+    }
+    case graph::LayerKind::kDepthwise: {
+      kernels::DepthwiseArgs args{io.input,  weights,      bias, bias_mem,
+                                  io.output, layer.params, granularity};
+      kernels::depthwise_conv(args, ctx);
+      break;
+    }
+    case graph::LayerKind::kPointwise: {
+      kernels::PointwiseArgs args{io.input,  weights,      bias, bias_mem,
+                                  io.output, layer.params, granularity};
+      kernels::pointwise_conv(args, ctx);
+      break;
+    }
+    case graph::LayerKind::kGlobalAvgPool: {
+      kernels::GlobalAvgPoolArgs args{io.input, io.output};
+      kernels::global_avg_pool(args, ctx);
+      break;
+    }
+    case graph::LayerKind::kFullyConnected: {
+      kernels::FullyConnectedArgs args{io.input,  weights, bias, bias_mem,
+                                       io.output, layer.params};
+      kernels::fully_connected(args, ctx);
+      break;
+    }
+    case graph::LayerKind::kAdd: {
+      kernels::AddArgs args =
+          kernels::make_add_args(io.input, io.input_b, io.output);
+      kernels::elementwise_add(args, ctx);
+      break;
+    }
+  }
+}
+
 InferenceEngine::InferenceEngine(const graph::Model& model)
     : model_(model),
       arena_([&] {
@@ -66,22 +115,25 @@ InferenceEngine::InferenceEngine(const graph::Model& model)
     vaddrs_[static_cast<std::size_t>(id)] =
         sim::kSramBase + static_cast<uint64_t>(p - arena_.base());
   }
-  // Place the DAE scratch buffer just past the activation arena, 64-byte
-  // aligned, still in the cached SRAM region.
-  ctx_.scratch_mem = {sim::kSramBase +
-                          (static_cast<uint64_t>(arena_.capacity()) + 63) /
-                              64 * 64,
-                      sim::MemRegion::kSram};
+  // Place the DAE scratch buffer just past the activation arena, aligned,
+  // still in the cached SRAM region.
+  constexpr uint64_t align = kernels::kScratchAlignBytes;
+  scratch_mem_ = {sim::kSramBase + (static_cast<uint64_t>(arena_.capacity()) +
+                                    align - 1) /
+                                       align * align,
+                  sim::MemRegion::kSram};
 }
 
 void InferenceEngine::place_scratch(sim::MemRegion region) {
   if (region == sim::MemRegion::kDtcm) {
-    ctx_.scratch_mem = {sim::kDtcmBase, sim::MemRegion::kDtcm};
+    scratch_mem_ = {sim::kDtcmBase, sim::MemRegion::kDtcm};
   } else {
-    ctx_.scratch_mem = {sim::kSramBase +
-                            (static_cast<uint64_t>(arena_.capacity()) + 63) /
-                                64 * 64,
-                        region};
+    constexpr uint64_t align = kernels::kScratchAlignBytes;
+    scratch_mem_ = {sim::kSramBase +
+                        (static_cast<uint64_t>(arena_.capacity()) + align -
+                         1) /
+                            align * align,
+                    region};
   }
 }
 
@@ -89,7 +141,7 @@ std::size_t InferenceEngine::activation_bytes() const {
   return arena_.high_water_mark();
 }
 
-kernels::TensorRef InferenceEngine::tensor_ref(int id) {
+kernels::TensorRef InferenceEngine::tensor_ref(int id) const {
   kernels::TensorRef ref;
   ref.view.shape = model_.tensor_shape(id);
   ref.view.quant = model_.tensor_quant(id);
@@ -101,7 +153,8 @@ kernels::TensorRef InferenceEngine::tensor_ref(int id) {
 
 void InferenceEngine::execute_layer(sim::Mcu& mcu, int layer_idx,
                                     const LayerPlan& plan,
-                                    kernels::ExecMode mode) {
+                                    kernels::ExecMode mode,
+                                    kernels::ExecContext& ctx) const {
   const graph::LayerSpec& layer =
       model_.layers().at(static_cast<std::size_t>(layer_idx));
   const std::string tag = "L" + std::to_string(layer_idx);
@@ -111,69 +164,41 @@ void InferenceEngine::execute_layer(sim::Mcu& mcu, int layer_idx,
   const int g = layer.is_dae_eligible() ? plan.granularity : 0;
   TaggingPolicy policy(tag, plan.dvfs_enabled && g > 0, plan.lfo, plan.hfo);
 
-  ctx_.mcu = &mcu;
-  ctx_.mode = mode;
-  ctx_.dvfs = &policy;
+  ctx.mcu = &mcu;
+  ctx.mode = mode;
+  ctx.dvfs = &policy;
+  ctx.scratch_mem = scratch_mem_;
 
-  const kernels::TensorRef in = tensor_ref(layer.inputs.at(0));
-  const kernels::TensorRef out = tensor_ref(layer.id);
-  kernels::TensorRef weights;
-  weights.view = layer.weights.view();
-  weights.mem = {layer.weight_vaddr, sim::MemRegion::kFlash};
-  const sim::MemRef bias_mem{layer.bias_vaddr, sim::MemRegion::kFlash};
-  const int32_t* bias = layer.bias.empty() ? nullptr : layer.bias.data();
-
-  switch (layer.kind) {
-    case graph::LayerKind::kConv2d: {
-      kernels::Conv2dArgs args{in, weights, bias, bias_mem, out,
-                               layer.params};
-      kernels::conv2d(args, ctx_);
-      break;
-    }
-    case graph::LayerKind::kDepthwise: {
-      kernels::DepthwiseArgs args{in,       weights, bias, bias_mem,
-                                  out,      layer.params, g};
-      kernels::depthwise_conv(args, ctx_);
-      break;
-    }
-    case graph::LayerKind::kPointwise: {
-      kernels::PointwiseArgs args{in,       weights, bias, bias_mem,
-                                  out,      layer.params, g};
-      kernels::pointwise_conv(args, ctx_);
-      break;
-    }
-    case graph::LayerKind::kGlobalAvgPool: {
-      kernels::GlobalAvgPoolArgs args{in, out};
-      kernels::global_avg_pool(args, ctx_);
-      break;
-    }
-    case graph::LayerKind::kFullyConnected: {
-      kernels::FullyConnectedArgs args{in,       weights, bias, bias_mem,
-                                       out,      layer.params};
-      kernels::fully_connected(args, ctx_);
-      break;
-    }
-    case graph::LayerKind::kAdd: {
-      const kernels::TensorRef in_b = tensor_ref(layer.inputs.at(1));
-      kernels::AddArgs args = kernels::make_add_args(in, in_b, out);
-      kernels::elementwise_add(args, ctx_);
-      break;
-    }
+  LayerIo io;
+  io.input = tensor_ref(layer.inputs.at(0));
+  io.output = tensor_ref(layer.id);
+  if (layer.inputs.size() > 1) {
+    io.input_b = tensor_ref(layer.inputs.at(1));
   }
-  ctx_.dvfs = nullptr;
-  ctx_.mcu = nullptr;
+  dispatch_layer(layer, io, g, ctx);
+
+  ctx.dvfs = nullptr;
+  ctx.mcu = nullptr;
 }
 
 LayerProfile InferenceEngine::run_layer(sim::Mcu& mcu, int layer_idx,
                                         const LayerPlan& plan,
-                                        kernels::ExecMode mode) {
+                                        kernels::ExecMode mode) const {
+  kernels::ExecContext ctx;
+  return run_layer_in(mcu, layer_idx, plan, mode, ctx);
+}
+
+LayerProfile InferenceEngine::run_layer_in(sim::Mcu& mcu, int layer_idx,
+                                           const LayerPlan& plan,
+                                           kernels::ExecMode mode,
+                                           kernels::ExecContext& ctx) const {
   const graph::LayerSpec& layer =
       model_.layers().at(static_cast<std::size_t>(layer_idx));
   const std::string mem_tag = "L" + std::to_string(layer_idx) + "/mem";
   const sim::McuSnapshot before = mcu.snapshot();
   const double mem_before = mcu.meter().tag_uj(mem_tag);
 
-  execute_layer(mcu, layer_idx, plan, mode);
+  execute_layer(mcu, layer_idx, plan, mode, ctx);
 
   const sim::McuSnapshot after = mcu.snapshot();
   LayerProfile p;
@@ -212,8 +237,9 @@ InferenceResult InferenceEngine::run(sim::Mcu& mcu, const Schedule& schedule,
   InferenceResult res;
   const sim::McuSnapshot start = mcu.snapshot();
   res.layers.reserve(static_cast<std::size_t>(model_.num_layers()));
+  kernels::ExecContext ctx;  // one gather-buffer allocation for the run
   for (int i = 0; i < model_.num_layers(); ++i) {
-    res.layers.push_back(run_layer(mcu, i, schedule.plan(i), mode));
+    res.layers.push_back(run_layer_in(mcu, i, schedule.plan(i), mode, ctx));
   }
   const sim::McuSnapshot end = mcu.snapshot();
   res.total_us = end.time_us - start.time_us;

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -47,6 +48,26 @@ struct InferenceResult {
   std::vector<int8_t> output;
 };
 
+/// Tensor bindings of one layer invocation: input(s) + output. `input_b` is
+/// only read for two-input layers (residual add). The optional mem overrides
+/// replace the layer's builder-assigned flash placement — the DSE's
+/// isolated-layer profiler uses them to put weights at canonical addresses
+/// so structurally identical layers produce identical profiles.
+struct LayerIo {
+  kernels::TensorRef input;
+  kernels::TensorRef input_b;
+  kernels::TensorRef output;
+  std::optional<sim::MemRef> weights_mem;
+  std::optional<sim::MemRef> bias_mem;
+};
+
+/// Dispatches one layer's kernel on `ctx` given explicit tensor bindings.
+/// Pure function of its arguments — shared by the engine's in-situ execution
+/// and by the DSE's isolated-layer profiler (dse/explorer.cpp), so the two
+/// can never disagree on kernel selection or argument wiring.
+void dispatch_layer(const graph::LayerSpec& layer, const LayerIo& io,
+                    int granularity, kernels::ExecContext& ctx);
+
 class InferenceEngine {
  public:
   /// Binds to a model; allocates host + simulated activation storage.
@@ -61,8 +82,12 @@ class InferenceEngine {
   /// Runs a single layer in isolation under `plan` — the unit of the
   /// paper's per-layer DSE (§III-B). Input activations are whatever the
   /// engine buffers currently hold (zeros initially).
+  ///
+  /// Re-entrant: uses no mutable engine state, so concurrent calls on
+  /// distinct `Mcu` instances are safe in Timing mode (Full mode writes the
+  /// shared activation buffers and must not run concurrently).
   LayerProfile run_layer(sim::Mcu& mcu, int layer_idx, const LayerPlan& plan,
-                         kernels::ExecMode mode);
+                         kernels::ExecMode mode) const;
 
   [[nodiscard]] const graph::Model& model() const { return model_; }
 
@@ -75,17 +100,21 @@ class InferenceEngine {
   /// Simulated SRAM bytes used by activations.
   [[nodiscard]] std::size_t activation_bytes() const;
   /// View + simulated address of tensor `id`.
-  [[nodiscard]] kernels::TensorRef tensor_ref(int id);
+  [[nodiscard]] kernels::TensorRef tensor_ref(int id) const;
 
  private:
   void execute_layer(sim::Mcu& mcu, int layer_idx, const LayerPlan& plan,
-                     kernels::ExecMode mode);
+                     kernels::ExecMode mode,
+                     kernels::ExecContext& ctx) const;
+  LayerProfile run_layer_in(sim::Mcu& mcu, int layer_idx,
+                            const LayerPlan& plan, kernels::ExecMode mode,
+                            kernels::ExecContext& ctx) const;
 
   const graph::Model& model_;
   tensor::Arena arena_;
   std::vector<int8_t*> host_ptrs_;      ///< Per tensor id.
   std::vector<uint64_t> vaddrs_;        ///< Per tensor id.
-  kernels::ExecContext ctx_;
+  sim::MemRef scratch_mem_;             ///< DAE gather buffer placement.
 };
 
 }  // namespace daedvfs::runtime

@@ -17,6 +17,9 @@ void Mcu::advance(double dt_us, power::Activity act) {
 }
 
 void Mcu::compute(double cycles) {
+  if (ledger_ != nullptr) {
+    ledger_->domain(rcc_.current()).compute_cycles += cycles;
+  }
   advance(cycles_to_us(cycles), power::Activity::kCompute);
 }
 
@@ -34,13 +37,21 @@ void Mcu::mem_access(const MemRef& ref, uint64_t bytes, double issue_words,
                  : params_.cost.load_issue_cycles(static_cast<double>(bytes));
   }
   double stall_ns = 0.0;
+  AccessResult res{};
   if (ref.region == MemRegion::kDtcm) {
     // Tightly-coupled memory bypasses the cache entirely.
     issue_cycles += params_.memory.dtcm_extra_cycles;
   } else {
-    const AccessResult res = cache_.access(ref.vaddr, bytes, is_write);
+    res = cache_.access(ref.vaddr, bytes, is_write);
     stall_ns += res.misses * miss_penalty_ns(ref.region, f, params_.memory);
     stall_ns += res.writebacks * params_.memory.writeback_ns;
+  }
+  if (ledger_ != nullptr) {
+    WorkLedger::Domain& d = ledger_->domain(rcc_.current());
+    d.issue_cycles += issue_cycles;
+    (ref.region == MemRegion::kFlash ? d.flash_misses : d.sram_misses) +=
+        res.misses;
+    d.writebacks += res.writebacks;
   }
   const double dt_us = issue_cycles / f + stall_ns * 1e-3;
   advance(dt_us, power::Activity::kMemoryStall);
@@ -79,24 +90,42 @@ void Mcu::mem_access_strided(const MemRef& ref, uint64_t stride,
       issues * (is_write ? params_.cost.cycles_per_store_word
                          : params_.cost.cycles_per_load_word);
   double stall_ns = 0.0;
+  AccessResult res{};
   if (ref.region == MemRegion::kDtcm) {
     // uncached, single-cycle
   } else {
-    const AccessResult res =
-        cache_.access_strided(ref.vaddr, stride, count, elem_bytes, is_write);
+    res = cache_.access_strided(ref.vaddr, stride, count, elem_bytes,
+                                is_write);
     stall_ns += res.misses * miss_penalty_ns(ref.region, f, params_.memory);
     stall_ns += res.writebacks * params_.memory.writeback_ns;
+  }
+  if (ledger_ != nullptr) {
+    WorkLedger::Domain& d = ledger_->domain(rcc_.current());
+    d.issue_cycles += issue_cycles;
+    (ref.region == MemRegion::kFlash ? d.flash_misses : d.sram_misses) +=
+        res.misses;
+    d.writebacks += res.writebacks;
   }
   advance(issue_cycles / f + stall_ns * 1e-3, power::Activity::kMemoryStall);
 }
 
 void Mcu::charge_memory(double issue_cycles, double stall_ns) {
+  if (ledger_ != nullptr) {
+    WorkLedger::Domain& d = ledger_->domain(rcc_.current());
+    d.charge_issue_cycles += issue_cycles;
+    d.charge_stall_ns += stall_ns;
+  }
   const double dt_us = issue_cycles / rcc_.sysclk_mhz() + stall_ns * 1e-3;
   advance(dt_us, power::Activity::kMemoryStall);
 }
 
 clock::SwitchCost Mcu::switch_clock(const clock::ClockConfig& target) {
   const clock::SwitchCost cost = rcc_.switch_to(target);
+  if (ledger_ != nullptr && cost.total_us > 0.0) {
+    WorkLedger::Domain& d = ledger_->domain(rcc_.current());
+    ++d.switches_in;
+    d.switch_us += cost.total_us;
+  }
   // During the switch the core stalls (flash WS reprogram, PLL lock wait);
   // power is the post-switch state's stall power — a close approximation
   // since the relock runs with the new dividers programmed.

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "clock/rcc.hpp"
 #include "power/energy_meter.hpp"
@@ -36,6 +37,42 @@ struct McuSnapshot {
   double energy_uj = 0.0;
   CacheStats cache;
   clock::RccStats rcc;
+};
+
+/// Per-clock-domain work totals of one run, recorded when a ledger is
+/// attached via Mcu::set_ledger. The cache hit/miss stream is independent of
+/// the operating frequency, so these totals are sufficient to evaluate the
+/// same kernel execution under a *different* HFO in closed form — the basis
+/// of the DSE's frequency-replay memoization (dse/freq_replay.hpp). A
+/// profiling run touches at most two domains (the HFO it boots at and, with
+/// DVFS active, the LFO).
+struct WorkLedger {
+  struct Domain {
+    clock::ClockConfig config;      ///< SYSCLK config the work ran under.
+    double compute_cycles = 0.0;    ///< Activity::kCompute cycles.
+    double issue_cycles = 0.0;      ///< Load/store issue (incl. DTCM extra).
+    double sram_misses = 0.0;       ///< Cache-simulated SRAM line refills.
+    double flash_misses = 0.0;      ///< Cache-simulated flash line fetches.
+    double writebacks = 0.0;        ///< Dirty line evictions.
+    double charge_issue_cycles = 0.0;  ///< charge_memory() issue cycles.
+    /// charge_memory() stall time. The only producer is the pointwise
+    /// weight-restream amortization, whose stalls are flash-line refills at
+    /// the domain clock — replay rescales them by the flash-penalty ratio.
+    double charge_stall_ns = 0.0;
+    uint64_t switches_in = 0;       ///< Clock switches landing in this domain.
+    double switch_us = 0.0;         ///< Total switch stall charged here.
+  };
+
+  std::vector<Domain> domains;
+
+  [[nodiscard]] Domain& domain(const clock::ClockConfig& cfg) {
+    for (Domain& d : domains) {
+      if (d.config == cfg) return d;
+    }
+    domains.push_back({});
+    domains.back().config = cfg;
+    return domains.back();
+  }
 };
 
 class Mcu {
@@ -103,6 +140,10 @@ class Mcu {
   void set_tag(std::string tag) { tag_ = std::move(tag); }
   [[nodiscard]] const std::string& tag() const { return tag_; }
 
+  /// Attaches a work ledger recording per-clock-domain totals of every
+  /// subsequent event (nullptr detaches). Used by the DSE frequency replay.
+  void set_ledger(WorkLedger* ledger) { ledger_ = ledger; }
+
   [[nodiscard]] McuSnapshot snapshot() const;
 
  private:
@@ -124,6 +165,7 @@ class Mcu {
   power::EnergyMeter meter_;
   double time_us_ = 0.0;
   std::string tag_ = "boot";
+  WorkLedger* ledger_ = nullptr;
 };
 
 /// RAII tag scope: restores the previous attribution tag on destruction.

@@ -1,0 +1,137 @@
+// Small fixed-size thread pool for fan-out work (candidate profiling in the
+// DSE). Deliberately minimal: submit() + wait_idle() + an index-sharded
+// parallel_for. Determinism rule: callers must write results into
+// preassigned slots keyed by index, never append from workers, so output is
+// independent of scheduling order and thread count.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdlib>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace daedvfs::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers; 0 means run everything inline on the
+  /// calling thread (useful for a deterministic serial baseline).
+  explicit ThreadPool(int num_threads) {
+    workers_.reserve(static_cast<std::size_t>(std::max(num_threads, 0)));
+    for (int i = 0; i < num_threads; ++i) {
+      workers_.emplace_back([this] { worker(); });
+    }
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : workers_) t.join();
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Runs inline when the pool has no workers.
+  void submit(std::function<void()> fn) {
+    if (workers_.empty()) {
+      fn();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+      queue_.push(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+  /// Runs fn(i) for every i in [0, n), sharded over the pool via an atomic
+  /// cursor; the calling thread participates. Blocks until all iterations
+  /// complete. The first exception thrown by any iteration is rethrown.
+  template <class Fn>
+  void parallel_for(std::int64_t n, Fn&& fn) {
+    if (n <= 0) return;
+    std::atomic<std::int64_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+    auto drain = [&] {
+      for (std::int64_t i; (i = next.fetch_add(1)) < n;) {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+      }
+    };
+    const int helpers =
+        static_cast<int>(std::min<std::int64_t>(size(), n - 1));
+    for (int t = 0; t < helpers; ++t) submit(drain);
+    drain();
+    wait_idle();
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Resolves a thread-count request: positive values pass through; 0 means
+  /// the DAEDVFS_THREADS environment variable, falling back to the hardware
+  /// concurrency. The result is the number of *worker* threads; callers that
+  /// also use the submitting thread may subtract one.
+  [[nodiscard]] static int resolve(int requested) {
+    if (requested > 0) return requested;
+    if (const char* env = std::getenv("DAEDVFS_THREADS")) {
+      const int n = std::atoi(env);
+      if (n > 0) return n;
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+  }
+
+ private:
+  void worker() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stop_ and drained
+        fn = std::move(queue_.front());
+        queue_.pop();
+      }
+      fn();
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::int64_t pending_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace daedvfs::util

@@ -1,0 +1,213 @@
+// Exhaustive small-shape sweep of the restructured kernel fast paths against
+// the naive reference oracles: stride in {1, 2}, pad in {0, 1, 2}, odd/even
+// H/W, with/without bias, and (for the DAE-eligible kernels) a granularity
+// sweep — every combination must be bit-exact. This pins down the
+// interior/border split and the zero-point weight-sum folding, whose bugs
+// show up exactly at region boundaries and ragged edges.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/conv2d.hpp"
+#include "kernels/depthwise.hpp"
+#include "kernels/pointwise.hpp"
+#include "kernels/reference.hpp"
+#include "test_util.hpp"
+
+namespace daedvfs::kernels {
+namespace {
+
+using testutil::basic_params;
+using testutil::random_bias;
+using testutil::random_tensor;
+using testutil::ref_of;
+
+std::string case_str(int h, int w, int k, int stride, int pad, bool bias,
+                     int g) {
+  return "h=" + std::to_string(h) + " w=" + std::to_string(w) +
+         " k=" + std::to_string(k) + " s=" + std::to_string(stride) +
+         " p=" + std::to_string(pad) + " bias=" + std::to_string(bias) +
+         " g=" + std::to_string(g);
+}
+
+TEST(KernelSweep, Conv2dBitExactVsReference) {
+  uint32_t seed = 100;
+  for (int h : {6, 9}) {
+    for (int w : {7, 8}) {
+      for (int k : {1, 3, 5}) {
+        for (int stride : {1, 2}) {
+          for (int pad : {0, 1, 2}) {
+            for (bool bias : {false, true}) {
+              if (h + 2 * pad < k || w + 2 * pad < k) continue;
+              const int cin = 3, cout = 5;
+              const int oh = (h + 2 * pad - k) / stride + 1;
+              const int ow = (w + 2 * pad - k) / stride + 1;
+              tensor::QTensor in = random_tensor({1, h, w, cin}, ++seed);
+              tensor::QTensor wt =
+                  random_tensor({cout, k, k, cin}, ++seed, -90, 90);
+              tensor::BiasVector bv = random_bias(cout, ++seed);
+              tensor::QTensor out({1, oh, ow, cout}, {0.05, -1});
+              tensor::QTensor expected({1, oh, ow, cout}, {0.05, -1});
+
+              Conv2dArgs a;
+              a.input = ref_of(in, sim::kSramBase, sim::MemRegion::kSram);
+              a.weights = ref_of(wt, sim::kFlashBase, sim::MemRegion::kFlash);
+              a.bias = bias ? bv.data() : nullptr;
+              a.bias_mem = {sim::kFlashBase + 0x40000,
+                            sim::MemRegion::kFlash};
+              a.output =
+                  ref_of(out, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+              a.params = basic_params(stride, pad, 0.002);
+
+              ExecContext ctx;
+              conv2d(a, ctx);
+              Conv2dArgs oracle = a;
+              oracle.output = ref_of(expected, sim::kSramBase + 0x8000,
+                                     sim::MemRegion::kSram);
+              reference::conv2d(oracle);
+              for (std::size_t i = 0; i < out.size_bytes(); ++i) {
+                ASSERT_EQ(out.data()[i], expected.data()[i])
+                    << case_str(h, w, k, stride, pad, bias, 0) << " at " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweep, DepthwiseBitExactVsReference) {
+  uint32_t seed = 500;
+  for (int h : {6, 9}) {
+    for (int w : {7, 8}) {
+      for (int stride : {1, 2}) {
+        for (int pad : {0, 1, 2}) {
+          for (bool bias : {false, true}) {
+            for (int g : {0, 2, 3, 16}) {
+              const int k = 3, c = 5;
+              if (h + 2 * pad < k || w + 2 * pad < k) continue;
+              const int oh = (h + 2 * pad - k) / stride + 1;
+              const int ow = (w + 2 * pad - k) / stride + 1;
+              tensor::QTensor in = random_tensor({1, h, w, c}, ++seed);
+              tensor::QTensor wt =
+                  random_tensor({1, k, k, c}, ++seed, -90, 90);
+              tensor::BiasVector bv = random_bias(c, ++seed);
+              tensor::QTensor out({1, oh, ow, c}, {0.05, -1});
+              tensor::QTensor expected({1, oh, ow, c}, {0.05, -1});
+
+              DepthwiseArgs a;
+              a.input = ref_of(in, sim::kSramBase, sim::MemRegion::kSram);
+              a.weights = ref_of(wt, sim::kFlashBase, sim::MemRegion::kFlash);
+              a.bias = bias ? bv.data() : nullptr;
+              a.bias_mem = {sim::kFlashBase + 0x40000,
+                            sim::MemRegion::kFlash};
+              a.output =
+                  ref_of(out, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+              a.params = basic_params(stride, pad);
+              a.granularity = g;
+
+              ExecContext ctx;
+              depthwise_conv(a, ctx);
+              DepthwiseArgs oracle = a;
+              oracle.granularity = 0;
+              oracle.output = ref_of(expected, sim::kSramBase + 0x8000,
+                                     sim::MemRegion::kSram);
+              reference::depthwise_conv(oracle);
+              for (std::size_t i = 0; i < out.size_bytes(); ++i) {
+                ASSERT_EQ(out.data()[i], expected.data()[i])
+                    << case_str(h, w, k, stride, pad, bias, g) << " at " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweep, PointwiseBitExactVsReference) {
+  uint32_t seed = 900;
+  for (int h : {1, 5, 8}) {
+    for (int w : {1, 7, 8}) {
+      for (int cin : {3, 8}) {
+        for (int cout : {5, 8}) {
+          for (bool bias : {false, true}) {
+            for (int g : {0, 2, 7, 16}) {
+              tensor::QTensor in = random_tensor({1, h, w, cin}, ++seed);
+              tensor::QTensor wt =
+                  random_tensor({cout, 1, 1, cin}, ++seed, -90, 90);
+              tensor::BiasVector bv = random_bias(cout, ++seed);
+              tensor::QTensor out({1, h, w, cout}, {0.05, -1});
+              tensor::QTensor expected({1, h, w, cout}, {0.05, -1});
+
+              PointwiseArgs a;
+              a.input = ref_of(in, sim::kSramBase, sim::MemRegion::kSram);
+              a.weights = ref_of(wt, sim::kFlashBase, sim::MemRegion::kFlash);
+              a.bias = bias ? bv.data() : nullptr;
+              a.bias_mem = {sim::kFlashBase + 0x40000,
+                            sim::MemRegion::kFlash};
+              a.output =
+                  ref_of(out, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+              a.params = basic_params(1, 0);
+              a.granularity = g;
+
+              ExecContext ctx;
+              pointwise_conv(a, ctx);
+              PointwiseArgs oracle = a;
+              oracle.granularity = 0;
+              oracle.output = ref_of(expected, sim::kSramBase + 0x8000,
+                                     sim::MemRegion::kSram);
+              reference::pointwise_conv(oracle);
+              for (std::size_t i = 0; i < out.size_bytes(); ++i) {
+                ASSERT_EQ(out.data()[i], expected.data()[i])
+                    << case_str(h, w, 1, 1, 0, bias, g) << " at " << i;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+/// The restructured math paths must not perturb the simulated cost stream:
+/// Full and Timing mode report identical time/energy for border-heavy
+/// shapes (large pad, stride 2) where the interior/border split is busiest.
+TEST(KernelSweep, AccountingUnchangedAcrossModesOnBorderHeavyShapes) {
+  for (int pad : {1, 2}) {
+    for (int stride : {1, 2}) {
+      auto run = [&](ExecMode mode) {
+        tensor::QTensor in = random_tensor({1, 7, 9, 6}, 77);
+        tensor::QTensor wt = random_tensor({1, 5, 5, 6}, 78, -90, 90);
+        tensor::BiasVector bv = random_bias(6, 79);
+        const int oh = (7 + 2 * pad - 5) / stride + 1;
+        const int ow = (9 + 2 * pad - 5) / stride + 1;
+        if (oh < 1 || ow < 1) return std::pair{0.0, 0.0};
+        tensor::QTensor out({1, oh, ow, 6}, {0.05, -1});
+        sim::Mcu mcu;
+        ExecContext ctx;
+        ctx.mcu = &mcu;
+        ctx.mode = mode;
+        DepthwiseArgs a;
+        a.input = ref_of(in, sim::kSramBase, sim::MemRegion::kSram);
+        a.weights = ref_of(wt, sim::kFlashBase, sim::MemRegion::kFlash);
+        a.bias = bv.data();
+        a.bias_mem = {sim::kFlashBase + 0x40000, sim::MemRegion::kFlash};
+        a.output = ref_of(out, sim::kSramBase + 0x8000,
+                          sim::MemRegion::kSram);
+        a.params = basic_params(stride, pad);
+        a.granularity = 4;
+        depthwise_conv(a, ctx);
+        return std::pair{mcu.time_us(), mcu.energy_uj()};
+      };
+      const auto full = run(ExecMode::kFull);
+      const auto timing = run(ExecMode::kTiming);
+      EXPECT_DOUBLE_EQ(full.first, timing.first);
+      EXPECT_DOUBLE_EQ(full.second, timing.second);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace daedvfs::kernels

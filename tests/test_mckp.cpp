@@ -158,5 +158,25 @@ TEST(Greedy, InfeasibleWhenFastestOverruns) {
   EXPECT_FALSE(solve_greedy(inst).feasible);
 }
 
+TEST(Dp, SharedWorkspaceMatchesFreshAcrossRepeatedSolves) {
+  // The explorer issues many DP solves back to back; a shared workspace must
+  // not leak state between them, including across instances of different
+  // shape (wider then narrower).
+  DpWorkspace ws;
+  for (uint32_t seed : {60u, 61u, 62u, 63u}) {
+    for (int n : {8, 3, 12, 5}) {
+      const Instance inst = random_instance(seed + static_cast<uint32_t>(n),
+                                            n, 4, 0.5);
+      const Solution fresh = solve_dp(inst, 600);
+      const Solution reused = solve_dp(inst, 600, ws);
+      ASSERT_EQ(fresh.feasible, reused.feasible);
+      if (!fresh.feasible) continue;
+      EXPECT_EQ(fresh.chosen, reused.chosen);
+      EXPECT_DOUBLE_EQ(fresh.total_value, reused.total_value);
+      EXPECT_DOUBLE_EQ(fresh.total_weight, reused.total_weight);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace daedvfs::mckp

@@ -1,0 +1,71 @@
+// Thread pool tests: coverage/exactly-once semantics of parallel_for,
+// inline fallback, exception propagation, and request resolution.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace daedvfs::util {
+namespace {
+
+TEST(ThreadPool, ParallelForVisitsEveryIndexExactlyOnce) {
+  for (int workers : {0, 1, 3, 8}) {
+    ThreadPool pool(workers);
+    constexpr int64_t kN = 1000;
+    std::vector<std::atomic<int>> counts(kN);
+    pool.parallel_for(kN, [&](int64_t i) { counts[static_cast<std::size_t>(i)]++; });
+    for (int64_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(counts[static_cast<std::size_t>(i)].load(), 1)
+          << "index " << i << " with " << workers << " workers";
+    }
+  }
+}
+
+TEST(ThreadPool, ResultsLandInPreassignedSlots) {
+  ThreadPool pool(4);
+  constexpr int64_t kN = 512;
+  std::vector<int64_t> out(kN, -1);
+  pool.parallel_for(kN, [&](int64_t i) { out[static_cast<std::size_t>(i)] = i * i; });
+  for (int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(out[static_cast<std::size_t>(i)], i * i);
+  }
+}
+
+TEST(ThreadPool, PropagatesFirstException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      pool.parallel_for(100,
+                        [&](int64_t i) {
+                          if (i == 37) throw std::runtime_error("boom");
+                        }),
+      std::runtime_error);
+  // The pool must still be usable after a failed batch.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](int64_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
+}
+
+TEST(ThreadPool, SubmitAndWaitIdle) {
+  ThreadPool pool(3);
+  std::atomic<int> n{0};
+  for (int i = 0; i < 50; ++i) pool.submit([&] { n++; });
+  pool.wait_idle();
+  EXPECT_EQ(n.load(), 50);
+}
+
+TEST(ThreadPool, ResolveHonorsRequestThenEnvThenHardware) {
+  EXPECT_EQ(ThreadPool::resolve(5), 5);
+  ::setenv("DAEDVFS_THREADS", "3", 1);
+  EXPECT_EQ(ThreadPool::resolve(0), 3);
+  ::setenv("DAEDVFS_THREADS", "not-a-number", 1);
+  EXPECT_GE(ThreadPool::resolve(0), 1);  // falls through to hardware
+  ::unsetenv("DAEDVFS_THREADS");
+  EXPECT_GE(ThreadPool::resolve(0), 1);
+}
+
+}  // namespace
+}  // namespace daedvfs::util
