@@ -1,0 +1,98 @@
+// Mission simulator: two weeks of a battery-powered VWW sentry node under
+// the adaptive schedule governor, against every static schedule of its
+// ladder. The node idles at a relaxed latency bound most of the day; twice a
+// day the backend tightens the bound and raises the frame rate ("tracking"),
+// and below 20% charge the node trades latency for lifetime.
+//
+//   $ ./build/mission_sim            # VWW
+//   $ ./build/mission_sim pd 0.2     # Person Detection, low-battery SoC 0.2
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "governor/governor.hpp"
+#include "graph/zoo.hpp"
+#include "scenario/engine.hpp"
+
+int main(int argc, char** argv) {
+  using namespace daedvfs;
+
+  std::string which = argc > 1 ? argv[1] : "vww";
+  const double low_soc = argc > 2 ? std::atof(argv[2]) : 0.20;
+  graph::Model model = [&] {
+    if (which == "pd") return graph::zoo::make_person_detection();
+    if (which == "mbv2") return graph::zoo::make_mbv2();
+    which = "vww";
+    return graph::zoo::make_vww();
+  }();
+
+  std::cout << "=== " << model.name() << " mission simulation ===\n";
+  governor::GovernorConfig gcfg;
+  gcfg.pipeline.space = dse::make_paper_design_space(
+      power::PowerModel{gcfg.pipeline.explore.sim.power});
+  const governor::ScheduleGovernor gov(model, gcfg);
+  if (gov.rungs().empty()) {
+    std::cerr << "no feasible schedule at any ladder slack for "
+              << model.name() << "\n";
+    return 1;
+  }
+  std::cout << "schedule ladder (" << gov.rungs().size()
+            << " rungs, t_base " << std::fixed << std::setprecision(0)
+            << gov.t_base_us() << " us):\n";
+  for (const scenario::RungInfo& r : gov.rungs()) {
+    std::cout << "  " << std::left << std::setw(9) << r.name << std::right
+              << std::setprecision(0) << std::setw(8) << r.t_us << " us"
+              << std::setprecision(1) << std::setw(9) << r.e_uj << " uJ"
+              << "   " << std::setprecision(0)
+              << r.entry_hfo.sysclk_mhz() << " MHz entry\n";
+  }
+
+  scenario::MissionSpec spec;
+  spec.name = "sentry-2w";
+  spec.horizon_s = 14.0 * 86400.0;
+  spec.battery.capacity_mwh = 2400.0;
+  spec.duty.period_s = 10.0;
+  spec.duty.sleep_mw = 0.8;
+  spec.base_qos_slack = gov.rungs().back().qos_slack + 0.10;
+  const double tight = gov.rungs().front().qos_slack + 0.01;
+  for (int day = 0; day < 14; ++day) {
+    const double base_s = day * 86400.0;
+    spec.qos_events.push_back({base_s + 20000.0, tight});
+    spec.qos_events.push_back({base_s + 24000.0, spec.base_qos_slack});
+    spec.qos_events.push_back({base_s + 60000.0, tight});
+    spec.qos_events.push_back({base_s + 66000.0, spec.base_qos_slack});
+    spec.bursts.push_back({base_s + 20000.0, 4000.0, 1.0});
+    spec.bursts.push_back({base_s + 60000.0, 6000.0, 1.0});
+  }
+  spec.low_battery_soc = low_soc;
+  spec.low_battery_qos_slack = spec.base_qos_slack;
+
+  const sim::SimParams& sim = gcfg.pipeline.explore.sim;
+  std::cout << "\nmission: " << spec.horizon_s / 86400.0
+            << " days, 1 frame/" << spec.duty.period_s
+            << " s, 2 tracking phases/day (QoS +"
+            << std::setprecision(0) << tight * 100.0 << "%, 1 frame/s)\n\n";
+
+  std::cout << "policy              frames   misses  switches  energy(J)  "
+               "battery life\n";
+  auto print_row = [&](const scenario::MissionReport& r) {
+    std::cout << std::left << std::setw(19) << r.policy << std::right
+              << std::setw(7) << r.frames << std::setw(9)
+              << r.deadline_misses << std::setw(10) << r.rung_switches
+              << std::setprecision(1) << std::setw(11) << r.total_uj() / 1e6
+              << std::setw(10) << r.lifetime_days(spec.battery)
+              << " days\n";
+  };
+  print_row(simulate_mission(spec, gov, gov.t_base_us(), sim));
+  for (const scenario::RungInfo& rung : gov.rungs()) {
+    const scenario::StaticPolicy fixed(rung);
+    print_row(simulate_mission(spec, fixed, gov.t_base_us(), sim));
+  }
+
+  std::cout << "\nReading: the governor matches the tightest static "
+               "schedule's deadline record\nwhile spending close to the "
+               "cheapest schedule's energy — static rungs either\nmiss "
+               "tracking deadlines or waste energy on the relaxed phase.\n";
+  return 0;
+}

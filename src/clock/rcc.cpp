@@ -14,33 +14,43 @@ Rcc::Rcc(ClockConfig boot, SwitchCostParams params)
   if (current_.source == ClockSource::kPll) locked_pll_ = current_.pll;
 }
 
-SwitchCost Rcc::switch_to(const ClockConfig& target) {
-  if (auto err = target.validation_error()) {
-    throw std::invalid_argument("invalid clock config: " + *err);
-  }
-  SwitchCost cost = switch_cost(params_, current_, target, locked_pll_);
+SwitchCost apply_switch_policy(const SwitchCostParams& params,
+                               const ClockConfig& from, const ClockConfig& to,
+                               std::optional<PllConfig>& locked_pll,
+                               VoltageScale& scale) {
+  SwitchCost cost = switch_cost(params, from, to, locked_pll);
   if (cost.total_us == 0.0) return cost;  // no-op switch
 
   // Regulator-scale policy: raising the scale is mandatory before running
   // faster; lowering it is only worthwhile on "slow" transitions (PLL
   // relocks, i.e. between layers). Fast intra-layer mux toggles keep the
   // pinned scale so they never wait the ~40 us regulator settle time.
-  const VoltageScale needed = target.voltage_scale();
-  if (core_voltage(needed) > core_voltage(scale_)) {
-    scale_ = needed;
-    cost.total_us += params_.vos_change_us;
+  const VoltageScale needed = to.voltage_scale();
+  if (core_voltage(needed) > core_voltage(scale)) {
+    scale = needed;
+    cost.total_us += params.vos_change_us;
     cost.vos_changed = true;
-  } else if (needed != scale_ && cost.pll_relocked) {
-    scale_ = needed;
-    cost.total_us += params_.vos_change_us;
+  } else if (needed != scale && cost.pll_relocked) {
+    scale = needed;
+    cost.total_us += params.vos_change_us;
     cost.vos_changed = true;
   }
 
-  if (target.source == ClockSource::kPll) {
-    locked_pll_ = target.pll;  // (re)locked by the switch
+  if (to.source == ClockSource::kPll) {
+    locked_pll = to.pll;  // (re)locked by the switch
   }
   // Selecting HSE/HSI leaves the PLL running (hardware behaviour): the mux
-  // merely bypasses it. stop_pll() models explicit gating.
+  // merely bypasses it. Rcc::stop_pll() models explicit gating.
+  return cost;
+}
+
+SwitchCost Rcc::switch_to(const ClockConfig& target) {
+  if (auto err = target.validation_error()) {
+    throw std::invalid_argument("invalid clock config: " + *err);
+  }
+  const SwitchCost cost =
+      apply_switch_policy(params_, current_, target, locked_pll_, scale_);
+  if (cost.total_us == 0.0) return cost;  // no-op switch
 
   current_ = target;
   ++stats_.switches;

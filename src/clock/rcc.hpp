@@ -13,6 +13,19 @@
 
 namespace daedvfs::clock {
 
+/// One step of the RCC transition policy as a pure state machine: the
+/// switch cost of `from -> to` (mux/relock via switch_cost) plus the
+/// regulator-scale rule (raising the scale is mandatory before running
+/// faster; lowering it only rides a relock), advancing `locked_pll` and
+/// `scale` in place. Rcc::switch_to runs exactly this; closed-form mirrors
+/// (dse whole-schedule replay, the scenario engine's rung transitions)
+/// call it too so they can never drift from the stateful model.
+[[nodiscard]] SwitchCost apply_switch_policy(const SwitchCostParams& params,
+                                             const ClockConfig& from,
+                                             const ClockConfig& to,
+                                             std::optional<PllConfig>& locked_pll,
+                                             VoltageScale& scale);
+
 /// Switch statistics, for profiling and the Fig. 6 analysis.
 struct RccStats {
   uint64_t switches = 0;

@@ -1,7 +1,6 @@
 #include "core/pipeline.hpp"
 
-#include <limits>
-#include <stdexcept>
+#include "core/schedule_builder.hpp"
 
 namespace daedvfs::core {
 
@@ -16,153 +15,40 @@ PipelineResult Pipeline::run(
   runtime::InferenceEngine engine(model);
   const runtime::Schedule te_schedule =
       runtime::make_tinyengine_schedule(model);
-  {
-    sim::SimParams params = cfg_.explore.sim;
-    params.boot = runtime::tinyengine_clock();
-    sim::Mcu mcu(params);
-    const auto base =
-        engine.run(mcu, te_schedule, kernels::ExecMode::kTiming);
-    res.t_base_us = base.total_us;
-  }
+  res.t_base_us = tinyengine_baseline_us(engine, cfg_.explore.sim);
   res.qos_us = res.t_base_us * (1.0 + cfg_.qos_slack);
 
-  // ---- Steps 1+2: DAE enabling + per-layer co-exploration.
+  // ---- Steps 1+2: DAE enabling + per-layer co-exploration. The escape
+  // hatch downgrades the fast defaults to bitwise-exact profiling.
   if (reuse_dse != nullptr) {
     res.dse = *reuse_dse;
   } else {
-    res.dse = dse::explore_model(model, cfg_.space, cfg_.explore);
+    res.dse = dse::explore_model(model, cfg_.space, cfg_.effective_explore(),
+                                 &res.explore_stats);
   }
 
-  // ---- Step 3: MCKP over the per-layer Pareto fronts.
-  mckp::Instance inst;
-  inst.classes.reserve(res.dse.size());
-  for (const auto& set : res.dse) {
-    std::vector<mckp::Item> cls;
-    cls.reserve(set.pareto.size());
-    for (const auto& sol : set.pareto) {
-      cls.push_back({sol.t_us, sol.energy_uj});
-    }
-    inst.classes.push_back(std::move(cls));
-  }
-  inst.capacity = res.qos_us;
-  if (cfg_.reserve_switch_overhead) {
-    const clock::SwitchCostParams sw = cfg_.explore.sim.switching;
-    inst.capacity -=
-        static_cast<double>(model.num_layers()) * 2.0 * sw.mux_switch_us +
-        static_cast<double>(cfg_.reserved_relocks) *
-            (sw.pll_relock_us + sw.vos_change_us);
-    if (inst.capacity < 0.0) inst.capacity = 0.0;
-  }
+  // ---- Step 3: MCKP + frequency smoothing + QoS repair.
+  const ScheduleBuilder builder(model, engine, cfg_);
+  mckp::DpWorkspace ws;
+  const BuiltSchedule built = builder.build(res.dse, res.qos_us, ws);
+  res.mckp_feasible = built.feasible;
+  res.repair_iterations = built.repair_iterations;
+  res.repair_simulations = built.repair_simulations;
 
-  const mckp::Solution sol = mckp::solve_dp(inst, cfg_.mckp_ticks);
-  res.mckp_feasible = sol.feasible;
-
-  // ---- Emit the schedule (fallback: TinyEngine plan if infeasible).
   res.schedule.name = "dae-dvfs(qos=" + std::to_string(cfg_.qos_slack) + ")";
-  res.schedule.plans.resize(static_cast<std::size_t>(model.num_layers()));
-  std::vector<int> pick(res.dse.size(), -1);
-  if (sol.feasible) {
+  if (built.feasible) {
+    res.schedule.plans = built.schedule.plans;
+    res.choices.reserve(res.dse.size());
     for (std::size_t k = 0; k < res.dse.size(); ++k) {
-      pick[k] = sol.chosen[k];
-      res.schedule.plans[k] =
-          res.dse[k].pareto[static_cast<std::size_t>(pick[k])].to_plan(
-              cfg_.space.lfo);
+      res.choices.push_back(
+          {static_cast<int>(k),
+           res.dse[k].pareto[static_cast<std::size_t>(built.pick[k])]});
     }
+    res.planned_t_us = built.planned_t_us;
+    res.planned_e_uj = built.planned_e_uj;
   } else {
+    // Fallback: TinyEngine plan when the budget is infeasible.
     res.schedule.plans = te_schedule.plans;
-  }
-
-  // ---- Frequency smoothing: the per-layer DSE ignores the ~200 us PLL
-  // relock paid whenever consecutive layers use different HFO parameters.
-  // Aligning a layer's HFO with its predecessor's is accepted when a Pareto
-  // alternative exists that is *strictly better* once the avoided relock
-  // (time and stall energy) is credited — safe to apply before QoS repair.
-  if (sol.feasible) {
-    const clock::SwitchCostParams sw = cfg_.explore.sim.switching;
-    const double relock_us = sw.pll_relock_us + sw.vos_change_us;
-    const power::PowerModel pm(cfg_.explore.sim.power);
-    for (int pass = 0; pass < 2; ++pass) {
-      for (std::size_t k = 1; k < res.dse.size(); ++k) {
-        const auto& prev_hfo = res.schedule.plans[k - 1].hfo;
-        if (res.schedule.plans[k].hfo == prev_hfo) continue;
-        const auto& front = res.dse[k].pareto;
-        const auto& cur = front[static_cast<std::size_t>(pick[k])];
-        // Relocks avoided: at this layer's entry, plus at the next layer's
-        // entry when it already runs at the predecessor's setting.
-        double saved_us = relock_us;
-        if (k + 1 < res.dse.size() &&
-            res.schedule.plans[k + 1].hfo == prev_hfo) {
-          saved_us += relock_us;
-        }
-        const double saved_uj =
-            saved_us *
-            pm.config_power_mw(prev_hfo, power::Activity::kMemoryStall) *
-            1e-3;
-        for (std::size_t j = 0; j < front.size(); ++j) {
-          if (!(front[j].hfo == prev_hfo)) continue;
-          const double dt = front[j].t_us - cur.t_us;
-          const double de = front[j].energy_uj - cur.energy_uj;
-          if (dt <= saved_us && de <= saved_uj) {
-            pick[k] = static_cast<int>(j);
-            res.schedule.plans[k] = front[j].to_plan(cfg_.space.lfo);
-            break;
-          }
-        }
-      }
-    }
-  }
-
-  // ---- QoS repair: the per-layer DSE cannot see inter-layer transition
-  // costs (PLL relocks, regulator scale changes), so a schedule planned to
-  // the full budget can measure slightly over it. Greedily move layers to
-  // faster Pareto points (min energy increase per us recovered) until the
-  // *measured* inference fits the window.
-  if (sol.feasible && cfg_.max_repair_iterations > 0) {
-    auto measure = [&]() {
-      sim::SimParams params = cfg_.explore.sim;
-      params.boot = res.schedule.plans.front().hfo;
-      sim::Mcu mcu(params);
-      return engine.run(mcu, res.schedule, kernels::ExecMode::kTiming)
-          .total_us;
-    };
-    double t = measure();
-    for (int iter = 0;
-         t > res.qos_us && iter < cfg_.max_repair_iterations; ++iter) {
-      double best_ratio = std::numeric_limits<double>::infinity();
-      std::size_t best_k = res.dse.size();
-      int best_j = -1;
-      for (std::size_t k = 0; k < res.dse.size(); ++k) {
-        const auto& front = res.dse[k].pareto;
-        const auto& cur = front[static_cast<std::size_t>(pick[k])];
-        for (int j = 0; j < pick[k]; ++j) {  // faster alternatives only
-          const auto& alt = front[static_cast<std::size_t>(j)];
-          const double dt = cur.t_us - alt.t_us;
-          if (dt <= 0.0) continue;
-          const double ratio = (alt.energy_uj - cur.energy_uj) / dt;
-          if (ratio < best_ratio) {
-            best_ratio = ratio;
-            best_k = k;
-            best_j = j;
-          }
-        }
-      }
-      if (best_j < 0) break;  // already fastest everywhere
-      pick[best_k] = best_j;
-      res.schedule.plans[best_k] =
-          res.dse[best_k].pareto[static_cast<std::size_t>(best_j)].to_plan(
-              cfg_.space.lfo);
-      t = measure();
-    }
-  }
-
-  if (sol.feasible) {
-    for (std::size_t k = 0; k < res.dse.size(); ++k) {
-      const dse::LayerSolution& s =
-          res.dse[k].pareto[static_cast<std::size_t>(pick[k])];
-      res.choices.push_back({static_cast<int>(k), s});
-      res.planned_t_us += s.t_us;
-      res.planned_e_uj += s.energy_uj;
-    }
   }
 
   // ---- Iso-latency evaluation (§IV): all three engines, same QoS window.

@@ -24,7 +24,18 @@ struct PipelineConfig {
   /// QoS = T_base * (1 + qos_slack). The paper evaluates 0.10/0.30/0.50.
   double qos_slack = 0.10;
   dse::DesignSpace space;
-  dse::ExploreOptions explore;
+  /// Exploration options. The pipeline defaults enable the fast path —
+  /// frequency replay + the analytic dominance prefilter on top of the
+  /// always-exact memoization (docs/perf.md): emitted schedules are
+  /// identical to the exact sweep across the model zoo (pinned in
+  /// tests/test_pipeline.cpp) at an order of magnitude less exploration
+  /// cost. Set `exact_simulation` for bitwise-exact simulator output.
+  dse::ExploreOptions explore = [] {
+    dse::ExploreOptions o;
+    o.freq_replay = true;
+    o.prefilter = true;
+    return o;
+  }();
   /// DP discretization width (see mckp::solve_dp).
   int mckp_ticks = 20000;
   /// Reserve per-layer-transition overhead inside the MCKP budget so the
@@ -38,7 +49,29 @@ struct PipelineConfig {
   /// inter-layer switch costs the per-layer DSE cannot see) and, while it
   /// overruns the QoS window, greedily swap layers to faster Pareto points
   /// (minimum energy increase per microsecond recovered). 0 disables.
+  /// By default the loop runs on whole-schedule replay (dse/freq_replay):
+  /// one recording simulation, then closed-form re-evaluation per swap,
+  /// re-simulating only when a swap changes a layer's granularity.
   int max_repair_iterations = 64;
+  /// Escape hatch: measure every DSE candidate and every repair-loop
+  /// schedule directly on the simulator — disables frequency replay, the
+  /// analytic prefilter and whole-schedule replay. Profile memoization
+  /// stays on (it is bitwise exact). Schedules are identical to the fast
+  /// path across the model zoo; use this to re-validate that equivalence
+  /// or when adding simulator channels replay does not model yet.
+  bool exact_simulation = false;
+
+  /// Exploration options a run actually uses: `explore` with the fast-path
+  /// knobs stripped when `exact_simulation` is set. The single place that
+  /// downgrade lives (Pipeline::run and the governor ladder both call it).
+  [[nodiscard]] dse::ExploreOptions effective_explore() const {
+    dse::ExploreOptions o = explore;
+    if (exact_simulation) {
+      o.freq_replay = false;
+      o.prefilter = false;
+    }
+    return o;
+  }
 };
 
 /// Selected operating point per layer (granularity + HFO).
@@ -83,6 +116,14 @@ struct PipelineResult {
   bool fell_back_to_baseline = false;
   double planned_t_us = 0.0;
   double planned_e_uj = 0.0;
+
+  /// Step 2 accounting (zeroed when the run reused a caller's DSE).
+  dse::ExploreStats explore_stats;
+  /// QoS-repair accounting: greedy swaps applied, and full-model simulations
+  /// spent measuring them (1 + #granularity-changing swaps on the replay
+  /// path; 1 + #swaps with exact_simulation).
+  int repair_iterations = 0;
+  int repair_simulations = 0;
 
   IsoLatencyComparison comparison;  ///< Measured, iso-latency scenario.
 };

@@ -1,0 +1,181 @@
+#include "core/schedule_builder.hpp"
+
+#include <limits>
+
+#include "dse/freq_replay.hpp"
+#include "runtime/baseline.hpp"
+
+namespace daedvfs::core {
+
+double ScheduleBuilder::mckp_capacity(double qos_us) const {
+  if (!cfg_.reserve_switch_overhead) return qos_us;
+  const clock::SwitchCostParams sw = cfg_.explore.sim.switching;
+  double cap =
+      qos_us -
+      static_cast<double>(model_.num_layers()) * 2.0 * sw.mux_switch_us -
+      static_cast<double>(cfg_.reserved_relocks) *
+          (sw.pll_relock_us + sw.vos_change_us);
+  return cap < 0.0 ? 0.0 : cap;
+}
+
+mckp::Instance ScheduleBuilder::make_instance(
+    const std::vector<dse::LayerSolutionSet>& dse) {
+  mckp::Instance inst;
+  inst.classes.reserve(dse.size());
+  for (const auto& set : dse) {
+    std::vector<mckp::Item> cls;
+    cls.reserve(set.pareto.size());
+    for (const auto& sol : set.pareto) {
+      cls.push_back({sol.t_us, sol.energy_uj});
+    }
+    inst.classes.push_back(std::move(cls));
+  }
+  return inst;
+}
+
+BuiltSchedule ScheduleBuilder::build(
+    const std::vector<dse::LayerSolutionSet>& dse, double qos_us,
+    mckp::DpWorkspace& ws) const {
+  mckp::Instance inst = make_instance(dse);
+  inst.capacity = mckp_capacity(qos_us);
+  const mckp::Solution sol = mckp::solve_dp(inst, cfg_.mckp_ticks, ws);
+  return build_from_solution(dse, qos_us, sol);
+}
+
+BuiltSchedule ScheduleBuilder::build_from_solution(
+    const std::vector<dse::LayerSolutionSet>& dse, double qos_us,
+    const mckp::Solution& sol) const {
+  BuiltSchedule bs;
+  bs.schedule.plans.resize(static_cast<std::size_t>(model_.num_layers()));
+  if (!sol.feasible) return bs;
+
+  bs.feasible = true;
+  bs.pick.assign(dse.size(), -1);
+  for (std::size_t k = 0; k < dse.size(); ++k) {
+    bs.pick[k] = sol.chosen[k];
+    bs.schedule.plans[k] =
+        dse[k].pareto[static_cast<std::size_t>(bs.pick[k])].to_plan(
+            cfg_.space.lfo);
+  }
+
+  smooth(dse, bs);
+  repair(dse, qos_us, bs);
+
+  for (std::size_t k = 0; k < dse.size(); ++k) {
+    const dse::LayerSolution& s =
+        dse[k].pareto[static_cast<std::size_t>(bs.pick[k])];
+    bs.planned_t_us += s.t_us;
+    bs.planned_e_uj += s.energy_uj;
+  }
+  return bs;
+}
+
+// ---- Frequency smoothing: the per-layer DSE ignores the ~200 us PLL
+// relock paid whenever consecutive layers use different HFO parameters.
+// Aligning a layer's HFO with its predecessor's is accepted when a Pareto
+// alternative exists that is *strictly better* once the avoided relock
+// (time and stall energy) is credited — safe to apply before QoS repair.
+void ScheduleBuilder::smooth(const std::vector<dse::LayerSolutionSet>& dse,
+                             BuiltSchedule& bs) const {
+  const clock::SwitchCostParams sw = cfg_.explore.sim.switching;
+  const double relock_us = sw.pll_relock_us + sw.vos_change_us;
+  const power::PowerModel pm(cfg_.explore.sim.power);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (std::size_t k = 1; k < dse.size(); ++k) {
+      const auto& prev_hfo = bs.schedule.plans[k - 1].hfo;
+      if (bs.schedule.plans[k].hfo == prev_hfo) continue;
+      const auto& front = dse[k].pareto;
+      const auto& cur = front[static_cast<std::size_t>(bs.pick[k])];
+      // Relocks avoided: at this layer's entry, plus at the next layer's
+      // entry when it already runs at the predecessor's setting.
+      double saved_us = relock_us;
+      if (k + 1 < dse.size() && bs.schedule.plans[k + 1].hfo == prev_hfo) {
+        saved_us += relock_us;
+      }
+      const double saved_uj =
+          saved_us *
+          pm.config_power_mw(prev_hfo, power::Activity::kMemoryStall) * 1e-3;
+      for (std::size_t j = 0; j < front.size(); ++j) {
+        if (!(front[j].hfo == prev_hfo)) continue;
+        const double dt = front[j].t_us - cur.t_us;
+        const double de = front[j].energy_uj - cur.energy_uj;
+        if (dt <= saved_us && de <= saved_uj) {
+          bs.pick[k] = static_cast<int>(j);
+          bs.schedule.plans[k] = front[j].to_plan(cfg_.space.lfo);
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---- QoS repair: the per-layer DSE cannot see inter-layer transition
+// costs (PLL relocks, regulator scale changes), so a schedule planned to
+// the full budget can measure slightly over it. Greedily move layers to
+// faster Pareto points (min energy increase per us recovered) until the
+// *measured* inference fits the window. The swap choice depends only on the
+// planned per-layer profiles; the measurement gates termination — so the
+// replay path (record once, closed-form per swap) walks the same swap
+// sequence as a fresh simulation per iteration would.
+void ScheduleBuilder::repair(const std::vector<dse::LayerSolutionSet>& dse,
+                             double qos_us, BuiltSchedule& bs) const {
+  if (cfg_.max_repair_iterations <= 0) return;  // unmeasured, like the seed
+  const sim::SimParams& sim = cfg_.explore.sim;
+  dse::ScheduleLedger ledger =
+      dse::record_schedule(engine_, bs.schedule, sim);
+  bs.repair_simulations = 1;
+  bs.measured = true;
+  double t = ledger.recorded_t_us;
+  double e = ledger.recorded_e_uj;
+
+  for (int iter = 0; t > qos_us && iter < cfg_.max_repair_iterations;
+       ++iter) {
+    double best_ratio = std::numeric_limits<double>::infinity();
+    std::size_t best_k = dse.size();
+    int best_j = -1;
+    for (std::size_t k = 0; k < dse.size(); ++k) {
+      const auto& front = dse[k].pareto;
+      const auto& cur = front[static_cast<std::size_t>(bs.pick[k])];
+      for (int j = 0; j < bs.pick[k]; ++j) {  // faster alternatives only
+        const auto& alt = front[static_cast<std::size_t>(j)];
+        const double dt = cur.t_us - alt.t_us;
+        if (dt <= 0.0) continue;
+        const double ratio = (alt.energy_uj - cur.energy_uj) / dt;
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          best_k = k;
+          best_j = j;
+        }
+      }
+    }
+    if (best_j < 0) break;  // already fastest everywhere
+    bs.pick[best_k] = best_j;
+    bs.schedule.plans[best_k] =
+        dse[best_k].pareto[static_cast<std::size_t>(best_j)].to_plan(
+            cfg_.space.lfo);
+    ++bs.repair_iterations;
+
+    if (!cfg_.exact_simulation && dse::replay_compatible(ledger, bs.schedule)) {
+      const dse::ProfileEntry pe =
+          dse::replay_schedule(ledger, bs.schedule, sim);
+      t = pe.t_us;
+      e = pe.energy_uj;
+    } else {
+      ledger = dse::record_schedule(engine_, bs.schedule, sim);
+      ++bs.repair_simulations;
+      t = ledger.recorded_t_us;
+      e = ledger.recorded_e_uj;
+    }
+  }
+  bs.measured_t_us = t;
+  bs.measured_e_uj = e;
+}
+
+double tinyengine_baseline_us(const runtime::InferenceEngine& engine,
+                              const sim::SimParams& sim) {
+  const runtime::Schedule te =
+      runtime::make_tinyengine_schedule(engine.model());
+  return dse::record_schedule(engine, te, sim).recorded_t_us;
+}
+
+}  // namespace daedvfs::core

@@ -1,5 +1,8 @@
 #include "dse/freq_replay.hpp"
 
+#include <stdexcept>
+
+#include "clock/switch_model.hpp"
 #include "clock/voltage.hpp"
 #include "power/power_model.hpp"
 #include "sim/memory_model.hpp"
@@ -24,15 +27,54 @@ power::PowerState replay_state(const clock::ClockConfig& active,
   return st;
 }
 
-}  // namespace
+/// Clock-subsystem state the inter-layer transition terms depend on — the
+/// clock::Rcc fields switch_to() reads and writes, advanced through the
+/// shared clock::apply_switch_policy state machine so the mirror can never
+/// drift from the stateful model.
+struct RccMirror {
+  clock::ClockConfig current;
+  std::optional<clock::PllConfig> locked_pll;
+  clock::VoltageScale scale = clock::VoltageScale::kScale3;
 
-ProfileEntry replay_profile(const sim::WorkLedger& ledger,
-                            const clock::ClockConfig& hfo_ref,
-                            const clock::ClockConfig& hfo_new,
-                            const sim::SimParams& sim) {
-  const power::PowerModel pm(sim.power);
+  /// Boot state of a fresh Mcu (Rcc constructor semantics).
+  [[nodiscard]] static RccMirror boot(const clock::ClockConfig& cfg) {
+    RccMirror m;
+    m.current = cfg;
+    m.scale = cfg.voltage_scale();
+    if (cfg.source == clock::ClockSource::kPll) m.locked_pll = cfg.pll;
+    return m;
+  }
+
+  [[nodiscard]] power::PowerState power_state() const {
+    return power::PowerState::from_parts(current, locked_pll, scale);
+  }
+
+  /// Mirrors Rcc::switch_to followed by Mcu::switch_clock's stall charge at
+  /// the post-switch power state, accumulating into `t_us` / `e_uj`.
+  void switch_to(const clock::ClockConfig& target, const sim::SimParams& sim,
+                 const power::PowerModel& pm, double* t_us, double* e_uj) {
+    const clock::SwitchCost cost = clock::apply_switch_policy(
+        sim.switching, current, target, locked_pll, scale);
+    if (cost.total_us == 0.0) return;  // no-op switch
+    current = target;
+    *t_us += cost.total_us;
+    *e_uj += cost.total_us *
+             pm.power_mw(power_state(), power::Activity::kMemoryStall) * 1e-3;
+  }
+};
+
+/// Shared per-domain arithmetic of both replay flavors: re-times one
+/// WorkLedger with the HFO domain mapped to `hfo_new`, powering each domain
+/// at the state `state_of(active)` returns. `state_of` encodes who owns the
+/// surrounding clock context — the isolated profiling boot (replay_profile)
+/// or the mirrored in-situ RCC state (replay_schedule).
+template <typename StateOf>
+ProfileEntry replay_work(const sim::WorkLedger& ledger,
+                         const clock::ClockConfig& hfo_ref,
+                         const clock::ClockConfig& hfo_new,
+                         const sim::SimParams& sim,
+                         const power::PowerModel& pm, StateOf&& state_of) {
   ProfileEntry out;
-
   for (const sim::WorkLedger::Domain& d : ledger.domains) {
     const bool is_hfo = d.config == hfo_ref;
     const clock::ClockConfig& active = is_hfo ? hfo_new : d.config;
@@ -63,16 +105,112 @@ ProfileEntry replay_profile(const sim::WorkLedger& ledger,
 
     // Clock switches that landed in this domain: intra-layer LFO<->HFO
     // toggles only pay the mux cost (the PLL stays locked, the scale stays
-    // pinned) — the only kind a single-candidate profiling run performs.
+    // pinned) — the only kind that lands inside a layer's ledger (layer
+    // entry transitions are recorded/recomputed outside it).
     const double t_switch_us =
         static_cast<double>(d.switches_in) * sim.switching.mux_switch_us;
 
-    const power::PowerState st = replay_state(active, hfo_new);
+    const power::PowerState st = state_of(active);
     out.t_us += t_cmp_us + t_mem_us + t_switch_us;
     out.energy_uj +=
         t_cmp_us * pm.power_mw(st, power::Activity::kCompute) * 1e-3 +
         (t_mem_us + t_switch_us) *
             pm.power_mw(st, power::Activity::kMemoryStall) * 1e-3;
+  }
+  return out;
+}
+
+}  // namespace
+
+ProfileEntry replay_profile(const sim::WorkLedger& ledger,
+                            const clock::ClockConfig& hfo_ref,
+                            const clock::ClockConfig& hfo_new,
+                            const sim::SimParams& sim) {
+  const power::PowerModel pm(sim.power);
+  return replay_work(ledger, hfo_ref, hfo_new, sim, pm,
+                     [&](const clock::ClockConfig& active) {
+                       return replay_state(active, hfo_new);
+                     });
+}
+
+ScheduleLedger record_schedule(const runtime::InferenceEngine& engine,
+                               const runtime::Schedule& schedule,
+                               const sim::SimParams& sim) {
+  ScheduleLedger led;
+  if (schedule.plans.empty()) return led;
+
+  // Fresh Mcu booted at the first layer's HFO — the same timeline the
+  // pipeline's schedule measurement uses, so the recorded totals are bitwise
+  // equal to InferenceEngine::run on that Mcu.
+  sim::SimParams params = sim;
+  params.boot = schedule.plans.front().hfo;
+  sim::Mcu mcu(params);
+
+  led.layers.resize(schedule.plans.size());
+  for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
+    const runtime::LayerPlan& plan = schedule.plans[i];
+    // Perform the layer-entry transition outside the ledger: replay
+    // recomputes it analytically for whatever HFO the evaluated schedule
+    // assigns. The engine's own entry switch then no-ops.
+    mcu.switch_clock(plan.hfo);
+    ScheduleLedger::LayerRecord& rec = led.layers[i];
+    rec.ref_hfo = plan.hfo;
+    rec.lfo = plan.lfo;
+    rec.granularity = plan.granularity;
+    rec.dvfs_enabled = plan.dvfs_enabled;
+    mcu.set_ledger(&rec.work);
+    (void)engine.run_layer(mcu, static_cast<int>(i), plan,
+                           kernels::ExecMode::kTiming);
+    mcu.set_ledger(nullptr);
+  }
+  led.recorded_t_us = mcu.time_us();
+  led.recorded_e_uj = mcu.energy_uj();
+  return led;
+}
+
+bool replay_compatible(const ScheduleLedger& ledger,
+                       const runtime::Schedule& schedule) {
+  if (ledger.layers.size() != schedule.plans.size()) return false;
+  for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
+    const ScheduleLedger::LayerRecord& rec = ledger.layers[i];
+    const runtime::LayerPlan& plan = schedule.plans[i];
+    if (plan.granularity != rec.granularity ||
+        plan.dvfs_enabled != rec.dvfs_enabled || !(plan.lfo == rec.lfo)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+ProfileEntry replay_schedule(const ScheduleLedger& ledger,
+                             const runtime::Schedule& schedule,
+                             const sim::SimParams& sim) {
+  if (!replay_compatible(ledger, schedule)) {
+    throw std::invalid_argument(
+        "replay_schedule: schedule changes granularity/DVFS/LFO of a layer; "
+        "re-record the ledger");
+  }
+  ProfileEntry out;
+  if (schedule.plans.empty()) return out;
+
+  const power::PowerModel pm(sim.power);
+  RccMirror rcc = RccMirror::boot(schedule.plans.front().hfo);
+  for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
+    rcc.switch_to(schedule.plans[i].hfo, sim, pm, &out.t_us, &out.energy_uj);
+    // Domains power up under the *in-situ* clock context: the regulator
+    // scale and locked PLL the entry transition left behind (not the
+    // isolated-boot assumption of replay_profile — they coincide for
+    // all-PLL HFO ladders, but carry-over state differs for mixed ones).
+    const ProfileEntry work = replay_work(
+        ledger.layers[i].work, ledger.layers[i].ref_hfo,
+        schedule.plans[i].hfo, sim, pm,
+        [&](const clock::ClockConfig& active) {
+          RccMirror m = rcc;
+          m.current = active;
+          return m.power_state();
+        });
+    out.t_us += work.t_us;
+    out.energy_uj += work.energy_uj;
   }
   return out;
 }

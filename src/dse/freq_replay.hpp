@@ -18,6 +18,8 @@
 
 #include "clock/clock_config.hpp"
 #include "dse/profile_cache.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/schedule.hpp"
 #include "sim/mcu.hpp"
 
 namespace daedvfs::dse {
@@ -32,5 +34,64 @@ namespace daedvfs::dse {
                                           const clock::ClockConfig& hfo_ref,
                                           const clock::ClockConfig& hfo_new,
                                           const sim::SimParams& sim);
+
+// ---- Whole-schedule replay -------------------------------------------------
+//
+// The per-candidate replay above evaluates one layer in isolation; schedule
+// construction (the pipeline's QoS-repair loop, the governor's rung ladder)
+// needs the *measured* latency/energy of a full inference, which additionally
+// contains the inter-layer clock transitions (PLL relocks, regulator-scale
+// settles) and the cache state each layer inherits from its predecessors.
+//
+// A ScheduleLedger captures one full-schedule simulation as per-layer
+// sim::WorkLedgers with the layer-entry switches factored out. Because the
+// cache stream depends only on addresses and access order — fixed by the
+// per-layer granularities, not the frequencies — the same recording can be
+// re-evaluated in closed form for ANY reassignment of per-layer HFOs:
+// per-layer work via replay_profile, inter-layer transitions via an exact
+// mirror of the Rcc switch policy (relock + voltage-scale rules). Replayed
+// totals match a direct simulation of the new schedule to FP-reassociation
+// error (~1e-12 relative; pinned at 1e-9 in tests/test_schedule_replay.cpp).
+// Changing a layer's granularity/DVFS flag or the LFO invalidates that
+// layer's work stream (and its successors' cache inheritance): callers check
+// replay_compatible and re-record on such edits.
+
+struct ScheduleLedger {
+  struct LayerRecord {
+    sim::WorkLedger work;        ///< Per-domain totals, entry switch excluded.
+    clock::ClockConfig ref_hfo;  ///< HFO the recording ran this layer at.
+    clock::ClockConfig lfo;
+    int granularity = 0;
+    bool dvfs_enabled = false;
+  };
+
+  std::vector<LayerRecord> layers;
+  /// Exact simulated totals of the recorded schedule (bitwise equal to
+  /// running runtime::InferenceEngine::run on a fresh Mcu booted at the
+  /// schedule's first-layer HFO — the measurement the repair loop uses).
+  double recorded_t_us = 0.0;
+  double recorded_e_uj = 0.0;
+};
+
+/// Simulates `schedule` once on a fresh Mcu (booted at the first layer's
+/// HFO) recording one WorkLedger per layer, with each layer-entry transition
+/// performed outside the ledger so replay can recompute it for any HFO
+/// assignment.
+[[nodiscard]] ScheduleLedger record_schedule(
+    const runtime::InferenceEngine& engine, const runtime::Schedule& schedule,
+    const sim::SimParams& sim);
+
+/// True when `schedule` differs from the recording only in per-layer HFOs
+/// (granularity, DVFS flag and LFO all match) — the precondition of
+/// replay_schedule.
+[[nodiscard]] bool replay_compatible(const ScheduleLedger& ledger,
+                                     const runtime::Schedule& schedule);
+
+/// Closed-form (t, E) of `schedule` evaluated from a compatible recording:
+/// one replay_profile per layer plus the analytic inter-layer switch terms.
+/// Throws std::invalid_argument when the schedule is not replay-compatible.
+[[nodiscard]] ProfileEntry replay_schedule(const ScheduleLedger& ledger,
+                                           const runtime::Schedule& schedule,
+                                           const sim::SimParams& sim);
 
 }  // namespace daedvfs::dse

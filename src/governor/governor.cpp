@@ -1,0 +1,130 @@
+#include "governor/governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <string>
+
+#include "core/schedule_builder.hpp"
+#include "dse/freq_replay.hpp"
+#include "scenario/engine.hpp"
+
+namespace daedvfs::governor {
+
+ScheduleGovernor::ScheduleGovernor(const graph::Model& model,
+                                   GovernorConfig cfg)
+    : cfg_(std::move(cfg)), pm_(cfg_.pipeline.explore.sim.power) {
+  const core::PipelineConfig& pc = cfg_.pipeline;
+  runtime::InferenceEngine engine(model);
+  t_base_us_ = core::tinyengine_baseline_us(engine, pc.explore.sim);
+
+  // One exploration serves every rung (optionally warm via a shared
+  // ProfileCache from pc.explore.cache).
+  const std::vector<dse::LayerSolutionSet> sets = dse::explore_model(
+      model, pc.space, pc.effective_explore(), &explore_stats_);
+
+  // One DP pass answers the whole slack ladder.
+  const core::ScheduleBuilder builder(model, engine, pc);
+  std::vector<double> slacks = cfg_.qos_slacks;
+  std::sort(slacks.begin(), slacks.end());
+  slacks.erase(std::unique(slacks.begin(), slacks.end()), slacks.end());
+  std::vector<double> capacities;
+  capacities.reserve(slacks.size());
+  for (double s : slacks) {
+    capacities.push_back(builder.mckp_capacity(t_base_us_ * (1.0 + s)));
+  }
+  mckp::Instance inst = core::ScheduleBuilder::make_instance(sets);
+  mckp::DpWorkspace ws;
+  const std::vector<mckp::Solution> sols =
+      mckp::solve_dp_sweep(inst, capacities, pc.mckp_ticks, ws);
+
+  for (std::size_t i = 0; i < slacks.size(); ++i) {
+    if (!sols[i].feasible) continue;
+    const double qos_us = t_base_us_ * (1.0 + slacks[i]);
+    core::BuiltSchedule built =
+        builder.build_from_solution(sets, qos_us, sols[i]);
+    if (!built.feasible) continue;
+    if (!built.measured) {
+      // Repair disabled (max_repair_iterations == 0): rungs still need
+      // measured latency/energy — record the schedule once.
+      const dse::ScheduleLedger led =
+          dse::record_schedule(engine, built.schedule, pc.explore.sim);
+      built.measured_t_us = led.recorded_t_us;
+      built.measured_e_uj = led.recorded_e_uj;
+      built.measured = true;
+    }
+    const bool duplicate =
+        std::any_of(schedules_.begin(), schedules_.end(),
+                    [&](const runtime::Schedule& s) {
+                      return runtime::plans_identical(s, built.schedule);
+                    });
+    if (duplicate) continue;
+
+    scenario::RungInfo rung;
+    rung.name = "qos+" + std::to_string(static_cast<int>(
+                             std::lround(slacks[i] * 100.0))) + "%";
+    rung.qos_slack = slacks[i];
+    rung.t_us = built.measured_t_us;
+    rung.e_uj = built.measured_e_uj;
+    rung.entry_hfo = built.schedule.plans.front().hfo;
+    rung.exit_hfo = built.schedule.plans.back().hfo;
+    built.schedule.name = "governor(" + rung.name + ")";
+    rungs_.push_back(std::move(rung));
+    schedules_.push_back(std::move(built.schedule));
+  }
+
+  // Ascending measured latency, then energy-dominance prune: a rung that is
+  // both slower and at least as expensive as another can never be chosen.
+  std::vector<std::size_t> order(rungs_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (rungs_[a].t_us != rungs_[b].t_us) {
+      return rungs_[a].t_us < rungs_[b].t_us;
+    }
+    return rungs_[a].e_uj < rungs_[b].e_uj;  // latency tie: cheaper first
+  });
+  std::vector<scenario::RungInfo> sorted_rungs;
+  std::vector<runtime::Schedule> sorted_schedules;
+  double best_e = std::numeric_limits<double>::infinity();
+  for (std::size_t idx : order) {
+    if (rungs_[idx].e_uj >= best_e) continue;  // dominated
+    best_e = rungs_[idx].e_uj;
+    sorted_rungs.push_back(std::move(rungs_[idx]));
+    sorted_schedules.push_back(std::move(schedules_[idx]));
+  }
+  rungs_ = std::move(sorted_rungs);
+  schedules_ = std::move(sorted_schedules);
+}
+
+int ScheduleGovernor::choose(const scenario::FrameContext& ctx,
+                             int current_rung) const {
+  if (rungs_.empty()) return -1;
+  int best = -1;
+  double best_e = std::numeric_limits<double>::infinity();
+  int fastest = 0;
+  double fastest_t = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < rungs_.size(); ++i) {
+    scenario::TransitionCost trans;
+    if (current_rung >= 0) {
+      trans = scenario::rung_transition(
+          rungs_[static_cast<std::size_t>(current_rung)], rungs_[i],
+          cfg_.pipeline.explore.sim.switching, pm_);
+    }
+    const double t = rungs_[i].t_us + trans.us;
+    const double e = rungs_[i].e_uj + trans.uj;
+    if (t < fastest_t) {
+      fastest_t = t;
+      fastest = static_cast<int>(i);
+    }
+    if (t <= ctx.deadline_us + 1e-9 && e < best_e) {
+      best_e = e;
+      best = static_cast<int>(i);
+    }
+  }
+  // No rung fits the deadline: run the fastest reachable one (the miss is
+  // the scenario engine's to count).
+  return best >= 0 ? best : fastest;
+}
+
+}  // namespace daedvfs::governor

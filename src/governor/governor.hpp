@@ -1,0 +1,71 @@
+// Adaptive schedule governor: precomputes a *ladder* of DAE+DVFS schedules —
+// the MCKP solved at several QoS slacks over ONE design-space exploration,
+// one shared mckp::DpWorkspace (single DP pass via solve_dp_sweep) and one
+// dse::ProfileCache — and switches rungs online as deployment conditions
+// change (QoS events, frame-rate bursts, low battery). Per frame it picks
+// the minimum-energy rung whose measured latency, net of the clock-tree
+// transition cost of leaving the current rung, still meets the active
+// deadline.
+//
+// The ladder build is the expensive part and happens once in the
+// constructor; choose() is a handful of comparisons — cheap enough to run
+// per inference on-device.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "runtime/schedule.hpp"
+#include "scenario/policy.hpp"
+
+namespace daedvfs::governor {
+
+struct GovernorConfig {
+  /// Candidate QoS slacks of the ladder. Rungs that come out infeasible,
+  /// identical to another rung, or dominated (no faster AND cheaper than
+  /// some other rung) are dropped.
+  std::vector<double> qos_slacks = {0.05, 0.10, 0.20, 0.30, 0.50};
+  /// Shared pipeline parameterization (design space, simulator, MCKP ticks,
+  /// repair budget, exact_simulation escape hatch). `qos_slack` is ignored —
+  /// the ladder supplies its own. Set `explore.cache` to share one
+  /// dse::ProfileCache across governors/pipelines of an evaluation suite.
+  core::PipelineConfig pipeline;
+};
+
+class ScheduleGovernor final : public scenario::SchedulePolicy {
+ public:
+  /// Builds the ladder (DSE + MCKP sweep + per-rung smoothing/QoS repair).
+  /// `model` is only borrowed during construction.
+  ScheduleGovernor(const graph::Model& model, GovernorConfig cfg);
+
+  [[nodiscard]] const std::vector<scenario::RungInfo>& rungs() const override {
+    return rungs_;
+  }
+  /// Minimum-energy rung meeting ctx.deadline_us net of the transition cost
+  /// from `current_rung` (-1 = cold start, no transition); falls back to the
+  /// fastest reachable rung when none fits the deadline. Returns -1 on an
+  /// empty ladder (every slack infeasible) — check rungs() first.
+  [[nodiscard]] int choose(const scenario::FrameContext& ctx,
+                           int current_rung) const override;
+  [[nodiscard]] std::string name() const override { return "governor"; }
+
+  [[nodiscard]] double t_base_us() const { return t_base_us_; }
+  /// Executable schedule behind rung `i` (aligned with rungs()).
+  [[nodiscard]] const runtime::Schedule& schedule(int i) const {
+    return schedules_.at(static_cast<std::size_t>(i));
+  }
+  [[nodiscard]] const dse::ExploreStats& explore_stats() const {
+    return explore_stats_;
+  }
+  [[nodiscard]] const GovernorConfig& config() const { return cfg_; }
+
+ private:
+  GovernorConfig cfg_;
+  power::PowerModel pm_;
+  double t_base_us_ = 0.0;
+  dse::ExploreStats explore_stats_;
+  std::vector<scenario::RungInfo> rungs_;       ///< Ascending latency.
+  std::vector<runtime::Schedule> schedules_;    ///< Aligned with rungs_.
+};
+
+}  // namespace daedvfs::governor

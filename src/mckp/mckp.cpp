@@ -9,7 +9,8 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-Solution finalize(const Instance& inst, std::vector<int> chosen) {
+Solution finalize(const Instance& inst, double capacity,
+                  std::vector<int> chosen) {
   Solution s;
   s.chosen = std::move(chosen);
   for (std::size_t k = 0; k < inst.classes.size(); ++k) {
@@ -18,34 +19,48 @@ Solution finalize(const Instance& inst, std::vector<int> chosen) {
     s.total_weight += it.weight;
     s.total_value += it.value;
   }
-  s.feasible = s.total_weight <= inst.capacity + 1e-9;
+  s.feasible = s.total_weight <= capacity + 1e-9;
   return s;
 }
 
-}  // namespace
+/// Shared DP grid: weights are discretized onto `width - 1` ticks of size
+/// `tick` (the grid of the solve's largest capacity).
+struct DpGrid {
+  double tick = 1.0;
+  int width = 1;
 
-Solution solve_dp(const Instance& inst, int max_ticks) {
-  DpWorkspace ws;
-  return solve_dp(inst, max_ticks, ws);
-}
-
-Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
-  const std::size_t n = inst.classes.size();
-  if (n == 0) return {.feasible = true};
-  for (const auto& cls : inst.classes) {
-    if (cls.empty()) return {};  // infeasible: a class with no items
+  [[nodiscard]] static DpGrid over(double capacity, int max_ticks) {
+    const int ticks = std::max(1, max_ticks);
+    DpGrid g;
+    // A zero-capacity grid has a single budget cell: only zero-weight items
+    // can be selected.
+    g.tick = capacity > 0.0 ? capacity / static_cast<double>(ticks) : 1.0;
+    g.width = capacity > 0.0 ? ticks + 1 : 1;
+    return g;
   }
 
-  // Tick size: capacity / max_ticks. A zero-capacity instance has a single
-  // budget cell: only zero-weight items can be selected.
-  const int ticks = std::max(1, max_ticks);
-  const double tick = inst.capacity > 0.0
-                          ? inst.capacity / static_cast<double>(ticks)
-                          : 1.0;
-  const int width = inst.capacity > 0.0 ? ticks + 1 : 1;
-  auto to_ticks = [&](double w) {
+  /// Item weight in ticks, rounded *up* (keeps every solution feasible
+  /// w.r.t. the true budget).
+  [[nodiscard]] int64_t to_ticks(double w) const {
     return static_cast<int64_t>(std::ceil(w / tick - 1e-12));
-  };
+  }
+
+  /// Budget cell of a capacity on this grid, rounded *down*.
+  [[nodiscard]] int budget_cell(double capacity) const {
+    const auto w = static_cast<int64_t>(std::floor(capacity / tick + 1e-9));
+    return static_cast<int>(std::clamp<int64_t>(w, 0, width - 1));
+  }
+};
+
+/// Fills ws.dp (final row: min value at each budget cell) and ws.parent
+/// (per-class choice at each cell) for `inst` on `grid`. Returns false when
+/// some class has no items (no feasible assignment exists at any capacity).
+bool build_dp(const Instance& inst, const DpGrid& grid, DpWorkspace& ws) {
+  const std::size_t n = inst.classes.size();
+  for (const auto& cls : inst.classes) {
+    if (cls.empty()) return false;
+  }
+  const int width = grid.width;
 
   // dp[w] = min value achievable using classes 0..k with total weight <= w.
   // The workspace grows monotonically and is reused across solves; only the
@@ -67,7 +82,7 @@ Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
   // Class 0 seeds the table.
   int16_t* par0 = parent_row(0);
   for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
-    const int64_t wt = to_ticks(inst.classes[0][j].weight);
+    const int64_t wt = grid.to_ticks(inst.classes[0][j].weight);
     if (wt >= width) continue;
     for (int w = static_cast<int>(wt); w < width; ++w) {
       if (inst.classes[0][j].value < dp[static_cast<std::size_t>(w)]) {
@@ -82,7 +97,7 @@ Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
     int16_t* par = parent_row(k);
     for (std::size_t j = 0; j < inst.classes[k].size(); ++j) {
       const Item& it = inst.classes[k][j];
-      const int64_t wt = to_ticks(it.weight);
+      const int64_t wt = grid.to_ticks(it.weight);
       if (wt >= width) continue;
       for (int w = static_cast<int>(wt); w < width; ++w) {
         const double base =
@@ -97,15 +112,19 @@ Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
     }
     dp.swap(next);
   }
+  return true;
+}
 
-  if (dp[static_cast<std::size_t>(width - 1)] == kInf) return {};
-
-  // Backtrack. dp[w] is monotone non-increasing in w, so the optimum sits
-  // at the full budget.
+/// Backtracks one solution from budget cell `w_start`. dp[w] is monotone
+/// non-increasing in w, so the optimum for a capacity sits at its own cell.
+std::vector<int> backtrack(const Instance& inst, const DpGrid& grid,
+                           const DpWorkspace& ws, int w_start) {
+  const std::size_t n = inst.classes.size();
+  const auto uwidth = static_cast<std::size_t>(grid.width);
   std::vector<int> chosen(n, -1);
-  int w = width - 1;
+  int w = w_start;
   for (std::size_t k = n; k-- > 0;) {
-    const int16_t* par = parent_row(k);
+    const int16_t* par = ws.parent.data() + k * uwidth;
     // Find the item recorded for the smallest budget >= current consumption.
     int16_t j = par[static_cast<std::size_t>(w)];
     // parent may be -1 at w if dp[w] was inherited; scan down to the actual
@@ -117,9 +136,56 @@ Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
     }
     if (j == -1) return {};
     chosen[k] = j;
-    w = ww - static_cast<int>(to_ticks(inst.classes[k][static_cast<std::size_t>(j)].weight));
+    w = ww - static_cast<int>(grid.to_ticks(
+                 inst.classes[k][static_cast<std::size_t>(j)].weight));
   }
-  return finalize(inst, std::move(chosen));
+  return chosen;
+}
+
+}  // namespace
+
+Solution solve_dp(const Instance& inst, int max_ticks) {
+  DpWorkspace ws;
+  return solve_dp(inst, max_ticks, ws);
+}
+
+Solution solve_dp(const Instance& inst, int max_ticks, DpWorkspace& ws) {
+  if (inst.classes.empty()) {
+    Solution s;
+    s.feasible = true;
+    return s;
+  }
+  const DpGrid grid = DpGrid::over(inst.capacity, max_ticks);
+  if (!build_dp(inst, grid, ws)) return {};
+  if (ws.dp[static_cast<std::size_t>(grid.width - 1)] == kInf) return {};
+  std::vector<int> chosen = backtrack(inst, grid, ws, grid.width - 1);
+  if (chosen.empty()) return {};
+  return finalize(inst, inst.capacity, std::move(chosen));
+}
+
+std::vector<Solution> solve_dp_sweep(const Instance& inst,
+                                     const std::vector<double>& capacities,
+                                     int max_ticks, DpWorkspace& ws) {
+  std::vector<Solution> out(capacities.size());
+  if (capacities.empty()) return out;
+  if (inst.classes.empty()) {
+    for (Solution& s : out) s.feasible = true;
+    return out;
+  }
+  double cap_max = 0.0;
+  for (double c : capacities) cap_max = std::max(cap_max, c);
+  const DpGrid grid = DpGrid::over(cap_max, max_ticks);
+  if (!build_dp(inst, grid, ws)) return out;  // all infeasible
+
+  for (std::size_t i = 0; i < capacities.size(); ++i) {
+    if (capacities[i] < 0.0) continue;
+    const int cell = grid.budget_cell(capacities[i]);
+    if (ws.dp[static_cast<std::size_t>(cell)] == kInf) continue;
+    std::vector<int> chosen = backtrack(inst, grid, ws, cell);
+    if (chosen.empty()) continue;
+    out[i] = finalize(inst, capacities[i], std::move(chosen));
+  }
+  return out;
 }
 
 Solution solve_brute_force(const Instance& inst) {
@@ -198,7 +264,7 @@ Solution solve_greedy(const Instance& inst) {
                   .weight;
     chosen[best_k] = best_j;
   }
-  return finalize(inst, std::move(chosen));
+  return finalize(inst, inst.capacity, std::move(chosen));
 }
 
 }  // namespace daedvfs::mckp

@@ -54,6 +54,18 @@ struct DpWorkspace {
 [[nodiscard]] Solution solve_dp(const Instance& inst, int max_ticks,
                                 DpWorkspace& ws);
 
+/// Solves the same item classes at several capacities (a QoS-slack ladder)
+/// with ONE DP pass: the table is built on the grid of the largest capacity
+/// and each smaller capacity is answered by backtracking from its own budget
+/// cell. `inst.capacity` is ignored; one Solution per entry of `capacities`
+/// is returned, in order. Weights are rounded up onto the shared grid, so
+/// every returned solution is feasible w.r.t. its true capacity; smaller
+/// capacities see a coarser effective resolution than a dedicated solve_dp
+/// would give them (grid error still bounded by one tick per class).
+[[nodiscard]] std::vector<Solution> solve_dp_sweep(
+    const Instance& inst, const std::vector<double>& capacities,
+    int max_ticks, DpWorkspace& ws);
+
 /// Exhaustive search (exponential) — test oracle for small instances.
 [[nodiscard]] Solution solve_brute_force(const Instance& inst);
 

@@ -1,20 +1,53 @@
 #include "power/battery.hpp"
 
+#include <algorithm>
+
 namespace daedvfs::power {
+namespace {
+
+/// 1 mWh = 3.6 J = 3.6e6 uJ.
+constexpr double kUjPerMwh = 3.6e6;
+
+}  // namespace
 
 double BatteryModel::lifetime_days(double inference_uj, double inference_us,
                                    const DutyCycle& duty) const {
+  if (params_.capacity_mwh <= 0.0) return 0.0;
+  if (duty.period_s <= 0.0) return 0.0;
+  const double inf_uj = std::max(inference_uj, 0.0);
+  const double inf_us = std::max(inference_us, 0.0);
+  const double sleep_mw = std::max(duty.sleep_mw, 0.0);
+  const double self_mw = std::max(params_.self_discharge_mw, 0.0);
+
   // Average power = inference energy amortized over the period + sleep power
   // in the remaining time + battery self discharge.
   const double period_us = duty.period_s * 1e6;
-  const double sleep_us = period_us > inference_us ? period_us - inference_us
-                                                   : 0.0;
-  const double sleep_uj = duty.sleep_mw * sleep_us * 1e-3;
-  const double avg_mw = (inference_uj + sleep_uj) / period_us * 1e3 +
-                        params_.self_discharge_mw;
+  const double sleep_us = period_us > inf_us ? period_us - inf_us : 0.0;
+  const double sleep_uj = sleep_mw * sleep_us * 1e-3;
+  const double avg_mw = (inf_uj + sleep_uj) / period_us * 1e3 + self_mw;
   if (avg_mw <= 0.0) return 0.0;
   const double hours = params_.capacity_mwh / avg_mw;
   return hours / 24.0;
+}
+
+Battery::Battery(BatteryParams p)
+    : capacity_mwh_(std::max(p.capacity_mwh, 0.0)),
+      remaining_mwh_(capacity_mwh_),
+      self_discharge_mw_(std::max(p.self_discharge_mw, 0.0)) {}
+
+void Battery::drain_uj(double uj) {
+  if (uj <= 0.0) return;
+  remaining_mwh_ = std::max(remaining_mwh_ - uj / kUjPerMwh, 0.0);
+}
+
+void Battery::elapse(double seconds, double draw_mw) {
+  if (seconds <= 0.0) return;
+  const double mw = std::max(draw_mw, 0.0) + self_discharge_mw_;
+  remaining_mwh_ = std::max(remaining_mwh_ - mw * seconds / 3600.0, 0.0);
+}
+
+double Battery::soc() const {
+  return capacity_mwh_ > 0.0 ? remaining_mwh_ / capacity_mwh_ : 0.0;
 }
 
 }  // namespace daedvfs::power

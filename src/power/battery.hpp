@@ -1,6 +1,12 @@
 // Simple coin-cell/LiPo battery model for the far-edge deployment examples:
 // converts an inference duty cycle + measured energies into expected battery
 // life — the quantity a tinyML deployment engineer actually cares about.
+//
+// Two views of the same parameterization:
+//   * BatteryModel — closed-form expected lifetime under a steady duty cycle;
+//   * Battery      — stateful charge tracking for the scenario engine, which
+//     composes time-varying duty cycles, bursts and governor decisions over
+//     a simulated mission (scenario/engine.hpp).
 #pragma once
 
 namespace daedvfs::power {
@@ -22,7 +28,12 @@ class BatteryModel {
   explicit BatteryModel(BatteryParams p = {}) : params_(p) {}
 
   /// Expected lifetime in days given per-inference energy (uJ) and duration
-  /// (us) under the duty cycle.
+  /// (us) under the duty cycle. Degenerate inputs are answered rather than
+  /// propagated: a non-positive capacity or period yields 0 days, negative
+  /// energy/duration/draw terms are clamped to 0, and a battery whose only
+  /// load is its own self-discharge drains in capacity / self_discharge
+  /// hours. Returns 0 when the total draw is zero (lifetime unbounded —
+  /// there is no meaningful finite answer).
   [[nodiscard]] double lifetime_days(double inference_uj,
                                      double inference_us,
                                      const DutyCycle& duty) const;
@@ -31,6 +42,32 @@ class BatteryModel {
 
  private:
   BatteryParams params_;
+};
+
+/// Stateful battery: tracks remaining charge across a simulated deployment.
+/// Negative parameters are clamped to zero at construction; a zero-capacity
+/// battery starts depleted. Charge never goes below zero — draining an empty
+/// battery is a no-op beyond pinning it at empty.
+class Battery {
+ public:
+  explicit Battery(BatteryParams p = {});
+
+  /// Instantaneous draw of one inference/transition (microjoules).
+  void drain_uj(double uj);
+  /// Wall-clock time passing at an external draw of `draw_mw`; the battery's
+  /// own self-discharge is added on top.
+  void elapse(double seconds, double draw_mw);
+
+  [[nodiscard]] double capacity_mwh() const { return capacity_mwh_; }
+  [[nodiscard]] double remaining_mwh() const { return remaining_mwh_; }
+  /// State of charge in [0, 1]; 0 for a zero-capacity battery.
+  [[nodiscard]] double soc() const;
+  [[nodiscard]] bool depleted() const { return remaining_mwh_ <= 0.0; }
+
+ private:
+  double capacity_mwh_ = 0.0;
+  double remaining_mwh_ = 0.0;
+  double self_discharge_mw_ = 0.0;
 };
 
 }  // namespace daedvfs::power

@@ -6,24 +6,30 @@ namespace daedvfs::power {
 using clock::ClockSource;
 
 PowerState PowerState::from_rcc(const clock::Rcc& rcc) {
+  return from_parts(rcc.current(), rcc.locked_pll(), rcc.voltage_scale());
+}
+
+PowerState PowerState::from_parts(
+    const clock::ClockConfig& active,
+    const std::optional<clock::PllConfig>& locked_pll,
+    clock::VoltageScale scale) {
   PowerState st;
-  const clock::ClockConfig& cfg = rcc.current();
-  st.sysclk_mhz = cfg.sysclk_mhz();
-  st.scale = rcc.voltage_scale();
-  st.pll_running = rcc.pll_running();
-  if (st.pll_running) st.vco_mhz = rcc.locked_pll()->vco_mhz();
+  st.sysclk_mhz = active.sysclk_mhz();
+  st.scale = scale;
+  st.pll_running = locked_pll.has_value();
+  if (st.pll_running) st.vco_mhz = locked_pll->vco_mhz();
 
   const bool uses_hse =
-      cfg.source == ClockSource::kHse ||
-      (st.pll_running && rcc.locked_pll()->input == ClockSource::kHse);
+      active.source == ClockSource::kHse ||
+      (st.pll_running && locked_pll->input == ClockSource::kHse);
   st.hse_running = uses_hse;
-  st.hse_mhz = uses_hse ? (cfg.source == ClockSource::kHse
-                               ? cfg.hse_mhz
-                               : rcc.locked_pll()->input_mhz)
+  st.hse_mhz = uses_hse ? (active.source == ClockSource::kHse
+                               ? active.hse_mhz
+                               : locked_pll->input_mhz)
                         : 0.0;
   st.hsi_running =
-      cfg.source == ClockSource::kHsi ||
-      (st.pll_running && rcc.locked_pll()->input == ClockSource::kHsi);
+      active.source == ClockSource::kHsi ||
+      (st.pll_running && locked_pll->input == ClockSource::kHsi);
   return st;
 }
 

@@ -57,6 +57,14 @@ struct PowerState {
   /// is the crystal mounted on the board (runs whenever any config uses it).
   [[nodiscard]] static PowerState from_rcc(const clock::Rcc& rcc);
 
+  /// The same derivation from bare clock-subsystem state — for closed-form
+  /// mirrors (whole-schedule replay, scenario rung transitions) that track
+  /// (active config, locked PLL, pinned scale) without a live Rcc.
+  [[nodiscard]] static PowerState from_parts(
+      const clock::ClockConfig& active,
+      const std::optional<clock::PllConfig>& locked_pll,
+      clock::VoltageScale scale);
+
   /// Steady-state view of a standalone configuration: the PLL runs iff the
   /// config uses it, the regulator sits at the config's required scale.
   [[nodiscard]] static PowerState from_config(const clock::ClockConfig& cfg);

@@ -15,4 +15,8 @@ Schedule make_uniform_schedule(const graph::Model& model,
   return s;
 }
 
+bool plans_identical(const Schedule& a, const Schedule& b) {
+  return a.plans == b.plans;
+}
+
 }  // namespace daedvfs::runtime

@@ -22,6 +22,8 @@ struct LayerPlan {
   clock::ClockConfig lfo = clock::ClockConfig::hse_direct(50.0);
   /// Toggle LFO/HFO at DAE segment boundaries.
   bool dvfs_enabled = false;
+
+  [[nodiscard]] bool operator==(const LayerPlan&) const = default;
 };
 
 struct Schedule {
@@ -38,5 +40,10 @@ struct Schedule {
 [[nodiscard]] Schedule make_uniform_schedule(const graph::Model& model,
                                              const clock::ClockConfig& cfg,
                                              std::string name = "uniform");
+
+/// True when two schedules execute identically (per-layer plans equal; the
+/// display name is ignored). Used to validate fast-path vs exact-path
+/// schedule identity and to deduplicate governor ladder rungs.
+[[nodiscard]] bool plans_identical(const Schedule& a, const Schedule& b);
 
 }  // namespace daedvfs::runtime

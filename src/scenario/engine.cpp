@@ -1,0 +1,141 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <optional>
+
+namespace daedvfs::scenario {
+namespace {
+
+/// Safety cap on simulated frames — bounds runaway specs (e.g. a microsecond
+/// period over a year-long horizon), reported via MissionReport::truncated.
+constexpr std::uint64_t kMaxFrames = 200'000'000ULL;
+
+/// xorshift64: the engine's only randomness source, seeded from the spec.
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed) : s_(seed ? seed : 1ULL) {}
+  /// Uniform double in [0, 1).
+  double next_unit() {
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return static_cast<double>(s_ >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t s_;
+};
+
+}  // namespace
+
+TransitionCost rung_transition(const RungInfo& from, const RungInfo& to,
+                               const clock::SwitchCostParams& switching,
+                               const power::PowerModel& pm) {
+  const clock::ClockConfig& src = from.exit_hfo;
+  const clock::ClockConfig& dst = to.entry_hfo;
+  // Sleep retains the exit clock state (locked PLL, pinned scale); waking
+  // into the next schedule runs the shared RCC transition policy from there.
+  std::optional<clock::PllConfig> locked;
+  if (src.source == clock::ClockSource::kPll) locked = src.pll;
+  clock::VoltageScale scale = src.voltage_scale();
+  const clock::SwitchCost cost =
+      clock::apply_switch_policy(switching, src, dst, locked, scale);
+  TransitionCost out;
+  if (cost.total_us == 0.0) return out;
+  out.us = cost.total_us;
+  out.uj = cost.total_us *
+           pm.power_mw(power::PowerState::from_parts(dst, locked, scale),
+                       power::Activity::kMemoryStall) *
+           1e-3;
+  return out;
+}
+
+MissionReport simulate_mission(const MissionSpec& spec,
+                               const SchedulePolicy& policy,
+                               double t_base_us, const sim::SimParams& sim) {
+  MissionReport r;
+  r.mission = spec.name;
+  r.policy = policy.name();
+  const std::vector<RungInfo>& rungs = policy.rungs();
+  r.frames_per_rung.assign(rungs.size(), 0);
+  if (rungs.empty() || t_base_us <= 0.0 || spec.duty.period_s <= 0.0) {
+    return r;
+  }
+
+  const power::PowerModel pm(sim.power);
+  power::Battery battery(spec.battery);
+  std::vector<QosEvent> qos_events = spec.qos_events;
+  std::stable_sort(qos_events.begin(), qos_events.end(),
+                   [](const QosEvent& a, const QosEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  Xorshift64 rng(spec.seed);
+
+  double now_s = 0.0;
+  double slack = spec.base_qos_slack;
+  std::size_t next_event = 0;
+  int cur = -1;
+  while (now_s < spec.horizon_s && !battery.depleted()) {
+    if (r.frames >= kMaxFrames) {
+      r.truncated = true;
+      break;
+    }
+    while (next_event < qos_events.size() &&
+           qos_events[next_event].at_s <= now_s) {
+      slack = qos_events[next_event++].qos_slack;
+    }
+    double period_s = spec.duty.period_s;
+    for (const Burst& b : spec.bursts) {
+      if (b.period_s > 0.0 && now_s >= b.start_s &&
+          now_s < b.start_s + b.duration_s) {
+        period_s = std::min(period_s, b.period_s);
+      }
+    }
+    if (spec.period_jitter > 0.0) {
+      period_s *= 1.0 + spec.period_jitter * (2.0 * rng.next_unit() - 1.0);
+      period_s = std::max(period_s, 1e-6);
+    }
+    double active_slack = slack;
+    if (spec.low_battery_soc > 0.0 &&
+        battery.soc() < spec.low_battery_soc) {
+      active_slack = std::max(active_slack, spec.low_battery_qos_slack);
+    }
+
+    const FrameContext ctx{now_s, t_base_us * (1.0 + active_slack), period_s,
+                           battery.soc()};
+    const int next = policy.choose(ctx, cur);
+    const RungInfo& rung = rungs.at(static_cast<std::size_t>(next));
+    const TransitionCost trans =
+        cur >= 0 ? rung_transition(rungs[static_cast<std::size_t>(cur)],
+                                   rung, sim.switching, pm)
+                 : TransitionCost{};
+
+    const double frame_us = trans.us + rung.t_us;
+    if (frame_us > ctx.deadline_us + 1e-9) ++r.deadline_misses;
+    if (cur >= 0 && next != cur) ++r.rung_switches;
+    battery.drain_uj(rung.e_uj + trans.uj);
+    r.inference_uj += rung.e_uj;
+    r.transition_uj += trans.uj;
+    ++r.frames_per_rung[static_cast<std::size_t>(next)];
+    ++r.frames;
+    cur = next;
+
+    // The frame occupies max(period, active time); the remainder sleeps.
+    // Self-discharge applies over the whole wall-clock span. Depletion is
+    // resolved at frame granularity (the battery pins at empty mid-frame).
+    const double active_s = frame_us * 1e-6;
+    const double step_s = std::max(period_s, active_s);
+    const double sleep_s = step_s - active_s;
+    r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * sleep_s * 1e3;
+    battery.elapse(sleep_s, spec.duty.sleep_mw);
+    battery.elapse(active_s, 0.0);
+    now_s += step_s;
+  }
+
+  r.simulated_s = now_s;
+  r.battery_depleted = battery.depleted();
+  r.battery_remaining_mwh = battery.remaining_mwh();
+  return r;
+}
+
+}  // namespace daedvfs::scenario

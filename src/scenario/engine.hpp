@@ -1,0 +1,25 @@
+// The deployment scenario engine: composes per-inference energy/latency
+// results (policy rungs), clock::switch_model transition costs and
+// power::Battery drain into a long-horizon mission simulation. Frames are
+// O(1) each — the heavy lifting (full-model simulation of every rung) was
+// done once when the policy's ladder was built — so simulating weeks of
+// deployment and millions of inferences takes milliseconds.
+#pragma once
+
+#include "scenario/mission.hpp"
+#include "scenario/policy.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::scenario {
+
+/// Runs `spec` against `policy`. `t_base_us` is the TinyEngine-at-216 MHz
+/// reference latency that converts QoS slacks into absolute deadlines
+/// (deadline = t_base * (1 + slack)); `sim` supplies the switch-cost and
+/// power parameters pricing rung transitions. Deterministic: equal inputs
+/// produce bitwise-equal reports.
+[[nodiscard]] MissionReport simulate_mission(const MissionSpec& spec,
+                                             const SchedulePolicy& policy,
+                                             double t_base_us,
+                                             const sim::SimParams& sim);
+
+}  // namespace daedvfs::scenario

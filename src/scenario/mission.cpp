@@ -1,0 +1,44 @@
+#include "scenario/mission.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace daedvfs::scenario {
+
+double MissionReport::lifetime_days(
+    const power::BatteryParams& battery) const {
+  if (battery_depleted) return simulated_s / 86400.0;
+  const double self_mw = std::max(battery.self_discharge_mw, 0.0);
+  const double draw_mw = avg_mw() + self_mw;
+  if (draw_mw <= 0.0) return simulated_s / 86400.0;
+  return simulated_s / 86400.0 + battery_remaining_mwh / draw_mw / 24.0;
+}
+
+void write_json(std::ostream& os, const MissionReport& r, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  os << pad << "{\n"
+     << in << "\"mission\": \"" << r.mission << "\",\n"
+     << in << "\"policy\": \"" << r.policy << "\",\n"
+     << in << "\"simulated_s\": " << r.simulated_s << ",\n"
+     << in << "\"frames\": " << r.frames << ",\n"
+     << in << "\"deadline_misses\": " << r.deadline_misses << ",\n"
+     << in << "\"rung_switches\": " << r.rung_switches << ",\n"
+     << in << "\"inference_uj\": " << r.inference_uj << ",\n"
+     << in << "\"transition_uj\": " << r.transition_uj << ",\n"
+     << in << "\"sleep_uj\": " << r.sleep_uj << ",\n"
+     << in << "\"total_uj\": " << r.total_uj() << ",\n"
+     << in << "\"avg_mw\": " << r.avg_mw() << ",\n"
+     << in << "\"battery_depleted\": "
+     << (r.battery_depleted ? "true" : "false") << ",\n"
+     << in << "\"truncated\": " << (r.truncated ? "true" : "false") << ",\n"
+     << in << "\"battery_remaining_mwh\": " << r.battery_remaining_mwh
+     << ",\n"
+     << in << "\"frames_per_rung\": [";
+  for (std::size_t i = 0; i < r.frames_per_rung.size(); ++i) {
+    os << (i ? ", " : "") << r.frames_per_rung[i];
+  }
+  os << "]\n" << pad << "}";
+}
+
+}  // namespace daedvfs::scenario

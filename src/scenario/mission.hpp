@@ -1,0 +1,89 @@
+// Declarative mission specs for the deployment scenario engine: a battery, a
+// base duty cycle, and a timeline of events — frame-rate bursts, QoS-slack
+// changes, a low-battery threshold that relaxes the latency bound. The
+// engine (scenario/engine.hpp) simulates weeks of deployment against a
+// SchedulePolicy and emits a deterministic MissionReport. No wall-clock
+// randomness anywhere: the optional period jitter is driven by a seeded
+// xorshift generator, so a (spec, policy) pair always reproduces the same
+// report bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/battery.hpp"
+
+namespace daedvfs::scenario {
+
+/// Step change of the QoS slack at a mission time (e.g. the backend tightens
+/// the latency bound while an object is being tracked).
+struct QosEvent {
+  double at_s = 0.0;
+  double qos_slack = 0.3;
+};
+
+/// Frame-rate burst: while active, inferences run every `period_s` instead
+/// of the base duty-cycle period (motion detected, object tracked, ...).
+struct Burst {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double period_s = 1.0;
+};
+
+struct MissionSpec {
+  std::string name = "mission";
+  power::BatteryParams battery;
+  power::DutyCycle duty;             ///< Base period + sleep draw.
+  double horizon_s = 14.0 * 86400.0; ///< Simulation horizon (or battery death).
+  double base_qos_slack = 0.30;
+  /// Slack step changes, applied in `at_s` order (later events win).
+  std::vector<QosEvent> qos_events;
+  /// Frame-rate bursts; overlapping bursts take the smallest period.
+  std::vector<Burst> bursts;
+  /// Below this state of charge the deadline is relaxed to
+  /// `low_battery_qos_slack` (if that is looser than the active slack),
+  /// letting the governor drop to cheaper rungs to stretch the battery.
+  /// 0 disables the threshold.
+  double low_battery_soc = 0.0;
+  double low_battery_qos_slack = 0.50;
+  /// Deterministic period jitter: each frame's period is scaled by a factor
+  /// in [1 - jitter, 1 + jitter] drawn from a xorshift64 stream seeded with
+  /// `seed`. 0 disables.
+  double period_jitter = 0.0;
+  std::uint64_t seed = 0x5eedULL;
+};
+
+struct MissionReport {
+  std::string mission;
+  std::string policy;
+  bool battery_depleted = false;
+  bool truncated = false;        ///< Hit the frame-count safety cap.
+  double simulated_s = 0.0;      ///< Horizon reached, or depletion time.
+  std::uint64_t frames = 0;
+  std::uint64_t deadline_misses = 0;
+  std::uint64_t rung_switches = 0;
+  double inference_uj = 0.0;
+  double transition_uj = 0.0;
+  double sleep_uj = 0.0;         ///< Sleep draw (excl. battery self-discharge).
+  double battery_remaining_mwh = 0.0;
+  std::vector<std::uint64_t> frames_per_rung;
+
+  [[nodiscard]] double total_uj() const {
+    return inference_uj + transition_uj + sleep_uj;
+  }
+  /// Average external draw over the simulated span.
+  [[nodiscard]] double avg_mw() const {
+    return simulated_s > 0.0 ? total_uj() / simulated_s * 1e-3 : 0.0;
+  }
+  /// Days until depletion: the observed depletion time, or a projection of
+  /// the simulated average draw (+ self discharge implied by the battery
+  /// state) past the horizon.
+  [[nodiscard]] double lifetime_days(const power::BatteryParams& battery) const;
+};
+
+/// Writes the report as a JSON object (used by bench_scenario).
+void write_json(std::ostream& os, const MissionReport& report, int indent = 0);
+
+}  // namespace daedvfs::scenario

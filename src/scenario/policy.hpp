@@ -1,0 +1,81 @@
+// Deployment policy interface of the scenario engine: something that owns a
+// ladder of executable schedules ("rungs") and picks one per frame. The
+// adaptive governor (governor/governor.hpp) is the interesting
+// implementation; StaticPolicy pins one rung forever and is the baseline the
+// benches compare against.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "clock/clock_config.hpp"
+#include "clock/switch_model.hpp"
+#include "power/power_model.hpp"
+
+namespace daedvfs::scenario {
+
+/// One deployable schedule, reduced to what the long-horizon simulation
+/// needs: measured per-inference latency/energy (full-model simulation,
+/// inter-layer switch costs included) and the clock configurations at its
+/// boundaries (they price the transition into the next frame).
+struct RungInfo {
+  std::string name;
+  double qos_slack = 0.0;   ///< Slack the schedule was built for.
+  double t_us = 0.0;        ///< Measured inference latency.
+  double e_uj = 0.0;        ///< Measured inference energy.
+  clock::ClockConfig entry_hfo;  ///< First layer's clock.
+  clock::ClockConfig exit_hfo;   ///< Last layer's clock.
+};
+
+/// What a policy sees when asked to schedule one frame.
+struct FrameContext {
+  double time_s = 0.0;       ///< Mission time of the frame.
+  double deadline_us = 0.0;  ///< Active QoS deadline for this inference.
+  double period_s = 0.0;     ///< Active inference period.
+  double battery_soc = 1.0;  ///< Battery state of charge in [0, 1].
+};
+
+class SchedulePolicy {
+ public:
+  virtual ~SchedulePolicy() = default;
+  [[nodiscard]] virtual const std::vector<RungInfo>& rungs() const = 0;
+  /// Picks the rung for the next frame. `current_rung` is the previously
+  /// executed rung (-1 on the first frame).
+  [[nodiscard]] virtual int choose(const FrameContext& ctx,
+                                   int current_rung) const = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Pins one rung forever — the "best single static schedule" baseline.
+class StaticPolicy final : public SchedulePolicy {
+ public:
+  explicit StaticPolicy(RungInfo rung) : rungs_{std::move(rung)} {}
+  [[nodiscard]] const std::vector<RungInfo>& rungs() const override {
+    return rungs_;
+  }
+  [[nodiscard]] int choose(const FrameContext&, int) const override {
+    return 0;
+  }
+  [[nodiscard]] std::string name() const override {
+    return "static(" + rungs_.front().name + ")";
+  }
+
+ private:
+  std::vector<RungInfo> rungs_;
+};
+
+/// Cost of waking into `to` when the previous frame left the clock tree at
+/// `from`'s exit state: SYSCLK mux + PLL relock when the parameters differ +
+/// regulator settle when the scale differs, stalled at the target's
+/// memory-stall power. Same-schedule wrap-around (from == to) pays it too
+/// whenever the schedule's last layer runs a different HFO than its first.
+struct TransitionCost {
+  double us = 0.0;
+  double uj = 0.0;
+};
+
+[[nodiscard]] TransitionCost rung_transition(
+    const RungInfo& from, const RungInfo& to,
+    const clock::SwitchCostParams& switching, const power::PowerModel& pm);
+
+}  // namespace daedvfs::scenario

@@ -1,0 +1,155 @@
+// Adaptive schedule governor (governor/governor.hpp): ladder construction
+// from one DSE + one MCKP DP sweep, rung properties, and the online
+// minimum-energy-under-deadline choice.
+#include <gtest/gtest.h>
+
+#include "core/schedule_builder.hpp"
+#include "governor/governor.hpp"
+#include "graph/builder.hpp"
+#include "scenario/engine.hpp"
+
+namespace daedvfs::governor {
+namespace {
+
+graph::Model small_model() {
+  graph::ModelBuilder b("gov-small", 64, 64, 3, 42);
+  int x = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 16, false);
+  x = b.depthwise(x, 3, 2, true);
+  x = b.pointwise(x, 24, false);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 32, false);
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, 2);
+  return b.take();
+}
+
+GovernorConfig make_config() {
+  GovernorConfig cfg;
+  // The full paper space gives the ladder enough frequency diversity for
+  // distinct rungs even on a small model (the reduced test space collapses
+  // every slack to nearly the same schedule after smoothing).
+  cfg.qos_slacks = {0.10, 0.15, 0.20, 0.30, 0.50, 0.75};
+  cfg.pipeline.space = dse::make_paper_design_space(
+      power::PowerModel{cfg.pipeline.explore.sim.power});
+  cfg.pipeline.mckp_ticks = 5000;
+  cfg.pipeline.reserved_relocks = 4;
+  return cfg;
+}
+
+TEST(Governor, LadderIsSortedDedupedAndDominanceFree) {
+  const graph::Model m = small_model();
+  const ScheduleGovernor gov(m, make_config());
+  const auto& rungs = gov.rungs();
+  ASSERT_GE(rungs.size(), 2u) << "ladder collapsed to a single rung";
+  EXPECT_GT(gov.t_base_us(), 0.0);
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    // Every rung meets the QoS window it was built for.
+    EXPECT_LE(rungs[i].t_us,
+              gov.t_base_us() * (1.0 + rungs[i].qos_slack) + 1e-6)
+        << rungs[i].name;
+    EXPECT_EQ(gov.schedule(static_cast<int>(i)).plans.size(),
+              static_cast<std::size_t>(m.num_layers()));
+    if (i == 0) continue;
+    EXPECT_GE(rungs[i].t_us, rungs[i - 1].t_us) << "not ascending latency";
+    EXPECT_LT(rungs[i].e_uj, rungs[i - 1].e_uj)
+        << "slower rung must be strictly cheaper (dominance prune)";
+  }
+}
+
+TEST(Governor, OneExplorationServesTheWholeLadder) {
+  const graph::Model m = small_model();
+  const ScheduleGovernor gov(m, make_config());
+  EXPECT_GT(gov.explore_stats().total_candidates, 0);
+}
+
+TEST(Governor, ChoosesMinimumEnergyRungMeetingDeadline) {
+  const graph::Model m = small_model();
+  const ScheduleGovernor gov(m, make_config());
+  const auto& rungs = gov.rungs();
+  ASSERT_GE(rungs.size(), 2u);
+
+  // A wide-open deadline selects the cheapest (slowest) rung.
+  scenario::FrameContext relaxed;
+  relaxed.deadline_us = rungs.back().t_us * 10.0;
+  EXPECT_EQ(gov.choose(relaxed, -1),
+            static_cast<int>(rungs.size()) - 1);
+
+  // A deadline just above the fastest rung forces it.
+  scenario::FrameContext tight;
+  tight.deadline_us = rungs.front().t_us * 1.0001;
+  EXPECT_EQ(gov.choose(tight, -1), 0);
+
+  // A deadline no rung can meet still returns the fastest option.
+  scenario::FrameContext impossible;
+  impossible.deadline_us = rungs.front().t_us * 0.5;
+  EXPECT_EQ(gov.choose(impossible, -1), 0);
+}
+
+TEST(Governor, AccountsForRelockOverheadWhenSwitching) {
+  const graph::Model m = small_model();
+  GovernorConfig cfg = make_config();
+  const ScheduleGovernor gov(m, cfg);
+  const auto& rungs = gov.rungs();
+  ASSERT_GE(rungs.size(), 2u);
+  const power::PowerModel pm(cfg.pipeline.explore.sim.power);
+
+  // From the cheapest rung, a deadline inside the transition margin of the
+  // fastest rung must pick a rung whose latency *plus* transition fits.
+  const int from = static_cast<int>(rungs.size()) - 1;
+  const scenario::TransitionCost trans = scenario::rung_transition(
+      rungs[static_cast<std::size_t>(from)], rungs[0],
+      cfg.pipeline.explore.sim.switching, pm);
+  scenario::FrameContext ctx;
+  ctx.deadline_us = rungs[0].t_us + trans.us * 0.5;  // t fits, t+trans not
+  const int chosen = gov.choose(ctx, from);
+  const scenario::TransitionCost chosen_trans = scenario::rung_transition(
+      rungs[static_cast<std::size_t>(from)],
+      rungs[static_cast<std::size_t>(chosen)],
+      cfg.pipeline.explore.sim.switching, pm);
+  // Either some rung genuinely fits net of its transition, or the governor
+  // fell back to the fastest reachable one.
+  if (rungs[static_cast<std::size_t>(chosen)].t_us + chosen_trans.us >
+      ctx.deadline_us + 1e-9) {
+    double best_t = rungs[static_cast<std::size_t>(chosen)].t_us +
+                    chosen_trans.us;
+    for (std::size_t i = 0; i < rungs.size(); ++i) {
+      const scenario::TransitionCost tr = scenario::rung_transition(
+          rungs[static_cast<std::size_t>(from)], rungs[i],
+          cfg.pipeline.explore.sim.switching, pm);
+      EXPECT_GE(rungs[i].t_us + tr.us, best_t - 1e-9)
+          << "a faster reachable rung existed";
+    }
+  }
+}
+
+TEST(Governor, RepairDisabledStillMeasuresEveryRung) {
+  const graph::Model m = small_model();
+  GovernorConfig cfg = make_config();
+  cfg.pipeline.max_repair_iterations = 0;
+  const ScheduleGovernor gov(m, cfg);
+  ASSERT_GE(gov.rungs().size(), 2u);
+  for (const scenario::RungInfo& r : gov.rungs()) {
+    EXPECT_GT(r.t_us, 0.0) << r.name;
+    EXPECT_GT(r.e_uj, 0.0) << r.name;
+  }
+}
+
+TEST(Governor, ExactSimulationLadderMatchesFastLadder) {
+  const graph::Model m = small_model();
+  GovernorConfig fast = make_config();
+  GovernorConfig exact = make_config();
+  exact.pipeline.exact_simulation = true;
+  const ScheduleGovernor gf(m, fast);
+  const ScheduleGovernor ge(m, exact);
+  ASSERT_EQ(gf.rungs().size(), ge.rungs().size());
+  for (std::size_t i = 0; i < gf.rungs().size(); ++i) {
+    EXPECT_TRUE(runtime::plans_identical(
+        gf.schedule(static_cast<int>(i)), ge.schedule(static_cast<int>(i))))
+        << "rung " << i;
+  }
+}
+
+}  // namespace
+}  // namespace daedvfs::governor

@@ -3,6 +3,7 @@
 // solver-quality ordering (DP <= greedy <= any feasible).
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <random>
 
 #include "mckp/mckp.hpp"
@@ -176,6 +177,97 @@ TEST(Dp, SharedWorkspaceMatchesFreshAcrossRepeatedSolves) {
       EXPECT_DOUBLE_EQ(fresh.total_weight, reused.total_weight);
     }
   }
+}
+
+TEST(DpSweep, SingleCapacityMatchesSolveDpBitwise) {
+  // The sweep with one capacity builds the exact grid solve_dp would, so
+  // the answers must coincide bit for bit.
+  DpWorkspace ws_a, ws_b;
+  for (uint32_t seed = 0; seed < 10; ++seed) {
+    const Instance inst = random_instance(seed, 9, 5, 0.4);
+    const Solution solo = solve_dp(inst, 5000, ws_a);
+    const std::vector<Solution> sweep =
+        solve_dp_sweep(inst, {inst.capacity}, 5000, ws_b);
+    ASSERT_EQ(sweep.size(), 1u);
+    ASSERT_EQ(solo.feasible, sweep[0].feasible) << "seed " << seed;
+    if (!solo.feasible) continue;
+    EXPECT_EQ(solo.chosen, sweep[0].chosen) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(solo.total_value, sweep[0].total_value);
+    EXPECT_DOUBLE_EQ(solo.total_weight, sweep[0].total_weight);
+  }
+}
+
+TEST(DpSweep, LadderIsFeasibleAndMonotone) {
+  DpWorkspace ws;
+  for (uint32_t seed = 30; seed < 40; ++seed) {
+    const Instance inst = random_instance(seed, 12, 6, 0.2);
+    const std::vector<double> caps = {inst.capacity, inst.capacity * 1.2,
+                                      inst.capacity * 1.6,
+                                      inst.capacity * 2.5};
+    const std::vector<Solution> sols = solve_dp_sweep(inst, caps, 20000, ws);
+    ASSERT_EQ(sols.size(), caps.size());
+    double prev_value = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < sols.size(); ++i) {
+      if (!sols[i].feasible) continue;
+      EXPECT_LE(sols[i].total_weight, caps[i] + 1e-9)
+          << "seed " << seed << " cap " << i;
+      EXPECT_LE(sols[i].total_value, prev_value + 1e-9)
+          << "more budget can only reduce the optimal energy";
+      prev_value = sols[i].total_value;
+    }
+    EXPECT_TRUE(sols.back().feasible) << "widest budget must be feasible";
+  }
+}
+
+TEST(DpSweep, NearOptimalAtEveryRung) {
+  // Each rung's answer is optimal on the shared grid; vs the exhaustive
+  // optimum at that capacity the loss is bounded by the per-class rounding
+  // (n ticks of the largest-capacity grid).
+  for (uint32_t seed = 50; seed < 60; ++seed) {
+    const Instance inst = random_instance(seed, 6, 4, 0.45);
+    const std::vector<double> caps = {inst.capacity, inst.capacity * 1.3,
+                                      inst.capacity * 2.0};
+    DpWorkspace ws;
+    const std::vector<Solution> sols = solve_dp_sweep(inst, caps, 20000, ws);
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      Instance at_cap = inst;
+      at_cap.capacity = caps[i];
+      const Solution bf = solve_brute_force(at_cap);
+      if (!bf.feasible) {
+        continue;  // sweep may also be infeasible from rounding; fine
+      }
+      if (!sols[i].feasible) continue;
+      EXPECT_GE(sols[i].total_value, bf.total_value - 1e-9)
+          << "cannot beat the true optimum";
+      EXPECT_LE(sols[i].total_value, bf.total_value * 1.03 + 1e-9)
+          << "seed " << seed << " cap " << i;
+    }
+  }
+}
+
+TEST(DpSweep, InfeasibleRungsAreMarked) {
+  Instance inst;
+  inst.classes = {{{5.0, 1.0}}, {{6.0, 2.0}}};
+  DpWorkspace ws;
+  // Note 11.0 (the exact weight sum) lands infeasible: item weights round
+  // *up* onto the shared grid — the same conservatism solve_dp applies.
+  const std::vector<Solution> sols =
+      solve_dp_sweep(inst, {4.0, 10.9, 11.01, 30.0, -1.0}, 20000, ws);
+  EXPECT_FALSE(sols[0].feasible);
+  EXPECT_FALSE(sols[1].feasible);
+  EXPECT_TRUE(sols[2].feasible);
+  EXPECT_TRUE(sols[3].feasible);
+  EXPECT_FALSE(sols[4].feasible) << "negative capacity";
+  EXPECT_DOUBLE_EQ(sols[3].total_value, 3.0);
+}
+
+TEST(DpSweep, EmptyInstanceAndEmptyCapacities) {
+  DpWorkspace ws;
+  EXPECT_TRUE(solve_dp_sweep(Instance{}, {5.0}, 100, ws)[0].feasible);
+  EXPECT_TRUE(solve_dp_sweep(Instance{}, {5.0}, 100, ws)[0].chosen.empty());
+  Instance inst;
+  inst.classes = {{{1.0, 1.0}}};
+  EXPECT_TRUE(solve_dp_sweep(inst, {}, 100, ws).empty());
 }
 
 }  // namespace

@@ -6,7 +6,9 @@
 
 #include "core/pipeline.hpp"
 #include "core/report.hpp"
+#include "dse/profile_cache.hpp"
 #include "graph/builder.hpp"
+#include "graph/zoo.hpp"
 
 namespace daedvfs::core {
 namespace {
@@ -120,6 +122,57 @@ TEST(Pipeline, InfeasibleBudgetFallsBackToBaseline) {
   for (const auto& plan : r.schedule.plans) {
     EXPECT_DOUBLE_EQ(plan.hfo.sysclk_mhz(), 216.0);
   }
+}
+
+TEST(Pipeline, FastDefaultsEmitIdenticalSchedulesAcrossTheZoo) {
+  // The flipped defaults (freq_replay + prefilter + whole-schedule-replay
+  // repair) must produce exactly the schedule the exact_simulation escape
+  // hatch produces, for every evaluation model at the paper design space.
+  for (const graph::Model& m : graph::zoo::make_evaluation_suite()) {
+    PipelineConfig cfg;
+    cfg.qos_slack = 0.3;
+    cfg.space = dse::make_paper_design_space(
+        power::PowerModel{cfg.explore.sim.power});
+    const PipelineResult fast = Pipeline(cfg).run(m);
+    cfg.exact_simulation = true;
+    const PipelineResult exact = Pipeline(cfg).run(m);
+
+    EXPECT_EQ(fast.mckp_feasible, exact.mckp_feasible) << m.name();
+    EXPECT_EQ(fast.fell_back_to_baseline, exact.fell_back_to_baseline)
+        << m.name();
+    EXPECT_TRUE(runtime::plans_identical(fast.schedule, exact.schedule))
+        << m.name() << ": fast defaults changed the emitted schedule";
+    EXPECT_LT(fast.explore_stats.profiled, exact.explore_stats.profiled)
+        << m.name() << ": fast path did not actually avoid simulations";
+    // Replay-backed repair must not spend more simulations than swaps + 1;
+    // the exact path spends one per measurement.
+    EXPECT_LE(fast.repair_simulations, fast.repair_iterations + 1)
+        << m.name();
+    EXPECT_EQ(exact.repair_simulations, exact.repair_iterations + 1)
+        << m.name();
+  }
+}
+
+TEST(Pipeline, SharedProfileCacheServesRepeatRunsEntirely) {
+  const graph::Model m = small_model();
+  dse::ProfileCache cache;
+  PipelineConfig cfg = make_config(0.3);
+  cfg.explore.cache = &cache;
+  const PipelineResult first = Pipeline(cfg).run(m);
+  EXPECT_GT(first.explore_stats.profiled, 0);
+
+  // Same model, different slack: the second run's exploration must be
+  // answered from the shared cache without a single new simulation.
+  cfg.qos_slack = 0.5;
+  const PipelineResult second = Pipeline(cfg).run(m);
+  EXPECT_EQ(second.explore_stats.profiled, 0)
+      << "shared cache did not carry profiles across pipeline runs";
+  EXPECT_GT(second.explore_stats.cache_hits, 0);
+
+  // And the cached run is equivalent to a cold one.
+  PipelineConfig cold_cfg = make_config(0.5);
+  const PipelineResult cold = Pipeline(cold_cfg).run(m);
+  EXPECT_TRUE(runtime::plans_identical(second.schedule, cold.schedule));
 }
 
 TEST(Report, SummaryAndCsvContainKeyFields) {

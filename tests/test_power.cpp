@@ -124,5 +124,77 @@ TEST(Battery, SleepPowerDominatesAtLongPeriods) {
   EXPECT_GT(rare, frequent);
 }
 
+TEST(Battery, ZeroCapacityHasZeroLifetime) {
+  BatteryModel battery(BatteryParams{0.0, 0.02});
+  EXPECT_DOUBLE_EQ(battery.lifetime_days(5000.0, 50000.0, {60.0, 0.8}), 0.0);
+  BatteryModel negative(BatteryParams{-10.0, 0.02});
+  EXPECT_DOUBLE_EQ(negative.lifetime_days(5000.0, 50000.0, {60.0, 0.8}),
+                   0.0);
+}
+
+TEST(Battery, NonPositivePeriodYieldsZeroLifetime) {
+  BatteryModel battery;
+  EXPECT_DOUBLE_EQ(battery.lifetime_days(5000.0, 50000.0, {0.0, 0.8}), 0.0);
+  EXPECT_DOUBLE_EQ(battery.lifetime_days(5000.0, 50000.0, {-5.0, 0.8}), 0.0);
+}
+
+TEST(Battery, SelfDischargeAloneBoundsLifetime) {
+  // Self-discharge >= external draw: with zero load and zero sleep draw,
+  // lifetime collapses to capacity / self_discharge hours.
+  BatteryParams p;
+  p.capacity_mwh = 240.0;
+  p.self_discharge_mw = 1.0;
+  BatteryModel battery(p);
+  const double days = battery.lifetime_days(0.0, 0.0, {60.0, 0.0});
+  EXPECT_NEAR(days, 240.0 / 1.0 / 24.0, 1e-9);
+  // Negative inputs clamp to zero instead of inflating the lifetime.
+  EXPECT_NEAR(battery.lifetime_days(-1e9, -5.0, {60.0, -3.0}), days, 1e-9);
+}
+
+TEST(Battery, AllZeroDrawHasNoFiniteAnswer) {
+  BatteryModel battery(BatteryParams{2400.0, 0.0});
+  EXPECT_DOUBLE_EQ(battery.lifetime_days(0.0, 0.0, {60.0, 0.0}), 0.0);
+}
+
+TEST(StatefulBattery, DrainAndElapseTrackCharge) {
+  Battery b(BatteryParams{1.0, 0.0});  // 1 mWh = 3.6 J
+  EXPECT_FALSE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+  b.drain_uj(1.8e6);  // half the charge
+  EXPECT_NEAR(b.soc(), 0.5, 1e-12);
+  b.elapse(900.0, 1.0);  // 1 mW for a quarter hour = 0.25 mWh
+  EXPECT_NEAR(b.remaining_mwh(), 0.25, 1e-12);
+  b.drain_uj(10e6);  // overdrain clamps at empty
+  EXPECT_TRUE(b.depleted());
+  EXPECT_DOUBLE_EQ(b.remaining_mwh(), 0.0);
+  EXPECT_DOUBLE_EQ(b.soc(), 0.0);
+}
+
+TEST(StatefulBattery, SelfDischargeDrainsWithoutLoad) {
+  BatteryParams p;
+  p.capacity_mwh = 1.0;
+  p.self_discharge_mw = 2.0;
+  Battery b(p);
+  b.elapse(1800.0, 0.0);  // half an hour at 2 mW self-discharge
+  EXPECT_TRUE(b.depleted());
+}
+
+TEST(StatefulBattery, DegenerateParamsAreClamped) {
+  Battery zero(BatteryParams{0.0, 0.02});
+  EXPECT_TRUE(zero.depleted());
+  EXPECT_DOUBLE_EQ(zero.soc(), 0.0);
+
+  Battery negative(BatteryParams{-5.0, -1.0});
+  EXPECT_TRUE(negative.depleted());
+  negative.elapse(1e6, -10.0);  // negative draws must not charge the battery
+  EXPECT_DOUBLE_EQ(negative.remaining_mwh(), 0.0);
+
+  Battery b(BatteryParams{1.0, -1.0});  // negative self-discharge clamps to 0
+  b.elapse(3600.0, 0.0);
+  EXPECT_DOUBLE_EQ(b.remaining_mwh(), 1.0);
+  b.drain_uj(-100.0);  // negative drain is a no-op
+  EXPECT_DOUBLE_EQ(b.remaining_mwh(), 1.0);
+}
+
 }  // namespace
 }  // namespace daedvfs::power

@@ -1,0 +1,204 @@
+// Deployment scenario engine (scenario/): deterministic mission simulation,
+// burst/QoS-event handling, battery depletion, and the governor-vs-static
+// comparison the subsystem exists for.
+#include <gtest/gtest.h>
+
+#include "governor/governor.hpp"
+#include "graph/builder.hpp"
+#include "scenario/engine.hpp"
+
+namespace daedvfs::scenario {
+namespace {
+
+graph::Model small_model() {
+  graph::ModelBuilder b("scn-small", 64, 64, 3, 42);
+  int x = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 16, false);
+  x = b.depthwise(x, 3, 2, true);
+  x = b.pointwise(x, 24, false);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 32, false);
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, 2);
+  return b.take();
+}
+
+governor::GovernorConfig governor_config() {
+  governor::GovernorConfig cfg;
+  cfg.qos_slacks = {0.10, 0.15, 0.20, 0.30, 0.50, 0.75};
+  cfg.pipeline.space = dse::make_paper_design_space(
+      power::PowerModel{cfg.pipeline.explore.sim.power});
+  cfg.pipeline.mckp_ticks = 5000;
+  cfg.pipeline.reserved_relocks = 4;
+  return cfg;
+}
+
+/// One day, base 10 s period at a relaxed +60% slack; two "tracking" phases
+/// tighten the deadline to +16% (within reach of the ladder's +15% rung but
+/// out of reach of its relaxed rungs) and raise the frame rate.
+MissionSpec sentry_mission() {
+  MissionSpec spec;
+  spec.name = "sentry-day";
+  spec.horizon_s = 86400.0;
+  spec.duty.period_s = 10.0;
+  spec.duty.sleep_mw = 0.8;
+  spec.base_qos_slack = 0.60;
+  spec.qos_events = {{20000.0, 0.16},
+                     {24000.0, 0.60},
+                     {60000.0, 0.16},
+                     {66000.0, 0.60}};
+  spec.bursts = {{20000.0, 4000.0, 1.0}, {60000.0, 6000.0, 1.0}};
+  return spec;
+}
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    model_ = new graph::Model(small_model());
+    gov_ = new governor::ScheduleGovernor(*model_, governor_config());
+  }
+  static void TearDownTestSuite() {
+    delete gov_;
+    delete model_;
+    gov_ = nullptr;
+    model_ = nullptr;
+  }
+
+  static graph::Model* model_;
+  static governor::ScheduleGovernor* gov_;
+};
+
+graph::Model* ScenarioTest::model_ = nullptr;
+governor::ScheduleGovernor* ScenarioTest::gov_ = nullptr;
+
+TEST_F(ScenarioTest, DeterministicIncludingJitter) {
+  MissionSpec spec = sentry_mission();
+  spec.period_jitter = 0.2;
+  spec.seed = 99;
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport a = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  const MissionReport b = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_EQ(a.deadline_misses, b.deadline_misses);
+  EXPECT_EQ(a.rung_switches, b.rung_switches);
+  EXPECT_DOUBLE_EQ(a.total_uj(), b.total_uj());
+  EXPECT_DOUBLE_EQ(a.battery_remaining_mwh, b.battery_remaining_mwh);
+
+  spec.seed = 100;  // a different seed must actually change the timeline
+  const MissionReport c = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  EXPECT_NE(a.total_uj(), c.total_uj());
+}
+
+TEST_F(ScenarioTest, FrameAndEnergyAccountingIsConsistent) {
+  const MissionSpec spec = sentry_mission();
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport r = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+
+  EXPECT_FALSE(r.truncated);
+  EXPECT_GE(r.simulated_s, spec.horizon_s);
+  // Base cadence alone gives horizon/period frames; bursts add more.
+  EXPECT_GT(r.frames, static_cast<std::uint64_t>(spec.horizon_s /
+                                                 spec.duty.period_s));
+  std::uint64_t per_rung = 0;
+  for (std::uint64_t n : r.frames_per_rung) per_rung += n;
+  EXPECT_EQ(per_rung, r.frames);
+  EXPECT_GT(r.inference_uj, 0.0);
+  EXPECT_GT(r.sleep_uj, 0.0);
+  EXPECT_NEAR(r.total_uj(),
+              r.inference_uj + r.transition_uj + r.sleep_uj, 1e-9);
+  EXPECT_GT(r.lifetime_days(spec.battery), 0.0);
+}
+
+TEST_F(ScenarioTest, GovernorAdaptsAndMeetsEveryDeadline) {
+  const MissionSpec spec = sentry_mission();
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport r = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+
+  EXPECT_EQ(r.deadline_misses, 0u)
+      << "ladder reaches +5% slack; the mission never tightens below +15%";
+  EXPECT_GT(r.rung_switches, 0u) << "events must drive rung changes";
+  int rungs_used = 0;
+  for (std::uint64_t n : r.frames_per_rung) rungs_used += n > 0 ? 1 : 0;
+  EXPECT_GE(rungs_used, 2) << "governor never adapted";
+}
+
+TEST_F(ScenarioTest, GovernorBeatsEveryZeroMissStaticSchedule) {
+  const MissionSpec spec = sentry_mission();
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport gov_report =
+      simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  ASSERT_EQ(gov_report.deadline_misses, 0u);
+
+  bool some_static_missed = false;
+  double best_static_uj = 0.0;
+  bool have_static = false;
+  for (const RungInfo& rung : gov_->rungs()) {
+    const StaticPolicy fixed(rung);
+    const MissionReport r =
+        simulate_mission(spec, fixed, gov_->t_base_us(), sim);
+    if (r.deadline_misses > 0) {
+      some_static_missed = true;
+      continue;
+    }
+    if (!have_static || r.total_uj() < best_static_uj) {
+      best_static_uj = r.total_uj();
+      have_static = true;
+    }
+  }
+  ASSERT_TRUE(have_static) << "no static schedule met every deadline";
+  EXPECT_TRUE(some_static_missed)
+      << "mission too easy: every static rung met every deadline";
+  EXPECT_LT(gov_report.total_uj(), best_static_uj)
+      << "governor must beat the best zero-miss static schedule";
+}
+
+TEST_F(ScenarioTest, TinyBatteryDepletesBeforeHorizon) {
+  MissionSpec spec = sentry_mission();
+  spec.battery.capacity_mwh = 0.05;
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport r = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  EXPECT_TRUE(r.battery_depleted);
+  EXPECT_LT(r.simulated_s, spec.horizon_s);
+  EXPECT_DOUBLE_EQ(r.battery_remaining_mwh, 0.0);
+  EXPECT_NEAR(r.lifetime_days(spec.battery), r.simulated_s / 86400.0, 1e-12);
+}
+
+TEST_F(ScenarioTest, LowBatteryThresholdStretchesLifetime) {
+  // A battery sized to die mid-mission under a permanently tight deadline;
+  // the low-battery override relaxes the bound so the governor can downshift.
+  MissionSpec tight = sentry_mission();
+  tight.base_qos_slack = 0.05;
+  tight.qos_events.clear();
+  tight.bursts.clear();
+  tight.duty.period_s = 1.0;
+  tight.battery.capacity_mwh = 2.0;
+  tight.horizon_s = 7.0 * 86400.0;
+
+  MissionSpec relaxed = tight;
+  relaxed.low_battery_soc = 0.8;
+  relaxed.low_battery_qos_slack = 0.50;
+
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport r_tight =
+      simulate_mission(tight, *gov_, gov_->t_base_us(), sim);
+  const MissionReport r_relaxed =
+      simulate_mission(relaxed, *gov_, gov_->t_base_us(), sim);
+  ASSERT_TRUE(r_tight.battery_depleted);
+  ASSERT_TRUE(r_relaxed.battery_depleted);
+  EXPECT_GT(r_relaxed.simulated_s, r_tight.simulated_s)
+      << "relaxing the deadline at low charge must extend the mission";
+}
+
+TEST_F(ScenarioTest, StaticPolicyUsesItsOnlyRung) {
+  const MissionSpec spec = sentry_mission();
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const StaticPolicy fixed(gov_->rungs().front());
+  const MissionReport r = simulate_mission(spec, fixed, gov_->t_base_us(), sim);
+  ASSERT_EQ(r.frames_per_rung.size(), 1u);
+  EXPECT_EQ(r.frames_per_rung[0], r.frames);
+  EXPECT_EQ(r.rung_switches, 0u);
+}
+
+}  // namespace
+}  // namespace daedvfs::scenario

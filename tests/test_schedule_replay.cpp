@@ -1,0 +1,171 @@
+// Whole-schedule replay (dse/freq_replay: ScheduleLedger): the recording
+// must be bitwise equal to the engine's own full-schedule measurement, and
+// closed-form replay must match a direct simulation to <= 1e-9 relative
+// error across zoo models x random schedules — including the inter-layer
+// switch terms (PLL relocks, regulator settles) the per-layer DSE never
+// sees.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "dse/design_space.hpp"
+#include "dse/freq_replay.hpp"
+#include "graph/builder.hpp"
+#include "graph/zoo.hpp"
+
+namespace daedvfs::dse {
+namespace {
+
+graph::Model small_model() {
+  graph::ModelBuilder b("replay-small", 32, 32, 3, 21);
+  int x = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 16, false);
+  x = b.depthwise(x, 3, 2, true);
+  x = b.pointwise(x, 16, true);
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, 4);
+  return b.take();
+}
+
+/// Random schedule over the design space: per-layer HFO uniformly from the
+/// HFO set; granularity for DAE-eligible layers from the space's set.
+runtime::Schedule random_schedule(const graph::Model& model,
+                                  const DesignSpace& ds, std::mt19937& rng,
+                                  bool randomize_granularity) {
+  runtime::Schedule s;
+  s.name = "random";
+  std::uniform_int_distribution<std::size_t> pick_hfo(
+      0, ds.hfo_configs.size() - 1);
+  std::uniform_int_distribution<std::size_t> pick_g(
+      0, ds.granularities.size() - 1);
+  for (const graph::LayerSpec& layer : model.layers()) {
+    runtime::LayerPlan plan;
+    plan.hfo = ds.hfo_configs[pick_hfo(rng)];
+    plan.lfo = ds.lfo;
+    plan.granularity = layer.is_dae_eligible() && randomize_granularity
+                           ? ds.granularities[pick_g(rng)]
+                           : 0;
+    plan.dvfs_enabled = plan.granularity > 0;
+    s.plans.push_back(plan);
+  }
+  return s;
+}
+
+/// Re-assigns every layer's HFO at random, keeping granularity/DVFS/LFO —
+/// the replay-compatible mutation class.
+runtime::Schedule reassign_hfos(const runtime::Schedule& base,
+                                const DesignSpace& ds, std::mt19937& rng) {
+  runtime::Schedule s = base;
+  std::uniform_int_distribution<std::size_t> pick_hfo(
+      0, ds.hfo_configs.size() - 1);
+  for (runtime::LayerPlan& plan : s.plans) {
+    plan.hfo = ds.hfo_configs[pick_hfo(rng)];
+  }
+  return s;
+}
+
+TEST(ScheduleReplay, RecordingIsBitwiseEqualToEngineRun) {
+  const graph::Model m = small_model();
+  runtime::InferenceEngine engine(m);
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  std::mt19937 rng(7);
+  const sim::SimParams sim;
+
+  for (int rep = 0; rep < 3; ++rep) {
+    const runtime::Schedule sched = random_schedule(m, ds, rng, true);
+    const ScheduleLedger led = record_schedule(engine, sched, sim);
+
+    sim::SimParams params = sim;
+    params.boot = sched.plans.front().hfo;
+    sim::Mcu mcu(params);
+    const runtime::InferenceResult direct =
+        engine.run(mcu, sched, kernels::ExecMode::kTiming);
+    EXPECT_DOUBLE_EQ(led.recorded_t_us, direct.total_us) << "rep " << rep;
+    EXPECT_DOUBLE_EQ(led.recorded_e_uj, direct.total_energy_uj)
+        << "rep " << rep;
+  }
+}
+
+TEST(ScheduleReplay, ReplayReproducesTheRecordedSchedule) {
+  const graph::Model m = small_model();
+  runtime::InferenceEngine engine(m);
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  std::mt19937 rng(11);
+  const sim::SimParams sim;
+
+  const runtime::Schedule sched = random_schedule(m, ds, rng, true);
+  const ScheduleLedger led = record_schedule(engine, sched, sim);
+  const ProfileEntry replayed = replay_schedule(led, sched, sim);
+  EXPECT_NEAR(replayed.t_us, led.recorded_t_us,
+              std::abs(led.recorded_t_us) * 1e-9);
+  EXPECT_NEAR(replayed.energy_uj, led.recorded_e_uj,
+              std::abs(led.recorded_e_uj) * 1e-9);
+}
+
+TEST(ScheduleReplay, MatchesExactSimulationAcrossZooModels) {
+  // Random schedules over the reduced space: random granularities fix the
+  // recording; random per-layer HFO reassignments (which shuffle the
+  // inter-layer relock/regulator pattern) are replayed in closed form and
+  // checked against a direct simulation.
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  const sim::SimParams sim;
+  std::mt19937 rng(2024);
+
+  for (const graph::Model& m : graph::zoo::make_evaluation_suite()) {
+    runtime::InferenceEngine engine(m);
+    for (int assignment = 0; assignment < 2; ++assignment) {
+      const runtime::Schedule base = random_schedule(m, ds, rng, true);
+      const ScheduleLedger led = record_schedule(engine, base, sim);
+      for (int variant = 0; variant < 3; ++variant) {
+        const runtime::Schedule mutated = reassign_hfos(base, ds, rng);
+        ASSERT_TRUE(replay_compatible(led, mutated));
+        const ProfileEntry replayed = replay_schedule(led, mutated, sim);
+        const ScheduleLedger direct = record_schedule(engine, mutated, sim);
+        EXPECT_NEAR(replayed.t_us, direct.recorded_t_us,
+                    std::abs(direct.recorded_t_us) * 1e-9)
+            << m.name() << " assignment " << assignment << " variant "
+            << variant;
+        EXPECT_NEAR(replayed.energy_uj, direct.recorded_e_uj,
+                    std::abs(direct.recorded_e_uj) * 1e-9)
+            << m.name() << " assignment " << assignment << " variant "
+            << variant;
+      }
+    }
+  }
+}
+
+TEST(ScheduleReplay, GranularityChangeIsIncompatible) {
+  const graph::Model m = small_model();
+  runtime::InferenceEngine engine(m);
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  std::mt19937 rng(3);
+  const sim::SimParams sim;
+
+  const runtime::Schedule base = random_schedule(m, ds, rng, true);
+  const ScheduleLedger led = record_schedule(engine, base, sim);
+
+  runtime::Schedule changed = base;
+  // Layer 1 is depthwise (DAE-eligible): move it to a different granularity.
+  ASSERT_TRUE(m.layers()[1].is_dae_eligible());
+  changed.plans[1].granularity = changed.plans[1].granularity == 4 ? 16 : 4;
+  changed.plans[1].dvfs_enabled = true;
+  EXPECT_FALSE(replay_compatible(led, changed));
+  EXPECT_THROW((void)replay_schedule(led, changed, sim),
+               std::invalid_argument);
+
+  // A pure HFO move stays compatible.
+  runtime::Schedule moved = base;
+  moved.plans[2].hfo = ds.hfo_configs.front() == moved.plans[2].hfo
+                           ? ds.hfo_configs.back()
+                           : ds.hfo_configs.front();
+  EXPECT_TRUE(replay_compatible(led, moved));
+}
+
+}  // namespace
+}  // namespace daedvfs::dse
