@@ -1,125 +1,371 @@
-// Ablation A3: google-benchmark microbenchmarks of the kernel library on the
-// host: numeric kernels (Full mode, no simulator), simulator-coupled runs
-// (Full + Timing), and the cache simulator itself. Useful for tracking the
-// cost of the simulation infrastructure over time.
-#include <benchmark/benchmark.h>
+// Kernel backend benchmark: scalar vs vectorized int8 MAC throughput per
+// conv-family kernel across zoo-representative layer shapes, plus end-to-end
+// Full-mode inference wall-clock — the perf-trajectory artifact for the
+// backend-dispatch layer (docs/kernels.md).
+//
+// Self-verifying: every timed configuration re-checks that all compiled-in
+// backends produce byte-identical outputs (and, end-to-end, bit-identical
+// simulated totals); exits nonzero on any mismatch.
+//
+//   $ ./build/bench_kernels                 # full run -> BENCH_kernels.json
+//   $ ./build/bench_kernels smoke out.json  # CI smoke (fewer reps)
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
 
+#include "graph/zoo.hpp"
+#include "kernels/backend.hpp"
+#include "kernels/conv2d.hpp"
 #include "kernels/depthwise.hpp"
+#include "kernels/fully_connected.hpp"
 #include "kernels/pointwise.hpp"
+#include "runtime/engine.hpp"
 #include "sim/mcu.hpp"
 #include "tensor/tensor.hpp"
 
-#include <random>
+using namespace daedvfs;
 
-namespace daedvfs {
 namespace {
 
-kernels::DepthwiseArgs make_dw(tensor::QTensor& in, tensor::QTensor& w,
-                               tensor::QTensor& out, int g) {
-  kernels::DepthwiseArgs a;
-  a.input = {in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
-  a.weights = {w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
-  a.output = {out.view(), {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
-  a.params.stride = 1;
-  a.params.pad = 1;
-  a.params.requant = tensor::quantize_multiplier(0.004);
-  a.granularity = g;
-  return a;
-}
-
-void fill(tensor::QTensor& t, uint32_t seed) {
+void fill(tensor::QTensor& t, uint32_t seed, int lo = -100, int hi = 100) {
   std::mt19937 rng(seed);
-  std::uniform_int_distribution<int> d(-90, 90);
+  std::uniform_int_distribution<int> d(lo, hi);
   for (int64_t i = 0; i < t.shape().elems(); ++i) {
     t.data()[i] = static_cast<int8_t>(d(rng));
   }
 }
 
-void BM_DepthwiseHost(benchmark::State& state) {
-  const int g = static_cast<int>(state.range(0));
-  tensor::QTensor in({1, 48, 48, 32}, {0.05, -1});
-  tensor::QTensor w({1, 3, 3, 32}, {0.02, 0});
-  tensor::QTensor out({1, 48, 48, 32}, {0.05, -1});
-  fill(in, 1);
-  fill(w, 2);
-  kernels::ExecContext ctx;  // numerics only
-  auto args = make_dw(in, w, out, g);
-  for (auto _ : state) {
-    kernels::depthwise_conv(args, ctx);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 48 * 48 * 32 * 9);
+tensor::BiasVector make_bias(int n, uint32_t seed) {
+  tensor::BiasVector b(static_cast<std::size_t>(n));
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<int> d(-500, 500);
+  for (auto& v : b) v = d(rng);
+  return b;
 }
-BENCHMARK(BM_DepthwiseHost)->Arg(0)->Arg(4)->Arg(16);
 
-void BM_DepthwiseSimulated(benchmark::State& state) {
-  const bool full = state.range(0) != 0;
-  tensor::QTensor in({1, 48, 48, 32}, {0.05, -1});
-  tensor::QTensor w({1, 3, 3, 32}, {0.02, 0});
-  tensor::QTensor out({1, 48, 48, 32}, {0.05, -1});
-  fill(in, 1);
-  fill(w, 2);
-  auto args = make_dw(in, w, out, 8);
-  for (auto _ : state) {
-    sim::Mcu mcu(sim::SimParams{
-        .boot = clock::ClockConfig::pll_hse(50.0, 25, 216, 2)});
-    kernels::LfoHfoPolicy policy(clock::ClockConfig::hse_direct(50.0),
-                                 clock::ClockConfig::pll_hse(50.0, 25, 216, 2));
-    kernels::ExecContext ctx;
-    ctx.mcu = &mcu;
-    ctx.mode = full ? kernels::ExecMode::kFull : kernels::ExecMode::kTiming;
-    ctx.dvfs = &policy;
-    kernels::depthwise_conv(args, ctx);
-    benchmark::DoNotOptimize(mcu.energy_uj());
-  }
+kernels::ConvParams params_for(int stride, int pad, double mult) {
+  kernels::ConvParams p;
+  p.stride = stride;
+  p.pad = pad;
+  p.input_zero_point = -1;
+  p.output_zero_point = -1;
+  p.requant = tensor::quantize_multiplier(mult);
+  return p;
 }
-BENCHMARK(BM_DepthwiseSimulated)->Arg(0)->Arg(1);  // 0=Timing, 1=Full
 
-void BM_PointwiseHost(benchmark::State& state) {
-  const int g = static_cast<int>(state.range(0));
-  tensor::QTensor in({1, 24, 24, 64}, {0.05, -1});
-  tensor::QTensor w({128, 1, 1, 64}, {0.02, 0});
-  tensor::QTensor out({1, 24, 24, 128}, {0.05, -1});
-  fill(in, 1);
-  fill(w, 2);
-  kernels::PointwiseArgs a;
-  a.input = {in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
-  a.weights = {w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
-  a.output = {out.view(), {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
-  a.params.requant = tensor::quantize_multiplier(0.002);
-  a.granularity = g;
+/// Best-of-batches timing: the min over `batches` batch averages, robust
+/// against scheduler interference on busy (single-core CI) hosts.
+double time_reps(int reps, int batches, const std::function<void()>& fn) {
+  fn();  // warm-up
+  double best = 1e300;
+  for (int b = 0; b < batches; ++b) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < reps; ++r) fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best,
+        std::chrono::duration<double, std::milli>(t1 - t0).count() / reps);
+  }
+  return best;
+}
+
+/// One benchmarked kernel configuration: a runner closure over prebuilt
+/// args, the output buffer it writes, and its MAC count per run.
+struct KernelCase {
+  std::string kernel;
+  std::string shape;
+  double macs = 0.0;
+  std::function<void(kernels::ExecContext&)> run;
+  tensor::QTensor* output = nullptr;
+};
+
+struct BackendTiming {
+  std::string name;
+  double wall_ms = 0.0;
+  double mmacs = 0.0;
+};
+
+struct CaseResult {
+  std::string kernel;
+  std::string shape;
+  double macs = 0.0;
+  std::vector<BackendTiming> timings;
+  double speedup = 1.0;  ///< scalar / best vectorized (1.0 if no SIMD).
+  bool bit_exact = true;
+};
+
+CaseResult run_case(const KernelCase& kc, bool smoke) {
+  CaseResult res;
+  res.kernel = kc.kernel;
+  res.shape = kc.shape;
+  res.macs = kc.macs;
+
+  // Calibrate reps on the scalar backend so every backend runs the same
+  // count: ~200 ms of scalar work in full mode, minimal in smoke.
   kernels::ExecContext ctx;
-  for (auto _ : state) {
-    kernels::pointwise_conv(a, ctx);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations() * 24 * 24 * 64 * 128);
-}
-BENCHMARK(BM_PointwiseHost)->Arg(0)->Arg(8);
+  ctx.backend = &kernels::scalar_backend();
+  const double probe_ms = time_reps(1, 1, [&] { kc.run(ctx); });
+  const double target_ms = smoke ? 10.0 : 60.0;
+  const int reps = std::max(
+      1, static_cast<int>(target_ms / std::max(probe_ms, 1e-3)));
+  const int batches = smoke ? 3 : 5;
 
-void BM_CacheSim(benchmark::State& state) {
-  sim::CacheSim cache;
-  uint64_t addr = sim::kSramBase;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.access(addr, 256, false));
-    addr += 1 << 12;
+  std::vector<int8_t> ref_out;
+  double scalar_ms = 0.0, simd_ms = 0.0;
+  for (const kernels::Backend* be : kernels::available_backends()) {
+    kernels::ExecContext bctx;
+    bctx.backend = be;
+    const double ms = time_reps(reps, batches, [&] { kc.run(bctx); });
+    res.timings.push_back(
+        {be->name, ms, ms > 0.0 ? kc.macs / (ms * 1e3) : 0.0});
+    if (!be->vectorized) {
+      scalar_ms = ms;
+      ref_out.assign(kc.output->data(),
+                     kc.output->data() + kc.output->size_bytes());
+    } else {
+      simd_ms = ms;
+      res.bit_exact =
+          res.bit_exact &&
+          std::memcmp(ref_out.data(), kc.output->data(), ref_out.size()) == 0;
+    }
   }
-  state.SetItemsProcessed(state.iterations() * 8);  // 8 lines per access
+  if (simd_ms > 0.0 && scalar_ms > 0.0) res.speedup = scalar_ms / simd_ms;
+  return res;
 }
-BENCHMARK(BM_CacheSim);
 
-void BM_CacheSimStrided(benchmark::State& state) {
-  sim::CacheSim cache;
-  uint64_t addr = sim::kSramBase;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(cache.access_strided(addr, 64, 32, 1, false));
-    addr += 1 << 12;
+/// End-to-end Full-mode inference on a zoo model under a DAE schedule.
+struct E2eResult {
+  std::string model;
+  double scalar_ms = 0.0;
+  double simd_ms = 0.0;
+  double timing_mode_ms = 0.0;  ///< Simulator-only wall-clock for context.
+  double speedup = 1.0;
+  bool outputs_identical = true;
+  bool costs_identical = true;
+};
+
+E2eResult run_e2e(const graph::Model& model, bool smoke) {
+  E2eResult res;
+  res.model = model.name();
+  runtime::InferenceEngine engine(model);
+  runtime::Schedule sched = runtime::make_uniform_schedule(
+      model, clock::ClockConfig::pll_hse(50.0, 25, 216, 2));
+  for (std::size_t i = 0; i < sched.plans.size(); ++i) {
+    sched.plans[i].granularity = 1 + static_cast<int>(i % 8);
   }
-  state.SetItemsProcessed(state.iterations() * 32);
+  std::vector<int8_t> input(
+      static_cast<std::size_t>(model.input_shape().elems()));
+  std::mt19937 rng(7);
+  std::uniform_int_distribution<int> d(-100, 100);
+  for (auto& v : input) v = static_cast<int8_t>(d(rng));
+
+  const int reps = smoke ? 1 : 3;
+  std::vector<int8_t> ref_out;
+  double ref_t = 0.0, ref_e = 0.0;
+  for (const kernels::Backend* be : kernels::available_backends()) {
+    engine.set_backend(be);
+    runtime::InferenceResult r;
+    double t_us = 0.0, e_uj = 0.0;
+    const double ms = time_reps(reps, smoke ? 2 : 3, [&] {
+      sim::Mcu mcu;
+      r = engine.run(mcu, sched, kernels::ExecMode::kFull, input);
+      t_us = r.total_us;
+      e_uj = r.total_energy_uj;
+    });
+    if (!be->vectorized) {
+      res.scalar_ms = ms;
+      ref_out = r.output;
+      ref_t = t_us;
+      ref_e = e_uj;
+    } else {
+      res.simd_ms = ms;
+      res.outputs_identical = res.outputs_identical && ref_out == r.output;
+      res.costs_identical =
+          res.costs_identical && ref_t == t_us && ref_e == e_uj;
+    }
+  }
+  engine.set_backend(&kernels::scalar_backend());
+  res.timing_mode_ms = time_reps(reps, smoke ? 2 : 3, [&] {
+    sim::Mcu mcu;
+    engine.run(mcu, sched, kernels::ExecMode::kTiming, input);
+  });
+  engine.set_backend(nullptr);
+  if (res.simd_ms > 0.0) res.speedup = res.scalar_ms / res.simd_ms;
+  return res;
 }
-BENCHMARK(BM_CacheSimStrided);
 
 }  // namespace
-}  // namespace daedvfs
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "smoke";
+  const std::string out_path =
+      argc > 2 ? argv[2] : (argc > 1 && !smoke ? argv[1] : "BENCH_kernels.json");
+
+  // Zoo-representative shapes: the stem conv every model starts with, a
+  // MobileNet-scale depthwise/pointwise pair (baseline and DAE forms), and
+  // the classifier head.
+  tensor::QTensor conv_in({1, 96, 96, 3}, {0.05, -1});
+  tensor::QTensor conv_w({16, 3, 3, 3}, {0.02, 0});
+  tensor::QTensor conv_out({1, 48, 48, 16}, {0.05, -1});
+  fill(conv_in, 1);
+  fill(conv_w, 2, -90, 90);
+  tensor::BiasVector conv_b = make_bias(16, 3);
+  kernels::Conv2dArgs conv_args;
+  conv_args.input = {conv_in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  conv_args.weights = {conv_w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  conv_args.bias = conv_b.data();
+  conv_args.bias_mem = {sim::kFlashBase + 0x40000, sim::MemRegion::kFlash};
+  conv_args.output = {conv_out.view(),
+                      {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  conv_args.params = params_for(2, 1, 0.002);
+
+  tensor::QTensor dw_in({1, 48, 48, 24}, {0.05, -1});
+  tensor::QTensor dw_w({1, 3, 3, 24}, {0.02, 0});
+  tensor::QTensor dw_out({1, 48, 48, 24}, {0.05, -1});
+  fill(dw_in, 4);
+  fill(dw_w, 5, -90, 90);
+  tensor::BiasVector dw_b = make_bias(24, 6);
+  kernels::DepthwiseArgs dw_args;
+  dw_args.input = {dw_in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  dw_args.weights = {dw_w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  dw_args.bias = dw_b.data();
+  dw_args.bias_mem = {sim::kFlashBase + 0x40000, sim::MemRegion::kFlash};
+  dw_args.output = {dw_out.view(),
+                    {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  dw_args.params = params_for(1, 1, 0.004);
+
+  tensor::QTensor pw_in({1, 24, 24, 48}, {0.05, -1});
+  tensor::QTensor pw_w({96, 1, 1, 48}, {0.02, 0});
+  tensor::QTensor pw_out({1, 24, 24, 96}, {0.05, -1});
+  fill(pw_in, 7);
+  fill(pw_w, 8, -90, 90);
+  tensor::BiasVector pw_b = make_bias(96, 9);
+  kernels::PointwiseArgs pw_args;
+  pw_args.input = {pw_in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  pw_args.weights = {pw_w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  pw_args.bias = pw_b.data();
+  pw_args.bias_mem = {sim::kFlashBase + 0x40000, sim::MemRegion::kFlash};
+  pw_args.output = {pw_out.view(),
+                    {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  pw_args.params = params_for(1, 0, 0.002);
+
+  tensor::QTensor fc_in({1, 1, 1, 320}, {0.05, -1});
+  tensor::QTensor fc_w({10, 1, 1, 320}, {0.02, 0});
+  tensor::QTensor fc_out({1, 1, 1, 10}, {0.05, -1});
+  fill(fc_in, 10);
+  fill(fc_w, 11, -90, 90);
+  tensor::BiasVector fc_b = make_bias(10, 12);
+  kernels::FullyConnectedArgs fc_args;
+  fc_args.input = {fc_in.view(), {sim::kSramBase, sim::MemRegion::kSram}};
+  fc_args.weights = {fc_w.view(), {sim::kFlashBase, sim::MemRegion::kFlash}};
+  fc_args.bias = fc_b.data();
+  fc_args.bias_mem = {sim::kFlashBase + 0x40000, sim::MemRegion::kFlash};
+  fc_args.output = {fc_out.view(),
+                    {sim::kSramBase + 0x10000, sim::MemRegion::kSram}};
+  fc_args.params = params_for(1, 0, 0.002);
+
+  std::vector<KernelCase> cases;
+  cases.push_back({"conv2d", "96x96x3->16 k3 s2 p1",
+                   48.0 * 48 * 16 * 3 * 3 * 3,
+                   [&](kernels::ExecContext& c) { kernels::conv2d(conv_args, c); },
+                   &conv_out});
+  for (int g : {0, 8}) {
+    cases.push_back({"depthwise" + std::string(g > 0 ? "_dae" : ""),
+                     "48x48x24 k3 s1 p1 g=" + std::to_string(g),
+                     48.0 * 48 * 24 * 3 * 3, [&, g](kernels::ExecContext& c) {
+                       kernels::DepthwiseArgs a = dw_args;
+                       a.granularity = g;
+                       kernels::depthwise_conv(a, c);
+                     },
+                     &dw_out});
+  }
+  for (int g : {0, 16}) {
+    cases.push_back({"pointwise" + std::string(g > 0 ? "_dae" : ""),
+                     "24x24 48->96 g=" + std::to_string(g),
+                     24.0 * 24 * 48 * 96, [&, g](kernels::ExecContext& c) {
+                       kernels::PointwiseArgs a = pw_args;
+                       a.granularity = g;
+                       kernels::pointwise_conv(a, c);
+                     },
+                     &pw_out});
+  }
+  cases.push_back({"fully_connected", "320->10", 320.0 * 10,
+                   [&](kernels::ExecContext& c) {
+                     kernels::fully_connected(fc_args, c);
+                   },
+                   &fc_out});
+
+  const kernels::Backend* simd = kernels::simd_backend();
+  std::cout << "backends: scalar"
+            << (simd != nullptr ? std::string(" + ") + simd->name
+                                : std::string(" only"))
+            << (smoke ? " (smoke)" : "") << "\n";
+
+  bool all_exact = true;
+  double min_speedup = -1.0;
+  std::vector<CaseResult> results;
+  for (const KernelCase& kc : cases) {
+    CaseResult r = run_case(kc, smoke);
+    all_exact = all_exact && r.bit_exact;
+    if (simd != nullptr &&
+        (min_speedup < 0.0 || r.speedup < min_speedup)) {
+      min_speedup = r.speedup;
+    }
+    std::cout << "  " << r.kernel << " [" << r.shape << "]: ";
+    for (const auto& t : r.timings) {
+      std::cout << t.name << " " << t.wall_ms << " ms (" << t.mmacs
+                << " MMAC/s)  ";
+    }
+    std::cout << "speedup " << r.speedup << "x"
+              << (r.bit_exact ? "" : "  OUTPUT MISMATCH") << "\n";
+    results.push_back(std::move(r));
+  }
+
+  const graph::Model model = graph::zoo::make_vww();
+  const E2eResult e2e = run_e2e(model, smoke);
+  all_exact = all_exact && e2e.outputs_identical && e2e.costs_identical;
+  std::cout << "  e2e " << e2e.model << " full-mode: scalar " << e2e.scalar_ms
+            << " ms, simd " << e2e.simd_ms << " ms (" << e2e.speedup
+            << "x), timing-mode " << e2e.timing_mode_ms << " ms\n";
+
+  std::ofstream os(out_path);
+  os.precision(5);
+  os << "{\n  \"simd_backend\": "
+     << (simd != nullptr ? "\"" + std::string(simd->name) + "\"" : "null")
+     << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const CaseResult& r = results[i];
+    os << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \"" << r.shape
+       << "\", \"macs\": " << r.macs << ",\n     ";
+    for (const auto& t : r.timings) {
+      os << "\"" << t.name << "_ms\": " << t.wall_ms << ", \"" << t.name
+         << "_mmacs\": " << t.mmacs << ", ";
+    }
+    os << "\"speedup\": " << r.speedup
+       << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false") << "}"
+       << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"conv_family_min_speedup\": "
+     << (min_speedup < 0.0 ? 1.0 : min_speedup)
+     << ",\n  \"e2e\": {\"model\": \"" << e2e.model
+     << "\", \"mode\": \"full\", \"scalar_ms\": " << e2e.scalar_ms
+     << ", \"simd_ms\": " << e2e.simd_ms
+     << ", \"timing_mode_ms\": " << e2e.timing_mode_ms
+     << ", \"speedup\": " << e2e.speedup << ",\n          \"outputs_identical\": "
+     << (e2e.outputs_identical ? "true" : "false")
+     << ", \"costs_identical\": " << (e2e.costs_identical ? "true" : "false")
+     << "},\n  \"all_bit_exact\": " << (all_exact ? "true" : "false")
+     << "\n}\n";
+  os.close();
+
+  std::cout << (all_exact ? "all backends bit-exact" : "BACKEND MISMATCH")
+            << " -> " << out_path << "\n";
+  return all_exact ? 0 : 1;
+}

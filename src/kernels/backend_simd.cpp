@@ -1,0 +1,649 @@
+// Vectorized int8 MAC backend: SSE2 on x86-64, NEON on ARM.
+//
+// Exactness: every primitive accumulates exact 32-bit sums of int8 products.
+// |a*b| <= 127*128 fits int16, so SSE2's _mm_madd_epi16 pair-sum (and NEON's
+// vmull_s8/vpadalq_s16) cannot saturate, and int32 lane accumulators hold
+// > 2^16 such terms — far beyond any shape the drivers issue. Integer
+// addition is associative, so the lane-reordered sums are bit-identical to
+// the scalar backend's left-to-right accumulation. The zero point is folded
+// algebraically: sum((a - zp) * b) == sum(a*b) - zp * sum(b), exact in int32.
+//
+// Compiled out entirely with -DDAEDVFS_DISABLE_SIMD=ON (the CMake option
+// defines the macro) or on ISAs with neither SSE2 nor NEON; simd_backend()
+// then returns nullptr and the scalar backend serves every call.
+#include "kernels/backend.hpp"
+
+#include <cstring>
+
+#include "tensor/quant.hpp"
+
+#if !defined(DAEDVFS_DISABLE_SIMD) && \
+    (defined(__SSE2__) || defined(_M_X64) || defined(__ARM_NEON))
+#define DAEDVFS_HAVE_SIMD 1
+#endif
+
+#if defined(DAEDVFS_HAVE_SIMD) && (defined(__SSE2__) || defined(_M_X64))
+
+#include <emmintrin.h>
+
+namespace daedvfs::kernels {
+namespace {
+
+int32_t hsum_epi32(__m128i v) {
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(1, 0, 3, 2)));
+  v = _mm_add_epi32(v, _mm_shuffle_epi32(v, _MM_SHUFFLE(2, 3, 0, 1)));
+  return _mm_cvtsi128_si32(v);
+}
+
+/// Sign-extends the low 8 int8 lanes to int16 (SSE2 has no pmovsxbw).
+__m128i cvt_lo_epi8_epi16(__m128i v) {
+  return _mm_unpacklo_epi8(v, _mm_cmpgt_epi8(_mm_setzero_si128(), v));
+}
+__m128i cvt_hi_epi8_epi16(__m128i v) {
+  return _mm_unpackhi_epi8(v, _mm_cmpgt_epi8(_mm_setzero_si128(), v));
+}
+
+int32_t sse2_dot(const int8_t* a, const int8_t* b, int64_t n, int32_t zp) {
+  __m128i prod = _mm_setzero_si128();  // sum a[i]*b[i], 4 int32 lanes
+  __m128i bsum = _mm_setzero_si128();  // sum b[i], 4 int32 lanes
+  const __m128i ones = _mm_set1_epi16(1);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i alo = cvt_lo_epi8_epi16(va), ahi = cvt_hi_epi8_epi16(va);
+    const __m128i blo = cvt_lo_epi8_epi16(vb), bhi = cvt_hi_epi8_epi16(vb);
+    prod = _mm_add_epi32(prod, _mm_madd_epi16(alo, blo));
+    prod = _mm_add_epi32(prod, _mm_madd_epi16(ahi, bhi));
+    if (zp != 0) {
+      bsum = _mm_add_epi32(bsum, _mm_madd_epi16(blo, ones));
+      bsum = _mm_add_epi32(bsum, _mm_madd_epi16(bhi, ones));
+    }
+  }
+  if (i + 8 <= n) {
+    const __m128i va =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i a16 = cvt_lo_epi8_epi16(va);
+    const __m128i b16 = cvt_lo_epi8_epi16(vb);
+    prod = _mm_add_epi32(prod, _mm_madd_epi16(a16, b16));
+    if (zp != 0) bsum = _mm_add_epi32(bsum, _mm_madd_epi16(b16, ones));
+    i += 8;
+  }
+  int32_t p = hsum_epi32(prod);
+  int32_t s = zp != 0 ? hsum_epi32(bsum) : 0;
+  for (; i < n; ++i) {
+    p += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    s += static_cast<int32_t>(b[i]);
+  }
+  return p - zp * s;
+}
+
+void sse2_dot_many(int32_t* acc, const int8_t* x, const int8_t* w,
+                   int64_t w_stride, int m, int64_t n) {
+  int i = 0;
+  // Two weight rows per pass share every activation load.
+  for (; i + 2 <= m; i += 2) {
+    const int8_t* w0 = w + i * w_stride;
+    const int8_t* w1 = w0 + w_stride;
+    __m128i a0 = _mm_setzero_si128();
+    __m128i a1 = _mm_setzero_si128();
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const __m128i xv =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(x + j));
+      const __m128i xlo = cvt_lo_epi8_epi16(xv), xhi = cvt_hi_epi8_epi16(xv);
+      const __m128i w0v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w0 + j));
+      a0 = _mm_add_epi32(a0, _mm_madd_epi16(xlo, cvt_lo_epi8_epi16(w0v)));
+      a0 = _mm_add_epi32(a0, _mm_madd_epi16(xhi, cvt_hi_epi8_epi16(w0v)));
+      const __m128i w1v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w1 + j));
+      a1 = _mm_add_epi32(a1, _mm_madd_epi16(xlo, cvt_lo_epi8_epi16(w1v)));
+      a1 = _mm_add_epi32(a1, _mm_madd_epi16(xhi, cvt_hi_epi8_epi16(w1v)));
+    }
+    if (j + 8 <= n) {
+      const __m128i x16 = cvt_lo_epi8_epi16(
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(x + j)));
+      a0 = _mm_add_epi32(
+          a0, _mm_madd_epi16(x16, cvt_lo_epi8_epi16(_mm_loadl_epi64(
+                                      reinterpret_cast<const __m128i*>(
+                                          w0 + j)))));
+      a1 = _mm_add_epi32(
+          a1, _mm_madd_epi16(x16, cvt_lo_epi8_epi16(_mm_loadl_epi64(
+                                      reinterpret_cast<const __m128i*>(
+                                          w1 + j)))));
+      j += 8;
+    }
+    int32_t t0 = hsum_epi32(a0), t1 = hsum_epi32(a1);
+    for (; j < n; ++j) {
+      t0 += static_cast<int32_t>(x[j]) * static_cast<int32_t>(w0[j]);
+      t1 += static_cast<int32_t>(x[j]) * static_cast<int32_t>(w1[j]);
+    }
+    acc[i] += t0;
+    acc[i + 1] += t1;
+  }
+  if (i < m) acc[i] += sse2_dot(x, w + i * w_stride, n, 0);
+}
+
+int32_t sse2_dot_rows(const int8_t* a, int64_t a_row, const int8_t* b,
+                      int64_t b_row, int rows, int64_t n) {
+  __m128i prod = _mm_setzero_si128();
+  int32_t tail = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int8_t* ap = a + r * a_row;
+    const int8_t* bp = b + r * b_row;
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const __m128i va =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(ap + i));
+      const __m128i vb =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(bp + i));
+      prod = _mm_add_epi32(
+          prod, _mm_madd_epi16(cvt_lo_epi8_epi16(va), cvt_lo_epi8_epi16(vb)));
+      prod = _mm_add_epi32(
+          prod, _mm_madd_epi16(cvt_hi_epi8_epi16(va), cvt_hi_epi8_epi16(vb)));
+    }
+    if (i + 8 <= n) {
+      const __m128i va =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(ap + i));
+      const __m128i vb =
+          _mm_loadl_epi64(reinterpret_cast<const __m128i*>(bp + i));
+      prod = _mm_add_epi32(
+          prod, _mm_madd_epi16(cvt_lo_epi8_epi16(va), cvt_lo_epi8_epi16(vb)));
+      i += 8;
+    }
+    for (; i < n; ++i) {
+      tail += static_cast<int32_t>(ap[i]) * static_cast<int32_t>(bp[i]);
+    }
+  }
+  return hsum_epi32(prod) + tail;
+}
+
+/// Vectorized tensor::requantize_to_int8 over four int32 lanes, bit-exact
+/// with the scalar pipeline including gemmlowp's rounding behaviour on both
+/// the doubling high multiply and the final right shift. Assumes
+/// multiplier > 0 (every tensor::quantize_multiplier result is).
+///
+/// Two exact algebraic collapses keep the lane pipeline short:
+///  * SRDHM(v, m) == floor((v*m + 2^30) / 2^31) for ALL v when m > 0 — the
+///    sign-dependent nudge plus truncating division of the scalar form
+///    reduces to one unconditional add and a floor (provable case split on
+///    the sign of v*m), which is a plain 64-bit bit-field extraction.
+///  * mul_epu32 is unsigned, so v is biased by 2^31 (one XOR of the sign
+///    bit); the correction (m << 31) folds with the +2^30 rounding term
+///    into a single precomputed constant subtracted from the product.
+void sse2_requantize_row(int8_t* out, int64_t out_stride, const int32_t* acc,
+                         int64_t n, int32_t multiplier, int32_t shift,
+                         int32_t output_zero_point, int32_t act_min,
+                         int32_t act_max) {
+  const int32_t left = shift > 0 ? shift : 0;
+  const int32_t right = shift > 0 ? 0 : -shift;
+  const __m128i mvec = _mm_set1_epi32(multiplier);
+  const __m128i left_cnt = _mm_cvtsi32_si128(left);
+  const __m128i right_cnt = _mm_cvtsi32_si128(right);
+  const int32_t rmask = right > 0 ? (1 << right) - 1 : 0;
+  const __m128i rmask_v = _mm_set1_epi32(rmask);
+  const __m128i rthr_v = _mm_set1_epi32(rmask >> 1);
+  const __m128i sign_bit = _mm_set1_epi32(
+      static_cast<int32_t>(0x80000000u));
+  // (v + 2^31)*m - ((m << 31) - 2^30) == v*m + 2^30.
+  const __m128i bias_c = _mm_set1_epi64x(
+      (static_cast<int64_t>(multiplier) << 31) - (int64_t{1} << 30));
+  const __m128i zp_v = _mm_set1_epi16(static_cast<int16_t>(output_zero_point));
+  const __m128i min_v = _mm_set1_epi16(static_cast<int16_t>(act_min));
+  const __m128i max_v = _mm_set1_epi16(static_cast<int16_t>(act_max));
+
+  int64_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j));
+    v = _mm_sll_epi32(v, left_cnt);
+    const __m128i vu = _mm_xor_si128(v, sign_bit);
+    const __m128i p02 = _mm_sub_epi64(_mm_mul_epu32(vu, mvec), bias_c);
+    const __m128i p13 = _mm_sub_epi64(
+        _mm_mul_epu32(_mm_srli_si128(vu, 4), mvec), bias_c);
+    // floor((v*m + 2^30) / 2^31) == bits [31, 62] of p: a logical 64-bit
+    // shift, then each lane's low dword.
+    const __m128i r02 = _mm_srli_epi64(p02, 31);
+    const __m128i r13 = _mm_srli_epi64(p13, 31);
+    __m128i res = _mm_unpacklo_epi32(
+        _mm_shuffle_epi32(r02, _MM_SHUFFLE(3, 1, 2, 0)),
+        _mm_shuffle_epi32(r13, _MM_SHUFFLE(3, 1, 2, 0)));
+    if (right > 0) {
+      // rounding_divide_by_pot: threshold = mask>>1 (+1 when negative).
+      const __m128i rem = _mm_and_si128(res, rmask_v);
+      const __m128i thr =
+          _mm_sub_epi32(rthr_v, _mm_srai_epi32(res, 31));
+      res = _mm_sub_epi32(_mm_sra_epi32(res, right_cnt),
+                          _mm_cmpgt_epi32(rem, thr));
+    }
+    // Zero point + clamp in int16 (packs_epi32 saturation is exact here:
+    // any lane beyond ±32767 clamps to an in-range act bound anyway).
+    __m128i q16 = _mm_packs_epi32(res, res);
+    q16 = _mm_adds_epi16(q16, zp_v);
+    q16 = _mm_min_epi16(_mm_max_epi16(q16, min_v), max_v);
+    const __m128i q8 = _mm_packs_epi16(q16, q16);
+    const int32_t quad = _mm_cvtsi128_si32(q8);
+    if (out_stride == 1) {
+      std::memcpy(out + j, &quad, 4);
+    } else {
+      out[(j + 0) * out_stride] = static_cast<int8_t>(quad & 0xff);
+      out[(j + 1) * out_stride] = static_cast<int8_t>((quad >> 8) & 0xff);
+      out[(j + 2) * out_stride] = static_cast<int8_t>((quad >> 16) & 0xff);
+      out[(j + 3) * out_stride] = static_cast<int8_t>((quad >> 24) & 0xff);
+    }
+  }
+  if (j < n) {
+    const tensor::QuantizedMultiplier qm{multiplier, shift};
+    for (; j < n; ++j) {
+      out[j * out_stride] = tensor::requantize_to_int8(
+          acc[j], qm, output_zero_point, act_min, act_max);
+    }
+  }
+}
+
+void sse2_conv_rows_s1(int32_t* acc, const int8_t* x, int64_t x_row,
+                       const int8_t* taps, int rows, int kw, int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m128i acc0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j));
+    __m128i acc1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j + 4));
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* tr = taps + r * kw;
+      int k = 0;
+      // Tap pairs via madd over column-interleaved windows: lane i of
+      // unpacklo(xa, xb) madd [tk, tk1] is x[j+i+k]*tk + x[j+i+k+1]*tk1 —
+      // exactly column j+i's contribution from both taps. All window loads
+      // stay within the row's n - 1 + kw extent.
+      for (; k + 2 <= kw; k += 2) {
+        const __m128i xa = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + k)));
+        const __m128i xb = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + k + 1)));
+        const __m128i tp = _mm_set1_epi32(
+            static_cast<int32_t>(static_cast<uint16_t>(tr[k])) |
+            (static_cast<int32_t>(static_cast<uint16_t>(tr[k + 1])) << 16));
+        acc0 = _mm_add_epi32(acc0,
+                             _mm_madd_epi16(_mm_unpacklo_epi16(xa, xb), tp));
+        acc1 = _mm_add_epi32(acc1,
+                             _mm_madd_epi16(_mm_unpackhi_epi16(xa, xb), tp));
+      }
+      if (k < kw) {  // odd trailing tap
+        const __m128i x16 = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + k)));
+        const __m128i w16 = _mm_set1_epi16(static_cast<int16_t>(tr[k]));
+        const __m128i lo = _mm_mullo_epi16(x16, w16);
+        const __m128i hi = _mm_mulhi_epi16(x16, w16);
+        acc0 = _mm_add_epi32(acc0, _mm_unpacklo_epi16(lo, hi));
+        acc1 = _mm_add_epi32(acc1, _mm_unpackhi_epi16(lo, hi));
+      }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + j), acc0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + j + 4), acc1);
+  }
+  for (; j < n; ++j) {
+    int32_t a = acc[j];
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* tr = taps + r * kw;
+      for (int k = 0; k < kw; ++k) {
+        a += static_cast<int32_t>(tr[k]) * static_cast<int32_t>(xr[k]);
+      }
+    }
+    acc[j] = a;
+  }
+}
+
+/// 8x8 int8 block transpose: eight 8-byte pixel rows in, eight 8-byte
+/// channel rows out (three unpack stages).
+void sse2_gather_planes(int8_t* dst, int64_t dst_stride, const int8_t* src,
+                        int64_t src_stride, int64_t n, int m) {
+  int g = 0;
+  for (; g + 8 <= m; g += 8) {
+    const int8_t* sg = src + g;
+    int8_t* dg = dst + g * dst_stride;
+    int64_t x = 0;
+    for (; x + 8 <= n; x += 8) {
+      __m128i r[8];
+      for (int p = 0; p < 8; ++p) {
+        r[p] = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(
+            sg + (x + p) * src_stride));
+      }
+      const __m128i t0 = _mm_unpacklo_epi8(r[0], r[1]);
+      const __m128i t1 = _mm_unpacklo_epi8(r[2], r[3]);
+      const __m128i t2 = _mm_unpacklo_epi8(r[4], r[5]);
+      const __m128i t3 = _mm_unpacklo_epi8(r[6], r[7]);
+      const __m128i u0 = _mm_unpacklo_epi16(t0, t1);
+      const __m128i u1 = _mm_unpackhi_epi16(t0, t1);
+      const __m128i u2 = _mm_unpacklo_epi16(t2, t3);
+      const __m128i u3 = _mm_unpackhi_epi16(t2, t3);
+      const __m128i v[4] = {_mm_unpacklo_epi32(u0, u2),
+                            _mm_unpackhi_epi32(u0, u2),
+                            _mm_unpacklo_epi32(u1, u3),
+                            _mm_unpackhi_epi32(u1, u3)};
+      for (int q = 0; q < 4; ++q) {
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i*>(dg + (2 * q) * dst_stride + x), v[q]);
+        _mm_storel_epi64(
+            reinterpret_cast<__m128i*>(dg + (2 * q + 1) * dst_stride + x),
+            _mm_srli_si128(v[q], 8));
+      }
+    }
+    for (; x < n; ++x) {
+      for (int q = 0; q < 8; ++q) {
+        dg[q * dst_stride + x] = sg[x * src_stride + q];
+      }
+    }
+  }
+  for (; g < m; ++g) {
+    int8_t* d = dst + g * dst_stride;
+    const int8_t* s = src + g;
+    for (int64_t x = 0; x < n; ++x) d[x] = s[x * src_stride];
+  }
+}
+
+void sse2_mac_window(int32_t* acc, const int8_t* x, int64_t x_row,
+                     const int8_t* w, int64_t w_row, int c, int rows,
+                     int m) {
+  int j = 0;
+  for (; j + 8 <= c; j += 8) {
+    __m128i a0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j));
+    __m128i a1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(acc + j + 4));
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* wr = w + r * w_row + j;
+      int s = 0;
+      // Tap pairs via madd over channel-interleaved lanes: lane i of
+      // unpacklo(xa, xb) madd unpacklo(wa, wb) is xa_i*wa_i + xb_i*wb_i —
+      // channel j+i's contribution from both taps.
+      for (; s + 2 <= m; s += 2) {
+        const int64_t o0 = static_cast<int64_t>(s) * c;
+        const int64_t o1 = o0 + c;
+        const __m128i xa = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + o0)));
+        const __m128i xb = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + o1)));
+        const __m128i wa = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wr + o0)));
+        const __m128i wb = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wr + o1)));
+        a0 = _mm_add_epi32(a0, _mm_madd_epi16(_mm_unpacklo_epi16(xa, xb),
+                                              _mm_unpacklo_epi16(wa, wb)));
+        a1 = _mm_add_epi32(a1, _mm_madd_epi16(_mm_unpackhi_epi16(xa, xb),
+                                              _mm_unpackhi_epi16(wa, wb)));
+      }
+      if (s < m) {  // odd trailing tap
+        const int64_t o0 = static_cast<int64_t>(s) * c;
+        const __m128i x16 = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(xr + o0)));
+        const __m128i w16 = cvt_lo_epi8_epi16(
+            _mm_loadl_epi64(reinterpret_cast<const __m128i*>(wr + o0)));
+        const __m128i lo = _mm_mullo_epi16(x16, w16);
+        const __m128i hi = _mm_mulhi_epi16(x16, w16);
+        a0 = _mm_add_epi32(a0, _mm_unpacklo_epi16(lo, hi));
+        a1 = _mm_add_epi32(a1, _mm_unpackhi_epi16(lo, hi));
+      }
+    }
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + j), a0);
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(acc + j + 4), a1);
+  }
+  for (; j < c; ++j) {
+    int32_t a = acc[j];
+    for (int r = 0; r < rows; ++r) {
+      for (int s = 0; s < m; ++s) {
+        a += static_cast<int32_t>(x[r * x_row + static_cast<int64_t>(s) * c +
+                                    j]) *
+             static_cast<int32_t>(w[r * w_row + static_cast<int64_t>(s) * c +
+                                    j]);
+      }
+    }
+    acc[j] = a;
+  }
+}
+
+constexpr Backend kSimd{"sse2",
+                        true,
+                        sse2_dot,
+                        sse2_dot_many,
+                        sse2_dot_rows,
+                        sse2_conv_rows_s1,
+                        sse2_mac_window,
+                        sse2_gather_planes,
+                        sse2_requantize_row};
+
+}  // namespace
+
+const Backend* simd_backend() { return &kSimd; }
+
+}  // namespace daedvfs::kernels
+
+#elif defined(DAEDVFS_HAVE_SIMD) && defined(__ARM_NEON)
+
+#include <arm_neon.h>
+
+namespace daedvfs::kernels {
+namespace {
+
+int32_t hsum_s32(int32x4_t v) {
+#if defined(__aarch64__)
+  return vaddvq_s32(v);
+#else
+  int32x2_t p = vadd_s32(vget_low_s32(v), vget_high_s32(v));
+  p = vpadd_s32(p, p);
+  return vget_lane_s32(p, 0);
+#endif
+}
+
+int32_t neon_dot(const int8_t* a, const int8_t* b, int64_t n, int32_t zp) {
+  int32x4_t prod = vdupq_n_s32(0);
+  int32x4_t bsum = vdupq_n_s32(0);
+  int64_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    prod = vpadalq_s16(prod, vmull_s8(vget_low_s8(va), vget_low_s8(vb)));
+    prod = vpadalq_s16(prod, vmull_s8(vget_high_s8(va), vget_high_s8(vb)));
+    if (zp != 0) bsum = vpadalq_s16(bsum, vpaddlq_s8(vb));
+  }
+  if (i + 8 <= n) {
+    const int8x8_t va = vld1_s8(a + i);
+    const int8x8_t vb = vld1_s8(b + i);
+    prod = vpadalq_s16(prod, vmull_s8(va, vb));
+    if (zp != 0) bsum = vpadalq_s16(bsum, vpaddlq_s8(vcombine_s8(vb, vdup_n_s8(0))));
+    i += 8;
+  }
+  int32_t p = hsum_s32(prod);
+  int32_t s = zp != 0 ? hsum_s32(bsum) : 0;
+  for (; i < n; ++i) {
+    p += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+    s += static_cast<int32_t>(b[i]);
+  }
+  return p - zp * s;
+}
+
+void neon_dot_many(int32_t* acc, const int8_t* x, const int8_t* w,
+                   int64_t w_stride, int m, int64_t n) {
+  int i = 0;
+  for (; i + 2 <= m; i += 2) {
+    const int8_t* w0 = w + i * w_stride;
+    const int8_t* w1 = w0 + w_stride;
+    int32x4_t a0 = vdupq_n_s32(0);
+    int32x4_t a1 = vdupq_n_s32(0);
+    int64_t j = 0;
+    for (; j + 16 <= n; j += 16) {
+      const int8x16_t xv = vld1q_s8(x + j);
+      const int8x16_t w0v = vld1q_s8(w0 + j);
+      const int8x16_t w1v = vld1q_s8(w1 + j);
+      a0 = vpadalq_s16(a0, vmull_s8(vget_low_s8(xv), vget_low_s8(w0v)));
+      a0 = vpadalq_s16(a0, vmull_s8(vget_high_s8(xv), vget_high_s8(w0v)));
+      a1 = vpadalq_s16(a1, vmull_s8(vget_low_s8(xv), vget_low_s8(w1v)));
+      a1 = vpadalq_s16(a1, vmull_s8(vget_high_s8(xv), vget_high_s8(w1v)));
+    }
+    if (j + 8 <= n) {
+      const int8x8_t xv = vld1_s8(x + j);
+      a0 = vpadalq_s16(a0, vmull_s8(xv, vld1_s8(w0 + j)));
+      a1 = vpadalq_s16(a1, vmull_s8(xv, vld1_s8(w1 + j)));
+      j += 8;
+    }
+    int32_t t0 = hsum_s32(a0), t1 = hsum_s32(a1);
+    for (; j < n; ++j) {
+      t0 += static_cast<int32_t>(x[j]) * static_cast<int32_t>(w0[j]);
+      t1 += static_cast<int32_t>(x[j]) * static_cast<int32_t>(w1[j]);
+    }
+    acc[i] += t0;
+    acc[i + 1] += t1;
+  }
+  if (i < m) acc[i] += neon_dot(x, w + i * w_stride, n, 0);
+}
+
+int32_t neon_dot_rows(const int8_t* a, int64_t a_row, const int8_t* b,
+                      int64_t b_row, int rows, int64_t n) {
+  int32x4_t prod = vdupq_n_s32(0);
+  int32_t tail = 0;
+  for (int r = 0; r < rows; ++r) {
+    const int8_t* ap = a + r * a_row;
+    const int8_t* bp = b + r * b_row;
+    int64_t i = 0;
+    for (; i + 16 <= n; i += 16) {
+      const int8x16_t va = vld1q_s8(ap + i);
+      const int8x16_t vb = vld1q_s8(bp + i);
+      prod = vpadalq_s16(prod, vmull_s8(vget_low_s8(va), vget_low_s8(vb)));
+      prod = vpadalq_s16(prod, vmull_s8(vget_high_s8(va), vget_high_s8(vb)));
+    }
+    if (i + 8 <= n) {
+      prod = vpadalq_s16(prod, vmull_s8(vld1_s8(ap + i), vld1_s8(bp + i)));
+      i += 8;
+    }
+    for (; i < n; ++i) {
+      tail += static_cast<int32_t>(ap[i]) * static_cast<int32_t>(bp[i]);
+    }
+  }
+  return hsum_s32(prod) + tail;
+}
+
+/// Portable gather: NEON's 8x8 transpose (vtrn ladders) is left as future
+/// work — this path is untested on ARM hardware in CI, so it stays simple.
+void neon_gather_planes(int8_t* dst, int64_t dst_stride, const int8_t* src,
+                        int64_t src_stride, int64_t n, int m) {
+  for (int g = 0; g < m; ++g) {
+    int8_t* d = dst + g * dst_stride;
+    const int8_t* s = src + g;
+    for (int64_t x = 0; x < n; ++x) d[x] = s[x * src_stride];
+  }
+}
+
+/// NEON keeps requantization scalar: vqrdmulhq_s32 rounds negative halfway
+/// cases toward +inf, which would break bit-exactness with the gemmlowp
+/// round-half-away-from-zero semantics every other path implements. The MAC
+/// primitives above carry the NEON speedup; requantization cost is per
+/// output, not per MAC.
+void neon_requantize_row(int8_t* out, int64_t out_stride, const int32_t* acc,
+                         int64_t n, int32_t multiplier, int32_t shift,
+                         int32_t output_zero_point, int32_t act_min,
+                         int32_t act_max) {
+  const tensor::QuantizedMultiplier qm{multiplier, shift};
+  for (int64_t j = 0; j < n; ++j) {
+    out[j * out_stride] = tensor::requantize_to_int8(
+        acc[j], qm, output_zero_point, act_min, act_max);
+  }
+}
+
+void neon_conv_rows_s1(int32_t* acc, const int8_t* x, int64_t x_row,
+                       const int8_t* taps, int rows, int kw, int64_t n) {
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    int32x4_t a0 = vld1q_s32(acc + j);
+    int32x4_t a1 = vld1q_s32(acc + j + 4);
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* tr = taps + r * kw;
+      for (int k = 0; k < kw; ++k) {
+        const int16x8_t x16 = vmovl_s8(vld1_s8(xr + k));
+        const int16_t w16 = static_cast<int16_t>(tr[k]);
+        a0 = vmlal_n_s16(a0, vget_low_s16(x16), w16);
+        a1 = vmlal_n_s16(a1, vget_high_s16(x16), w16);
+      }
+    }
+    vst1q_s32(acc + j, a0);
+    vst1q_s32(acc + j + 4, a1);
+  }
+  for (; j < n; ++j) {
+    int32_t a = acc[j];
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* tr = taps + r * kw;
+      for (int k = 0; k < kw; ++k) {
+        a += static_cast<int32_t>(tr[k]) * static_cast<int32_t>(xr[k]);
+      }
+    }
+    acc[j] = a;
+  }
+}
+
+void neon_mac_window(int32_t* acc, const int8_t* x, int64_t x_row,
+                     const int8_t* w, int64_t w_row, int c, int rows,
+                     int m) {
+  int j = 0;
+  for (; j + 8 <= c; j += 8) {
+    int32x4_t a0 = vld1q_s32(acc + j);
+    int32x4_t a1 = vld1q_s32(acc + j + 4);
+    for (int r = 0; r < rows; ++r) {
+      const int8_t* xr = x + r * x_row + j;
+      const int8_t* wr = w + r * w_row + j;
+      for (int s = 0; s < m; ++s) {
+        const int16x8_t p = vmull_s8(
+            vld1_s8(xr + static_cast<int64_t>(s) * c),
+            vld1_s8(wr + static_cast<int64_t>(s) * c));
+        a0 = vaddw_s16(a0, vget_low_s16(p));
+        a1 = vaddw_s16(a1, vget_high_s16(p));
+      }
+    }
+    vst1q_s32(acc + j, a0);
+    vst1q_s32(acc + j + 4, a1);
+  }
+  for (; j < c; ++j) {
+    int32_t a = acc[j];
+    for (int r = 0; r < rows; ++r) {
+      for (int s = 0; s < m; ++s) {
+        a += static_cast<int32_t>(x[r * x_row + static_cast<int64_t>(s) * c +
+                                    j]) *
+             static_cast<int32_t>(w[r * w_row + static_cast<int64_t>(s) * c +
+                                    j]);
+      }
+    }
+    acc[j] = a;
+  }
+}
+
+constexpr Backend kSimd{"neon",
+                        true,
+                        neon_dot,
+                        neon_dot_many,
+                        neon_dot_rows,
+                        neon_conv_rows_s1,
+                        neon_mac_window,
+                        neon_gather_planes,
+                        neon_requantize_row};
+
+}  // namespace
+
+const Backend* simd_backend() { return &kSimd; }
+
+}  // namespace daedvfs::kernels
+
+#else  // no SIMD compiled in
+
+namespace daedvfs::kernels {
+
+const Backend* simd_backend() { return nullptr; }
+
+}  // namespace daedvfs::kernels
+
+#endif

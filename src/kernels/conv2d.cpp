@@ -1,6 +1,7 @@
 #include "kernels/conv2d.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -51,69 +52,41 @@ std::vector<int32_t> filter_weight_sums(const Conv2dArgs& a, const Geom& g) {
   return sums;
 }
 
-/// int8 math for one output row, split into an interior region (full filter
-/// window in bounds: zero-point-folded contiguous MACs over row pointers) and
-/// border columns (bounds-checked per tap, as the padding semantics require).
+/// int8 math for one output row over a zero-point-padded host copy of the
+/// input (padding contributes exactly (zp - zp)*w == 0 to every folded sum,
+/// so every pixel is interior). Each pixel packs its filter window into one
+/// contiguous block; each output channel's weights are already one
+/// contiguous kh*kw*cin block, so the whole pixel reduces to a single
+/// backend dot_many call — packing cost amortizes over cout. All MACs route
+/// through the backend microkernels; which backend runs changes nothing but
+/// the host arithmetic (bit-exact by the backend contract).
 void math_output_row(const Conv2dArgs& a, const Geom& g, int oy,
-                     const int32_t* wsum) {
-  const int8_t* in = a.input.view.data;
-  const int8_t* wts = a.weights.view.data;
+                     const int32_t* wsum, const Backend& be, int32_t* acc_px,
+                     int8_t* patch, const int8_t* wpacked, int64_t kpad,
+                     const int8_t* padded, int64_t prow) {
   int8_t* out_row =
       a.output.view.data + static_cast<int64_t>(oy) * g.ow * g.cout;
-  const int64_t in_row_elems = static_cast<int64_t>(g.w) * g.cin;
   const int64_t w_row_elems = static_cast<int64_t>(g.kw) * g.cin;
   const int32_t zp = a.params.input_zero_point;
-  const int iy_base = oy * g.stride - g.pad;
-  const int ky0 = std::max(0, -iy_base);
-  const int ky1 = std::min(g.kh, g.h - iy_base);
-  const bool full_rows = ky0 == 0 && ky1 == g.kh;
+  const int8_t* win_row =
+      padded + static_cast<int64_t>(oy) * g.stride * prow;
 
   for (int ox = 0; ox < g.ow; ++ox) {
-    const int ix_base = ox * g.stride - g.pad;
-    int8_t* out_px = out_row + static_cast<int64_t>(ox) * g.cout;
-    if (full_rows && ix_base >= 0 && ix_base + g.kw <= g.w) {
-      const int8_t* in_base =
-          in + static_cast<int64_t>(iy_base) * in_row_elems +
-          static_cast<int64_t>(ix_base) * g.cin;
-      for (int oc = 0; oc < g.cout; ++oc) {
-        int32_t acc =
-            (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
-        const int8_t* wp =
-            wts + static_cast<int64_t>(oc) * g.kh * w_row_elems;
-        const int8_t* ip = in_base;
-        for (int ky = 0; ky < g.kh; ++ky) {
-          for (int64_t j = 0; j < w_row_elems; ++j) {
-            acc += static_cast<int32_t>(ip[j]) * static_cast<int32_t>(wp[j]);
-          }
-          ip += in_row_elems;
-          wp += w_row_elems;
-        }
-        out_px[oc] = requantize(acc, a.params);
-      }
-    } else {
-      const int kx0 = std::max(0, -ix_base);
-      const int kx1 = std::min(g.kw, g.w - ix_base);
-      for (int oc = 0; oc < g.cout; ++oc) {
-        int32_t acc = a.bias != nullptr ? a.bias[oc] : 0;
-        for (int ky = ky0; ky < ky1; ++ky) {
-          const int8_t* ip = in +
-                             static_cast<int64_t>(iy_base + ky) * in_row_elems +
-                             static_cast<int64_t>(ix_base) * g.cin;
-          const int8_t* wp = wts +
-                             (static_cast<int64_t>(oc) * g.kh + ky) *
-                                 w_row_elems;
-          for (int kx = kx0; kx < kx1; ++kx) {
-            const int8_t* ipx = ip + static_cast<int64_t>(kx) * g.cin;
-            const int8_t* wpx = wp + static_cast<int64_t>(kx) * g.cin;
-            for (int ic = 0; ic < g.cin; ++ic) {
-              acc += (static_cast<int32_t>(ipx[ic]) - zp) *
-                     static_cast<int32_t>(wpx[ic]);
-            }
-          }
-        }
-        out_px[oc] = requantize(acc, a.params);
-      }
+    const int8_t* win =
+        win_row + static_cast<int64_t>(ox) * g.stride * g.cin;
+    for (int ky = 0; ky < g.kh; ++ky) {
+      const int8_t* src = win + static_cast<int64_t>(ky) * prow;
+      int8_t* dst = patch + static_cast<int64_t>(ky) * w_row_elems;
+      int64_t b = 0;
+      for (; b + 8 <= w_row_elems; b += 8) std::memcpy(dst + b, src + b, 8);
+      for (; b < w_row_elems; ++b) dst[b] = src[b];
     }
+    for (int oc = 0; oc < g.cout; ++oc) {
+      acc_px[oc] = (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
+    }
+    be.dot_many(acc_px, patch, wpacked, kpad, g.cout, kpad);
+    requantize_row(be, out_row + static_cast<int64_t>(ox) * g.cout, 1,
+                   acc_px, g.cout, a.params);
   }
 }
 
@@ -126,6 +99,42 @@ void conv2d(const Conv2dArgs& a, ExecContext& ctx) {
 
   const std::vector<int32_t> wsum =
       ctx.do_math() ? filter_weight_sums(a, g) : std::vector<int32_t>{};
+  // Host-side staging for the backend math: per-pixel accumulator block,
+  // packed filter window + weights (window length rounded up to a multiple
+  // of 8 and zero-filled, im2col-style, so the dot products run without a
+  // ragged tail — the zero lanes contribute nothing), and (with padding) a
+  // zero-point-padded input copy. None of it touches the simulated memory
+  // map.
+  const int64_t kelems = static_cast<int64_t>(g.kh) * g.kw * g.cin;
+  const int64_t kpad = (kelems + 7) & ~int64_t{7};
+  std::vector<int32_t> acc_px(
+      ctx.do_math() ? static_cast<std::size_t>(g.cout) : 0);
+  std::vector<int8_t> patch(
+      ctx.do_math() ? static_cast<std::size_t>(kpad) : 0);
+  std::vector<int8_t> wpacked(
+      ctx.do_math() ? static_cast<std::size_t>(g.cout) * kpad : 0);
+  if (ctx.do_math()) {
+    for (int oc = 0; oc < g.cout; ++oc) {
+      std::memcpy(wpacked.data() + static_cast<int64_t>(oc) * kpad,
+                  a.weights.view.data + static_cast<int64_t>(oc) * kelems,
+                  static_cast<std::size_t>(kelems));
+    }
+  }
+  const int64_t prow = static_cast<int64_t>(g.w + 2 * g.pad) * g.cin;
+  std::vector<int8_t> padded;
+  const int8_t* math_base = a.input.view.data;
+  if (ctx.do_math() && g.pad > 0) {
+    padded.assign(static_cast<std::size_t>(g.h + 2 * g.pad) * prow,
+                  static_cast<int8_t>(a.params.input_zero_point));
+    for (int y = 0; y < g.h; ++y) {
+      std::memcpy(padded.data() + (static_cast<int64_t>(y) + g.pad) * prow +
+                      static_cast<int64_t>(g.pad) * g.cin,
+                  a.input.view.data +
+                      static_cast<int64_t>(y) * g.w * g.cin,
+                  static_cast<std::size_t>(g.w) * g.cin);
+    }
+    math_base = padded.data();
+  }
 
   const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.cin;
   const int64_t out_row_bytes = static_cast<int64_t>(g.ow) * g.cout;
@@ -159,7 +168,8 @@ void conv2d(const Conv2dArgs& a, ExecContext& ctx) {
               static_cast<double>(out_row_bytes) / 4.0);
 
     if (ctx.do_math()) {
-      math_output_row(a, g, oy, wsum.data());
+      math_output_row(a, g, oy, wsum.data(), ctx.be(), acc_px.data(),
+                      patch.data(), wpacked.data(), kpad, math_base, prow);
     }
   }
 }

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 
+#include "kernels/backend.hpp"
 #include "tensor/quant.hpp"
 
 namespace daedvfs::kernels {
@@ -32,12 +33,21 @@ struct ConvParams {
   }
 };
 
-/// Applies requantization + clamp to one accumulator.
+/// Applies requantization + clamp to one accumulator. Thin adapter over
+/// tensor::requantize_to_int8 — the one definition of the quantized output
+/// semantics shared by the scalar/SIMD backends and the reference oracles.
 [[nodiscard]] inline int8_t requantize(int32_t acc, const ConvParams& p) {
-  const int32_t scaled =
-      tensor::multiply_by_quantized_multiplier(acc, p.requant) +
-      p.output_zero_point;
-  return tensor::clamp_to_int8(scaled, p.act_min, p.act_max);
+  return tensor::requantize_to_int8(acc, p.requant, p.output_zero_point,
+                                    p.act_min, p.act_max);
+}
+
+/// Backend-dispatched requantization of a row of accumulators under `p`.
+inline void requantize_row(const Backend& be, int8_t* out, int64_t out_stride,
+                           const int32_t* acc, int64_t n,
+                           const ConvParams& p) {
+  be.requantize_row(out, out_stride, acc, n, p.requant.multiplier,
+                    p.requant.shift, p.output_zero_point, p.act_min,
+                    p.act_max);
 }
 
 }  // namespace daedvfs::kernels

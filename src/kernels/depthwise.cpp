@@ -1,6 +1,7 @@
 #include "kernels/depthwise.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <vector>
 
@@ -33,83 +34,48 @@ Geom make_geom(const DepthwiseArgs& a) {
   return g;
 }
 
-/// One channel of input as (base, strides): the NHWC path walks the shared
-/// tensor with col_stride == C; the DAE path walks a gathered plane with
-/// col_stride == 1.
-struct ChannelView {
-  const int8_t* base;
-  int64_t row_stride;
-  int64_t col_stride;
-};
-
-/// Per-channel filter taps extracted into a contiguous scratch (kh*kw) plus
-/// their sum, hoisted out of the row loop: the interior hot loop then runs
-/// zero-point-folded MACs over row pointers with no index recomputation.
-struct ChannelFilter {
-  std::vector<int8_t> taps;  ///< kh * kw, row-major.
+/// Extracts channel `ch`'s filter taps into contiguous caller scratch
+/// (kh*kw, row-major) and returns their sum — hoisted out of the row loop
+/// so the plane hot loop runs zero-point-folded MACs over row pointers.
+int32_t extract_filter(const DepthwiseArgs& a, const Geom& g, int ch,
+                       int8_t* taps) {
   int32_t sum = 0;
-};
-
-ChannelFilter extract_filter(const DepthwiseArgs& a, const Geom& g, int ch) {
-  ChannelFilter f;
-  f.taps.resize(static_cast<std::size_t>(g.kh) * g.kw);
   for (int ky = 0; ky < g.kh; ++ky) {
     for (int kx = 0; kx < g.kw; ++kx) {
       const int8_t w = a.weights.view.at(ky, kx, ch);
-      f.taps[static_cast<std::size_t>(ky) * g.kw + kx] = w;
-      f.sum += w;
+      taps[static_cast<std::size_t>(ky) * g.kw + kx] = w;
+      sum += w;
     }
   }
-  return f;
+  return sum;
 }
 
-/// Convolves channel `ch` for output row `oy`. Interior columns (full window
-/// in bounds) use folded zero-point + pointer-walked MACs; border columns
-/// keep the bounds-checked per-tap form.
-void convolve_row_math(const DepthwiseArgs& a, const Geom& g, int ch, int oy,
-                       const ChannelView& in, const ChannelFilter& f) {
-  const int32_t zp = a.params.input_zero_point;
-  const int32_t bias = a.bias != nullptr ? a.bias[ch] : 0;
-  const int iy_base = oy * g.stride - g.pad;
-  const int ky0 = std::max(0, -iy_base);
-  const int ky1 = std::min(g.kh, g.h - iy_base);
-  const bool full_rows = ky0 == 0 && ky1 == g.kh;
+/// Convolves channel `ch` for output row `oy` over a zero-point-padded host
+/// plane of width `pw` ((w + 2*pad) columns, (h + 2*pad) rows). Padding
+/// cells hold the input zero point and so contribute exactly (zp - zp)*w ==
+/// 0 to every folded sum — every output column is interior, no bounds
+/// clipping anywhere. `acc_row` is caller scratch holding >= g.ow int32s.
+void dae_plane_row_math(const DepthwiseArgs& a, const Geom& g, int ch, int oy,
+                        const int8_t* plane, int64_t pw, const int8_t* taps,
+                        int32_t tap_sum, const Backend& be,
+                        int32_t* acc_row) {
+  const int32_t acc0 = (a.bias != nullptr ? a.bias[ch] : 0) -
+                       a.params.input_zero_point * tap_sum;
   int8_t* out_row =
       a.output.view.data + (static_cast<int64_t>(oy) * g.ow) * g.c + ch;
-
-  for (int ox = 0; ox < g.ow; ++ox) {
-    const int ix_base = ox * g.stride - g.pad;
-    int32_t acc;
-    if (full_rows && ix_base >= 0 && ix_base + g.kw <= g.w) {
-      acc = bias - zp * f.sum;
-      const int8_t* ip = in.base +
-                         static_cast<int64_t>(iy_base) * in.row_stride +
-                         static_cast<int64_t>(ix_base) * in.col_stride;
-      const int8_t* wp = f.taps.data();
-      for (int ky = 0; ky < g.kh; ++ky) {
-        for (int kx = 0; kx < g.kw; ++kx) {
-          acc += static_cast<int32_t>(ip[kx * in.col_stride]) *
-                 static_cast<int32_t>(wp[kx]);
-        }
-        ip += in.row_stride;
-        wp += g.kw;
-      }
-    } else {
-      acc = bias;
-      const int kx0 = std::max(0, -ix_base);
-      const int kx1 = std::min(g.kw, g.w - ix_base);
-      for (int ky = ky0; ky < ky1; ++ky) {
-        const int8_t* ip = in.base +
-                           static_cast<int64_t>(iy_base + ky) * in.row_stride +
-                           static_cast<int64_t>(ix_base) * in.col_stride;
-        const int8_t* wp = f.taps.data() + static_cast<int64_t>(ky) * g.kw;
-        for (int kx = kx0; kx < kx1; ++kx) {
-          acc += (static_cast<int32_t>(ip[kx * in.col_stride]) - zp) *
-                 static_cast<int32_t>(wp[kx]);
-        }
-      }
+  const int8_t* win =
+      plane + static_cast<int64_t>(oy) * g.stride * pw;
+  if (g.stride == 1) {
+    for (int j = 0; j < g.ow; ++j) acc_row[j] = acc0;
+    be.conv_rows_s1(acc_row, win, pw, taps, g.kh, g.kw, g.ow);
+    requantize_row(be, out_row, g.c, acc_row, g.ow, a.params);
+  } else {
+    for (int ox = 0; ox < g.ow; ++ox) {
+      const int32_t acc =
+          acc0 + be.dot_rows(win + static_cast<int64_t>(ox) * g.stride, pw,
+                             taps, g.kw, g.kh, g.kw);
+      out_row[static_cast<int64_t>(ox) * g.c] = requantize(acc, a.params);
     }
-    out_row[static_cast<int64_t>(ox) * g.c] = requantize(acc, a.params);
   }
 }
 
@@ -164,29 +130,83 @@ void account_weights(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
   if (a.bias != nullptr) ctx.read(a.bias_mem, 4, 1.0);
 }
 
-void run_baseline(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx) {
+/// Channel-vectorized int8 math of the baseline NHWC path. Works on a
+/// zero-point-padded host copy of the input (padding contributes exactly
+/// zero to the folded sums), so every pixel is interior: one mac_window
+/// backend call folds the whole kh x kw tap window across all channel lanes
+/// and each output pixel requantizes as one contiguous row. `acc` holds
+/// >= g.c int32s. Event accounting stays in run_baseline's per-channel
+/// loops — where the math runs has no cost-stream effect.
+void baseline_math(const DepthwiseArgs& a, const Geom& g, const Backend& be,
+                   int32_t* acc) {
+  const int8_t* wts = a.weights.view.data;
+  const int32_t zp = a.params.input_zero_point;
+  const int pw = g.w + 2 * g.pad;
+  const int64_t prow = static_cast<int64_t>(pw) * g.c;
+  std::vector<int8_t> padded;
+  const int8_t* base = a.input.view.data;
+  if (g.pad > 0) {
+    padded.assign(static_cast<std::size_t>(g.h + 2 * g.pad) * prow,
+                  static_cast<int8_t>(zp));
+    for (int y = 0; y < g.h; ++y) {
+      std::memcpy(padded.data() + (static_cast<int64_t>(y) + g.pad) * prow +
+                      static_cast<int64_t>(g.pad) * g.c,
+                  a.input.view.data +
+                      static_cast<int64_t>(y) * g.w * g.c,
+                  static_cast<std::size_t>(g.w) * g.c);
+    }
+    base = padded.data();
+  }
+  // Per-channel folded initial accumulator: bias - zp * sum(taps).
+  std::vector<int32_t> acc0(static_cast<std::size_t>(g.c));
   for (int ch = 0; ch < g.c; ++ch) {
-    account_weights(a, g, ctx);
-    const ChannelFilter f =
-        ctx.do_math() ? extract_filter(a, g, ch) : ChannelFilter{};
-    const ChannelView in{
-        ctx.do_math() ? a.input.view.data + ch : nullptr,
-        static_cast<int64_t>(g.w) * g.c, g.c};
-    for (int oy = 0; oy < g.oh; ++oy) {
-      account_row_baseline(a, g, ctx, ch, oy);
-      if (ctx.do_math()) {
-        convolve_row_math(a, g, ch, oy, in, f);
-      }
+    int32_t s = 0;
+    for (int t = 0; t < g.kh * g.kw; ++t) s += wts[t * g.c + ch];
+    acc0[static_cast<std::size_t>(ch)] =
+        (a.bias != nullptr ? a.bias[ch] : 0) - zp * s;
+  }
+  const int64_t w_row = static_cast<int64_t>(g.kw) * g.c;
+  for (int oy = 0; oy < g.oh; ++oy) {
+    const int8_t* in_row =
+        base + static_cast<int64_t>(oy) * g.stride * prow;
+    int8_t* out_px =
+        a.output.view.data + static_cast<int64_t>(oy) * g.ow * g.c;
+    for (int ox = 0; ox < g.ow; ++ox, out_px += g.c) {
+      std::copy_n(acc0.data(), g.c, acc);
+      be.mac_window(acc,
+                    in_row + static_cast<int64_t>(ox) * g.stride * g.c, prow,
+                    wts, w_row, g.c, g.kh, g.kw);
+      requantize_row(be, out_px, 1, acc, g.c, a.params);
     }
   }
 }
 
+void run_baseline(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
+                  int32_t* acc_scratch) {
+  for (int ch = 0; ch < g.c; ++ch) {
+    account_weights(a, g, ctx);
+    for (int oy = 0; oy < g.oh; ++oy) {
+      account_row_baseline(a, g, ctx, ch, oy);
+    }
+  }
+  if (ctx.do_math()) {
+    baseline_math(a, g, ctx.be(), acc_scratch);
+  }
+}
+
 void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
-             int granularity) {
+             int granularity, int32_t* acc_row) {
+  // Simulated plane size (drives all work events and the DSE scratch
+  // budget, depthwise_scratch_bytes) stays h*w; the *host* staging planes
+  // carry a zero-point border so the compute segment needs no bounds
+  // clipping — a host-layout detail with no cost-stream effect.
   const int64_t plane_bytes = static_cast<int64_t>(g.h) * g.w;
+  const int pw = g.w + 2 * g.pad;
+  const int64_t host_plane =
+      static_cast<int64_t>(g.h + 2 * g.pad) * pw;
   const int64_t in_row_bytes = static_cast<int64_t>(g.w) * g.c;
   std::vector<int8_t>& buf = ctx.scratch_host(
-      static_cast<std::size_t>(granularity) * plane_bytes);
+      static_cast<std::size_t>(granularity) * host_plane);
 
   for (int c0 = 0; c0 < g.c; c0 += granularity) {
     const int gcur = std::min(granularity, g.c - c0);
@@ -196,6 +216,23 @@ void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
     // whole channel group per pixel (one word load covers four channels)
     // and register-transposes into per-channel plane rows (word stores).
     ctx.memory_segment();
+    if (ctx.do_math() && g.pad > 0) {
+      // Zero-point the pad border only; the gather fills the interior.
+      const int ph = g.h + 2 * g.pad;
+      const auto zpb = static_cast<int8_t>(a.params.input_zero_point);
+      for (int gi = 0; gi < gcur; ++gi) {
+        int8_t* plane = buf.data() + gi * host_plane;
+        std::memset(plane, zpb, static_cast<std::size_t>(g.pad) * pw);
+        std::memset(plane + (static_cast<int64_t>(ph) - g.pad) * pw, zpb,
+                    static_cast<std::size_t>(g.pad) * pw);
+        for (int y = 0; y < g.h; ++y) {
+          int8_t* row = plane + (static_cast<int64_t>(y) + g.pad) * pw;
+          std::memset(row, zpb, static_cast<std::size_t>(g.pad));
+          std::memset(row + g.pad + g.w, zpb,
+                      static_cast<std::size_t>(g.pad));
+        }
+      }
+    }
     for (int y = 0; y < g.h; ++y) {
       ctx.read_strided(
           a.input.mem.offset(static_cast<uint64_t>(y) * in_row_bytes + c0),
@@ -211,28 +248,29 @@ void run_dae(const DepthwiseArgs& a, const Geom& g, ExecContext& ctx,
                   static_cast<double>(g.w) / 4.0);
       }
       if (ctx.do_math()) {
-        const auto& in = a.input.view;
-        for (int gi = 0; gi < gcur; ++gi) {
-          int8_t* dst = buf.data() + gi * plane_bytes + y * g.w;
-          for (int x = 0; x < g.w; ++x) dst[x] = in.at(y, x, c0 + gi);
-        }
+        ctx.be().gather_planes(
+            buf.data() + (static_cast<int64_t>(y) + g.pad) * pw + g.pad,
+            host_plane, a.input.view.data + y * in_row_bytes + c0, g.c, g.w,
+            gcur);
       }
     }
 
     // ---- Compute-bound segment: convolve each buffered plane (Listing 1:9).
     ctx.compute_segment();
+    std::vector<int8_t> taps(
+        ctx.do_math() ? static_cast<std::size_t>(g.kh) * g.kw : 0);
     for (int gi = 0; gi < gcur; ++gi) {
       const int ch = c0 + gi;
       account_weights(a, g, ctx);
       const sim::MemRef plane_ref =
           ctx.scratch_mem.offset(static_cast<uint64_t>(gi) * plane_bytes);
-      const ChannelFilter f =
-          ctx.do_math() ? extract_filter(a, g, ch) : ChannelFilter{};
-      const ChannelView plane{buf.data() + gi * plane_bytes, g.w, 1};
+      const int32_t tap_sum =
+          ctx.do_math() ? extract_filter(a, g, ch, taps.data()) : 0;
       for (int oy = 0; oy < g.oh; ++oy) {
         account_row_dae(a, g, ctx, ch, oy, plane_ref);
         if (ctx.do_math()) {
-          convolve_row_math(a, g, ch, oy, plane, f);
+          dae_plane_row_math(a, g, ch, oy, buf.data() + gi * host_plane, pw,
+                             taps.data(), tap_sum, ctx.be(), acc_row);
         }
       }
     }
@@ -256,10 +294,15 @@ std::size_t depthwise_scratch_bytes(const DepthwiseArgs& args,
 void depthwise_conv(const DepthwiseArgs& args, ExecContext& ctx) {
   const Geom g = make_geom(args);
   ctx.compute(ctx.cost().call_overhead_cycles);
+  // Host-side int32 accumulator scratch for the backend's vectorized paths
+  // (one output row in the DAE form, one channel row in the baseline form);
+  // never touches the simulated memory map.
+  std::vector<int32_t> acc_row(
+      ctx.do_math() ? static_cast<std::size_t>(std::max(g.ow, g.c)) : 0);
   if (args.granularity <= 0) {
-    run_baseline(args, g, ctx);
+    run_baseline(args, g, ctx, acc_row.data());
   } else {
-    run_dae(args, g, ctx, args.granularity);
+    run_dae(args, g, ctx, args.granularity, acc_row.data());
   }
 }
 

@@ -1,6 +1,7 @@
 #include "kernels/fully_connected.hpp"
 
 #include <stdexcept>
+#include <vector>
 
 namespace daedvfs::kernels {
 
@@ -29,16 +30,16 @@ void fully_connected(const FullyConnectedArgs& a, ExecContext& ctx) {
             static_cast<double>(out) / 4.0);
 
   if (ctx.do_math()) {
+    const Backend& be = ctx.be();
     const int8_t* x = a.input.view.data;
+    std::vector<int32_t> acc(static_cast<std::size_t>(out));
     for (int64_t o = 0; o < out; ++o) {
-      int32_t acc = a.bias != nullptr ? a.bias[o] : 0;
       const int8_t* wrow = a.weights.view.data + o * in;
-      for (int64_t i = 0; i < in; ++i) {
-        acc += (static_cast<int32_t>(x[i]) - a.params.input_zero_point) *
-               static_cast<int32_t>(wrow[i]);
-      }
-      a.output.view.data[o] = requantize(acc, a.params);
+      acc[static_cast<std::size_t>(o)] =
+          (a.bias != nullptr ? a.bias[o] : 0) +
+          be.dot(x, wrow, in, a.params.input_zero_point);
     }
+    requantize_row(be, a.output.view.data, 1, acc.data(), out, a.params);
   }
 }
 

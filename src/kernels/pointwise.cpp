@@ -78,19 +78,18 @@ std::vector<int32_t> row_weight_sums(const PointwiseArgs& a, const Geom& g) {
 }
 
 /// Computes output channels for the contiguous input column at flat position
-/// `idx`: a plain int8 dot product per output channel over row pointers.
+/// `idx`: one backend dot_many over the whole Cout x Cin weight matrix, with
+/// the input zero point folded into the initial accumulators.
 void mix_column_math(const PointwiseArgs& a, const Geom& g, int64_t idx,
-                     const int8_t* col, const int32_t* wsum) {
-  const int8_t* wrow = a.weights.view.data;
+                     const int8_t* col, const int32_t* wsum,
+                     const Backend& be, int32_t* acc_px) {
   const int32_t zp = a.params.input_zero_point;
   int8_t* out = a.output.view.data + idx * g.cout;
-  for (int oc = 0; oc < g.cout; ++oc, wrow += g.cin) {
-    int32_t acc = (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
-    for (int ic = 0; ic < g.cin; ++ic) {
-      acc += static_cast<int32_t>(col[ic]) * static_cast<int32_t>(wrow[ic]);
-    }
-    out[oc] = requantize(acc, a.params);
+  for (int oc = 0; oc < g.cout; ++oc) {
+    acc_px[oc] = (a.bias != nullptr ? a.bias[oc] : 0) - zp * wsum[oc];
   }
+  be.dot_many(acc_px, col, a.weights.view.data, g.cin, g.cout, g.cin);
+  requantize_row(be, out, 1, acc_px, g.cout, a.params);
 }
 
 /// Charges the MAC + requant work for `n_cols` columns.
@@ -103,7 +102,7 @@ void account_mix(const Geom& g, ExecContext& ctx, int64_t n_cols) {
 }
 
 void run_baseline(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
-                  const std::vector<int32_t>& wsum) {
+                  const std::vector<int32_t>& wsum, int32_t* acc_px) {
   // Per-column execution, accounted row-by-row: each row issues its column
   // loads, one weight-matrix stream per *column pair* (TinyEngine unrolls
   // two columns to reuse each loaded weight row), the MACs, and the output
@@ -125,14 +124,15 @@ void run_baseline(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
       for (int x = 0; x < g.w; ++x) {
         const int8_t* col = in_row + static_cast<int64_t>(x) * g.cin;
         mix_column_math(a, g, static_cast<int64_t>(y) * g.w + x, col,
-                        wsum.data());
+                        wsum.data(), ctx.be(), acc_px);
       }
     }
   }
 }
 
 void run_dae(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
-             int granularity, const std::vector<int32_t>& wsum) {
+             int granularity, const std::vector<int32_t>& wsum,
+             int32_t* acc_px) {
   const std::size_t buf_bytes =
       static_cast<std::size_t>(granularity) * g.cin;
   std::vector<int8_t>& buf = ctx.scratch_host(buf_bytes);
@@ -169,7 +169,7 @@ void run_dae(const PointwiseArgs& a, const Geom& g, ExecContext& ctx,
     if (ctx.do_math()) {
       for (int64_t i = 0; i < gcur; ++i) {
         const int8_t* col = buf.data() + i * g.cin;
-        mix_column_math(a, g, col0 + i, col, wsum.data());
+        mix_column_math(a, g, col0 + i, col, wsum.data(), ctx.be(), acc_px);
       }
     }
   }
@@ -193,10 +193,14 @@ void pointwise_conv(const PointwiseArgs& args, ExecContext& ctx) {
   ctx.compute(ctx.cost().call_overhead_cycles);
   const std::vector<int32_t> wsum =
       ctx.do_math() ? row_weight_sums(args, g) : std::vector<int32_t>{};
+  // Host-side per-column accumulator block for the backend's row
+  // requantization; never touches the simulated memory map.
+  std::vector<int32_t> acc_px(
+      ctx.do_math() ? static_cast<std::size_t>(g.cout) : 0);
   if (args.granularity <= 0) {
-    run_baseline(args, g, ctx, wsum);
+    run_baseline(args, g, ctx, wsum, acc_px.data());
   } else {
-    run_dae(args, g, ctx, args.granularity, wsum);
+    run_dae(args, g, ctx, args.granularity, wsum, acc_px.data());
   }
 }
 

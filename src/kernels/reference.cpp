@@ -82,6 +82,42 @@ void conv2d(const Conv2dArgs& a) {
   }
 }
 
+void elementwise_add(const AddArgs& a) {
+  const auto& s = a.input_a.view.shape;
+  for (int y = 0; y < s.h; ++y) {
+    for (int x = 0; x < s.w; ++x) {
+      for (int c = 0; c < s.c; ++c) {
+        const int32_t qa = a.input_a.view.at(y, x, c);
+        const int32_t qb = a.input_b.view.at(y, x, c);
+        const int32_t sum =
+            tensor::multiply_by_quantized_multiplier(qa - a.zp_a, a.mult_a) +
+            tensor::multiply_by_quantized_multiplier(qb - a.zp_b, a.mult_b) +
+            a.zp_out;
+        a.output.view.at(y, x, c) =
+            tensor::clamp_to_int8(sum, a.act_min, a.act_max);
+      }
+    }
+  }
+}
+
+void global_avg_pool(const GlobalAvgPoolArgs& a) {
+  const auto& in = a.input.view.shape;
+  const int32_t count = in.h * in.w;
+  for (int c = 0; c < in.c; ++c) {
+    int32_t sum = 0;
+    for (int y = 0; y < in.h; ++y) {
+      for (int x = 0; x < in.w; ++x) {
+        sum += a.input.view.at(y, x, c);
+      }
+    }
+    // Rounded (half away from zero) integer mean, re-derived from scratch.
+    const int32_t mag = sum >= 0 ? sum : -sum;
+    const int32_t mean_mag = (mag + count / 2) / count;
+    a.output.view.data[c] =
+        tensor::clamp_to_int8(sum >= 0 ? mean_mag : -mean_mag);
+  }
+}
+
 void fully_connected(const FullyConnectedArgs& a) {
   const int64_t in = a.input.view.shape.elems();
   const int64_t out = a.output.view.shape.elems();

@@ -4,10 +4,12 @@
 // shared helper.
 #pragma once
 
+#include "kernels/add.hpp"
 #include "kernels/conv2d.hpp"
 #include "kernels/depthwise.hpp"
 #include "kernels/fully_connected.hpp"
 #include "kernels/pointwise.hpp"
+#include "kernels/pooling.hpp"
 
 namespace daedvfs::kernels::reference {
 
@@ -22,5 +24,11 @@ void conv2d(const Conv2dArgs& args);
 
 /// Fully-connected oracle.
 void fully_connected(const FullyConnectedArgs& args);
+
+/// Residual int8 addition oracle.
+void elementwise_add(const AddArgs& args);
+
+/// Global average pooling oracle.
+void global_avg_pool(const GlobalAvgPoolArgs& args);
 
 }  // namespace daedvfs::kernels::reference

@@ -57,4 +57,19 @@ struct QuantizedMultiplier {
   return static_cast<int8_t>(v);
 }
 
+/// The full accumulator -> int8 requantization pipeline (fixed-point
+/// rescale, output zero-point add, activation clamp). The single definition
+/// of the quantized output semantics: every kernel backend (scalar, SIMD)
+/// and the reference oracles funnel through it, so a backend cannot diverge
+/// on rounding or saturation behaviour.
+[[nodiscard]] inline int8_t requantize_to_int8(int32_t acc,
+                                               const QuantizedMultiplier& qm,
+                                               int32_t output_zero_point,
+                                               int32_t act_min = -128,
+                                               int32_t act_max = 127) {
+  return clamp_to_int8(multiply_by_quantized_multiplier(acc, qm) +
+                           output_zero_point,
+                       act_min, act_max);
+}
+
 }  // namespace daedvfs::tensor

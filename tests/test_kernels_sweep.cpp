@@ -8,9 +8,11 @@
 
 #include <string>
 
+#include "kernels/add.hpp"
 #include "kernels/conv2d.hpp"
 #include "kernels/depthwise.hpp"
 #include "kernels/pointwise.hpp"
+#include "kernels/pooling.hpp"
 #include "kernels/reference.hpp"
 #include "test_util.hpp"
 
@@ -165,6 +167,67 @@ TEST(KernelSweep, PointwiseBitExactVsReference) {
               }
             }
           }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweep, AddBitExactVsReference) {
+  uint32_t seed = 1300;
+  for (int h : {1, 5, 8}) {
+    for (int w : {1, 7}) {
+      for (int c : {3, 8, 17}) {
+        for (double scale_b : {0.02, 0.05, 0.11}) {
+          tensor::QTensor ta =
+              random_tensor({1, h, w, c}, ++seed, -128, 127, {0.05, -1});
+          tensor::QTensor tb =
+              random_tensor({1, h, w, c}, ++seed, -128, 127, {scale_b, 3});
+          tensor::QTensor out({1, h, w, c}, {0.07, -2});
+          tensor::QTensor expected({1, h, w, c}, {0.07, -2});
+
+          AddArgs a = make_add_args(
+              ref_of(ta, sim::kSramBase, sim::MemRegion::kSram),
+              ref_of(tb, sim::kSramBase + 0x4000, sim::MemRegion::kSram),
+              ref_of(out, sim::kSramBase + 0x8000, sim::MemRegion::kSram));
+          ExecContext ctx;
+          elementwise_add(a, ctx);
+          AddArgs oracle = a;
+          oracle.output =
+              ref_of(expected, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+          reference::elementwise_add(oracle);
+          for (std::size_t i = 0; i < out.size_bytes(); ++i) {
+            ASSERT_EQ(out.data()[i], expected.data()[i])
+                << "add h=" << h << " w=" << w << " c=" << c
+                << " scale_b=" << scale_b << " at " << i;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(KernelSweep, PoolingBitExactVsReference) {
+  uint32_t seed = 1700;
+  for (int h : {1, 4, 9}) {
+    for (int w : {1, 7}) {
+      for (int c : {1, 5, 16}) {
+        tensor::QTensor in = random_tensor({1, h, w, c}, ++seed, -128, 127);
+        tensor::QTensor out({1, 1, 1, c}, {0.05, -1});
+        tensor::QTensor expected({1, 1, 1, c}, {0.05, -1});
+
+        GlobalAvgPoolArgs a;
+        a.input = ref_of(in, sim::kSramBase, sim::MemRegion::kSram);
+        a.output = ref_of(out, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+        ExecContext ctx;
+        global_avg_pool(a, ctx);
+        GlobalAvgPoolArgs oracle = a;
+        oracle.output =
+            ref_of(expected, sim::kSramBase + 0x8000, sim::MemRegion::kSram);
+        reference::global_avg_pool(oracle);
+        for (int i = 0; i < c; ++i) {
+          ASSERT_EQ(out.data()[i], expected.data()[i])
+              << "pool h=" << h << " w=" << w << " c=" << c << " at " << i;
         }
       }
     }
