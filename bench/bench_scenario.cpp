@@ -1,4 +1,4 @@
-// Deployment scenario benchmark — the two acceptance artifacts of the
+// Deployment scenario benchmark — the acceptance artifacts of the
 // scenario/governor subsystem, emitted as BENCH_scenario.json:
 //
 //  1. Mission comparison: a day/night "sentry" mission (relaxed QoS most of
@@ -9,16 +9,28 @@
 //
 //  2. QoS-repair speedup: schedule construction with the repair loop driven
 //     by whole-schedule replay (one recording simulation + closed-form
-//     re-evaluation per swap) vs exact_simulation (one full simulation per
-//     swap). Final schedules must be identical; full mode also gates the
+//     re-evaluation per swap, granularity swaps patched by single-layer
+//     re-records) vs exact_simulation (one full simulation per swap). Final
+//     schedules must be identical, the replay path must report exactly ONE
+//     full simulation (zero re-simulations); full mode also gates the
 //     speedup at >= 5x.
 //
-//   $ ./build/bench_scenario                 # VWW, full checks
+//  3. v2 mission (thermal derating + connectivity windows) on the Person
+//     Detection ladder: the predictive (PLL pre-lock) governor must beat
+//     BOTH the PR 2 reactive governor AND every zero-miss static rung on
+//     total energy, with zero deadline misses and zero thermal violations.
+//     The lever: the ladder's cheapest tight-capable rung enters at a
+//     different clock than it exits, so holding it reactively pays a
+//     wrap-around PLL relock on the wake path every frame — pre-locking
+//     during sleep makes it mux-reachable inside the tight bound.
+//
+//   $ ./build/bench_scenario                 # VWW + PD v2, full checks
 //   $ ./build/bench_scenario mbv2 out.json
 //   $ ./build/bench_scenario smoke           # small model, CI-fast
 #include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -190,11 +202,122 @@ int main(int argc, char** argv) {
             << exact.built.repair_simulations << " sims)\n"
             << "  replay: " << replay.ms << " ms/build ("
             << replay.built.repair_iterations << " swaps, "
-            << replay.built.repair_simulations << " sims)\n"
+            << replay.built.repair_simulations << " sims, "
+            << replay.built.repair_layer_recordings
+            << " granularity layer re-records)\n"
             << "  fixed (repair off): " << norepair.ms << " ms/build\n"
             << "  repair-phase speedup " << repair_speedup
             << "x (whole build " << build_speedup << "x), schedules "
             << (schedules_identical ? "identical" : "MISMATCH") << "\n";
+
+  // PipelineResult counters: granularity swaps must not re-simulate — the
+  // replay path records exactly once no matter what the repair loop swaps.
+  core::PipelineConfig pipe_cfg = rcfg;
+  pipe_cfg.qos_slack = repair_slack;
+  const core::PipelineResult pipe_res =
+      core::Pipeline(pipe_cfg).run(model, &sets);
+  const bool zero_resimulations =
+      replay.built.repair_simulations == 1 &&
+      (!pipe_res.mckp_feasible || pipe_res.repair_simulations == 1);
+  std::cout << "  pipeline repair counters: " << pipe_res.repair_iterations
+            << " swaps, " << pipe_res.repair_simulations << " simulations, "
+            << pipe_res.repair_layer_recordings << " layer re-records\n";
+
+  // ---- v2 mission: thermal derating + connectivity windows + predictive
+  // pre-lock, on the Person Detection ladder (its cheapest tight-capable
+  // rung is "mixed": entry clock != exit clock).
+  const bool v2_reuses_ladder = smoke || which == "pd";
+  const graph::Model v2_model =
+      v2_reuses_ladder ? model : graph::zoo::make_person_detection();
+  std::optional<governor::ScheduleGovernor> v2_built;
+  if (!v2_reuses_ladder) {
+    std::cout << "building v2 governor ladder for " << v2_model.name()
+              << "...\n";
+    v2_built.emplace(v2_model, gcfg);
+  }
+  const governor::ScheduleGovernor& v2_gov =
+      v2_reuses_ladder ? gov : *v2_built;
+  const auto& v2_rungs = v2_gov.rungs();
+  const double v2_tbase = v2_gov.t_base_us();
+  const power::PowerModel pm(sim.power);
+
+  // The pre-lock lever: a mixed rung (wrap-around relock) with a faster,
+  // pricier wrap-free alternative the reactive governor gets pinned on
+  // during tight phases, and a deadline anchored inside the relock window.
+  const std::optional<scenario::PrelockAnchor> anchor =
+      scenario::find_prelock_anchor(v2_rungs, v2_tbase, sim.switching, pm);
+  const bool prelock_structure = anchor.has_value();
+  const double v2_tight = prelock_structure
+                              ? anchor->tight_slack
+                              : v2_rungs.front().qos_slack + 0.01;
+  const std::optional<scenario::ThermalAnchor> thermal =
+      scenario::find_thermal_anchor(v2_rungs);
+
+  scenario::MissionSpec v2;
+  v2.name = "sentry-v2";
+  v2.horizon_s = (smoke ? 1.0 : 2.0) * 86400.0;
+  v2.duty.period_s = 10.0;
+  v2.duty.sleep_mw = 0.8;
+  v2.base_qos_slack = v2_rungs.back().qos_slack + 0.10;
+  v2.uplink_queue_frames = 256;
+  if (thermal) v2.derate = thermal->derate;
+  for (int day = 0; v2.horizon_s - day * 86400.0 > 0; ++day) {
+    const double base_s = day * 86400.0;
+    // Two tracking phases (tight bound + frame-rate burst)...
+    v2.qos_events.push_back({base_s + 20000.0, v2_tight});
+    v2.qos_events.push_back({base_s + 26000.0, v2.base_qos_slack});
+    v2.qos_events.push_back({base_s + 60000.0, v2_tight});
+    v2.qos_events.push_back({base_s + 70000.0, v2.base_qos_slack});
+    v2.bursts.push_back({base_s + 20000.0, 6000.0, 2.0});
+    v2.bursts.push_back({base_s + 60000.0, 10000.0, 1.0});
+    // ...a midday heat soak capping the clock between the PLL families...
+    if (thermal) {
+      v2.temp_events.push_back({base_s + 80000.0, thermal->hot_ambient_c});
+      v2.temp_events.push_back({base_s + 84000.0, 25.0});
+    }
+    // ...and an uplink blackout whose backlog the governor drains after.
+    v2.connectivity.push_back({base_s, 40000.0});
+    v2.connectivity.push_back({base_s + 50000.0, 36400.0});
+  }
+
+  const scenario::LadderPolicy v2_pred(v2_rungs, sim.switching, sim.power,
+                                       "governor+prelock", true);
+  const scenario::LadderPolicy v2_reac(v2_rungs, sim.switching, sim.power,
+                                       "governor", false);
+  const scenario::MissionReport rp =
+      simulate_mission(v2, v2_pred, v2_tbase, sim);
+  const scenario::MissionReport rr =
+      simulate_mission(v2, v2_reac, v2_tbase, sim);
+  std::vector<scenario::MissionReport> v2_static_reports;
+  bool v2_have_static = false;
+  double v2_best_static_uj = 0.0;
+  std::string v2_best_static;
+  for (const scenario::RungInfo& rung : v2_rungs) {
+    const scenario::StaticPolicy fixed(rung);
+    v2_static_reports.push_back(simulate_mission(v2, fixed, v2_tbase, sim));
+    const scenario::MissionReport& rs = v2_static_reports.back();
+    if (rs.deadline_misses == 0 &&
+        (!v2_have_static || rs.total_uj() < v2_best_static_uj)) {
+      v2_best_static_uj = rs.total_uj();
+      v2_best_static = rs.policy;
+      v2_have_static = true;
+    }
+  }
+  const bool v2_pred_clean = rp.deadline_misses == 0 &&
+                             rp.thermal_violations == 0;
+  const bool v2_beats_reactive = rp.total_uj() < rr.total_uj();
+  const bool v2_beats_static =
+      v2_have_static && rp.total_uj() < v2_best_static_uj;
+  std::cout << "v2 mission (" << v2_model.name() << ", derate + windows):\n"
+            << "  predictive: " << rp.total_uj() / 1e6 << " J, "
+            << rp.deadline_misses << " misses, " << rp.prelocks
+            << " prelocks (" << rp.prelock_hits << " hits), backlog debt "
+            << rp.backlog_latency_s << " s\n"
+            << "  reactive:   " << rr.total_uj() / 1e6 << " J, "
+            << rr.deadline_misses << " misses\n"
+            << "  best zero-miss static: "
+            << (v2_have_static ? v2_best_static_uj / 1e6 : 0.0) << " J ("
+            << (v2_have_static ? v2_best_static : "none") << ")\n";
 
   // ---- Emit BENCH_scenario.json.
   std::ofstream os(out_path);
@@ -237,16 +360,80 @@ int main(int argc, char** argv) {
      << ", \"simulations\": " << exact.built.repair_simulations << "},\n"
      << "    \"replay\": {\"build_ms\": " << replay.ms
      << ", \"repair_ms\": " << replay_repair_ms
-     << ", \"simulations\": " << replay.built.repair_simulations << "},\n"
+     << ", \"simulations\": " << replay.built.repair_simulations
+     << ", \"layer_rerecords\": " << replay.built.repair_layer_recordings
+     << "},\n"
+     << "    \"pipeline_counters\": {\"iterations\": "
+     << pipe_res.repair_iterations
+     << ", \"simulations\": " << pipe_res.repair_simulations
+     << ", \"layer_rerecords\": " << pipe_res.repair_layer_recordings
+     << "},\n"
+     << "    \"zero_resimulations\": "
+     << (zero_resimulations ? "true" : "false") << ",\n"
      << "    \"repair_speedup\": " << repair_speedup << ",\n"
      << "    \"build_speedup\": " << build_speedup << ",\n"
      << "    \"schedules_identical\": "
      << (schedules_identical ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"mission_v2\": {\n"
+     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"horizon_s\": " << v2.horizon_s << ",\n"
+     << "    \"tight_qos_slack\": " << v2_tight << ",\n"
+     << "    \"prelock_structure\": "
+     << (prelock_structure ? "true" : "false") << ",\n"
+     << "    \"mixed_rung\": \""
+     << (prelock_structure
+             ? v2_rungs[static_cast<std::size_t>(anchor->mixed)].name
+             : "none")
+     << "\",\n"
+     << "    \"pinned_rung\": \""
+     << (prelock_structure
+             ? v2_rungs[static_cast<std::size_t>(anchor->pure)].name
+             : "none")
+     << "\",\n"
+     << "    \"thermal_cap_mhz\": " << (thermal ? thermal->cap_mhz : 0.0)
+     << ",\n"
+     << "    \"policies\": [\n";
+  write_json(os, rp, 6);
+  os << ",\n";
+  write_json(os, rr, 6);
+  for (const scenario::MissionReport& rs : v2_static_reports) {
+    os << ",\n";
+    write_json(os, rs, 6);
+  }
+  os << "\n    ],\n"
+     << "    \"best_zero_miss_static\": \""
+     << (v2_have_static ? v2_best_static : "none") << "\",\n"
+     << "    \"best_zero_miss_static_uj\": " << v2_best_static_uj << ",\n"
+     << "    \"predictive_total_uj\": " << rp.total_uj() << ",\n"
+     << "    \"reactive_total_uj\": " << rr.total_uj() << ",\n"
+     << "    \"predictive_clean\": " << (v2_pred_clean ? "true" : "false")
+     << ",\n"
+     << "    \"predictive_beats_reactive\": "
+     << (v2_beats_reactive ? "true" : "false") << ",\n"
+     << "    \"predictive_beats_best_static\": "
+     << (v2_beats_static ? "true" : "false") << "\n"
      << "  }\n}\n";
   os.close();
   std::cout << "-> " << out_path << "\n";
 
   bool ok = governor_wins && schedules_identical;
+  if (!zero_resimulations) {
+    std::cerr << "granularity swaps re-simulated: repair must record "
+                 "exactly once on the replay path\n";
+    ok = false;
+  }
+  if (!prelock_structure) {
+    std::cerr << "v2 ladder lost its mixed rung; the pre-lock lever went "
+                 "unexercised\n";
+    ok = false;
+  }
+  if (!(v2_pred_clean && v2_beats_reactive && v2_beats_static)) {
+    std::cerr << "v2 gate failed: predictive clean=" << v2_pred_clean
+              << " beats_reactive=" << v2_beats_reactive
+              << " beats_static=" << v2_beats_static << "\n";
+    ok = false;
+  }
   if (!smoke && replay.built.repair_iterations == 0) {
     std::cerr << "repair loop never engaged; speedup claim not exercised\n";
     ok = false;

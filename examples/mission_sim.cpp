@@ -94,5 +94,61 @@ int main(int argc, char** argv) {
                "schedule's deadline record\nwhile spending close to the "
                "cheapest schedule's energy — static rungs either\nmiss "
                "tracking deadlines or waste energy on the relaxed phase.\n";
+
+  // ---- v2: the same mission under field conditions — midday heat soaks
+  // derate the clock (and scale battery leakage), a nightly uplink blackout
+  // queues frames the governor drains back-to-back at dawn, and the
+  // predictive variant pre-locks the next rung's PLL during sleep.
+  scenario::MissionSpec v2 = spec;
+  v2.name = "sentry-2w-v2";
+  // Anchor the tracking bound inside the relock window above the ladder's
+  // mixed rung when it has one: such a rung is mux-reachable only with a
+  // pre-locked PLL — the predictive governor's lever (docs/scenarios.md).
+  const power::PowerModel pm(sim.power);
+  if (const auto anchor = scenario::find_prelock_anchor(
+          gov.rungs(), gov.t_base_us(), sim.switching, pm)) {
+    v2.qos_events.clear();
+    for (int day = 0; day < 14; ++day) {
+      const double base_s = day * 86400.0;
+      v2.qos_events.push_back({base_s + 20000.0, anchor->tight_slack});
+      v2.qos_events.push_back({base_s + 24000.0, v2.base_qos_slack});
+      v2.qos_events.push_back({base_s + 60000.0, anchor->tight_slack});
+      v2.qos_events.push_back({base_s + 66000.0, v2.base_qos_slack});
+    }
+  }
+  if (const auto thermal = scenario::find_thermal_anchor(gov.rungs())) {
+    v2.derate = thermal->derate;
+    for (int day = 0; day < 14; ++day) {
+      v2.temp_events.push_back({day * 86400.0 + 80000.0,
+                                thermal->hot_ambient_c});
+      v2.temp_events.push_back({day * 86400.0 + 84000.0, 25.0});
+    }
+  }
+  v2.uplink_queue_frames = 256;
+  for (int day = 0; day < 14; ++day) {
+    v2.connectivity.push_back({day * 86400.0, 40000.0});
+    v2.connectivity.push_back({day * 86400.0 + 50000.0, 36400.0});
+  }
+
+  const scenario::LadderPolicy pred(gov.rungs(), sim.switching, sim.power,
+                                    "governor+prelock", true);
+  std::cout << "\n=== v2: heat soaks + nightly uplink blackout ===\n"
+            << "policy              frames   misses  switches  energy(J)  "
+               "battery life\n";
+  const scenario::MissionReport rp =
+      simulate_mission(v2, pred, gov.t_base_us(), sim);
+  const scenario::MissionReport rr =
+      simulate_mission(v2, gov, gov.t_base_us(), sim);
+  print_row(rp);
+  print_row(rr);
+  std::cout << "\npredictive pre-lock: " << rp.prelocks << " sleeps relocked ("
+            << rp.prelock_hits << " hits, " << rp.prelock_misses
+            << " misses), " << std::setprecision(1) << rp.prelock_uj * 1e-6
+            << " J spent off the wake path\nbacklog: max " << rp.max_backlog
+            << " frames queued, " << std::setprecision(0)
+            << rp.backlog_latency_s << " s of latency debt drained, "
+            << rp.frames_dropped << " dropped\nthermal: "
+            << rp.derated_frames << " derated frames, "
+            << rp.thermal_violations << " violations\n";
   return 0;
 }

@@ -34,6 +34,7 @@ PipelineResult Pipeline::run(
   res.mckp_feasible = built.feasible;
   res.repair_iterations = built.repair_iterations;
   res.repair_simulations = built.repair_simulations;
+  res.repair_layer_recordings = built.repair_layer_recordings;
 
   res.schedule.name = "dae-dvfs(qos=" + std::to_string(cfg_.qos_slack) + ")";
   if (built.feasible) {

@@ -119,11 +119,14 @@ struct PipelineResult {
 
   /// Step 2 accounting (zeroed when the run reused a caller's DSE).
   dse::ExploreStats explore_stats;
-  /// QoS-repair accounting: greedy swaps applied, and full-model simulations
-  /// spent measuring them (1 + #granularity-changing swaps on the replay
-  /// path; 1 + #swaps with exact_simulation).
+  /// QoS-repair accounting: greedy swaps applied; full-model simulations
+  /// spent measuring them (exactly 1 — the initial recording — on the
+  /// replay path; 1 + #swaps with exact_simulation); and single-layer
+  /// re-records spent patching the recording after granularity-changing
+  /// swaps (replay path only — granularity moves no longer re-simulate).
   int repair_iterations = 0;
   int repair_simulations = 0;
+  int repair_layer_recordings = 0;
 
   IsoLatencyComparison comparison;  ///< Measured, iso-latency scenario.
 };

@@ -155,7 +155,11 @@ void ScheduleBuilder::repair(const std::vector<dse::LayerSolutionSet>& dse,
             cfg_.space.lfo);
     ++bs.repair_iterations;
 
-    if (!cfg_.exact_simulation && dse::replay_compatible(ledger, bs.schedule)) {
+    if (!cfg_.exact_simulation) {
+      // Granularity-changing swaps patch the recording (a couple of
+      // single-layer re-records) instead of re-simulating the schedule.
+      bs.repair_layer_recordings +=
+          dse::patch_recorded_granularity(ledger, engine_, bs.schedule, sim);
       const dse::ProfileEntry pe =
           dse::replay_schedule(ledger, bs.schedule, sim);
       t = pe.t_us;

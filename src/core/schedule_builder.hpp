@@ -9,10 +9,13 @@
 // regulator settles, cache state inherited across layers). By default the
 // repair loop performs that simulation once — recording a
 // dse::ScheduleLedger — and re-evaluates every repair swap in closed form
-// via dse::replay_schedule, re-simulating only when a swap changes a layer's
-// granularity (which alters the cache stream and invalidates the recording).
-// PipelineConfig::exact_simulation forces a fresh simulation per measurement
-// instead; both paths produce identical schedules (pinned in tests).
+// via dse::replay_schedule. Swaps that change a layer's granularity (which
+// alters the cache stream) no longer re-simulate the schedule either: the
+// ledger is patched by re-recording the minimal run of single layers from
+// the stored entry cache images (dse::patch_recorded_granularity), so one
+// recording simulation serves the whole loop. PipelineConfig::
+// exact_simulation forces a fresh simulation per measurement instead; both
+// paths produce identical schedules (pinned in tests).
 #pragma once
 
 #include "core/pipeline.hpp"
@@ -32,6 +35,10 @@ struct BuiltSchedule {
   double measured_e_uj = 0.0;       ///< inter-layer switch costs.
   int repair_iterations = 0;
   int repair_simulations = 0;       ///< Full simulations spent measuring.
+  /// Single-layer recordings spent patching the schedule ledger after
+  /// granularity-changing swaps (replay path only; each is ~1/num_layers of
+  /// a full simulation).
+  int repair_layer_recordings = 0;
 };
 
 class ScheduleBuilder {

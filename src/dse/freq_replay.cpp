@@ -147,8 +147,10 @@ ScheduleLedger record_schedule(const runtime::InferenceEngine& engine,
   sim::Mcu mcu(params);
 
   led.layers.resize(schedule.plans.size());
+  led.entry_caches.reserve(schedule.plans.size());
   for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
     const runtime::LayerPlan& plan = schedule.plans[i];
+    led.entry_caches.push_back(mcu.cache());
     // Perform the layer-entry transition outside the ledger: replay
     // recomputes it analytically for whatever HFO the evaluated schedule
     // assigns. The engine's own entry switch then no-ops.
@@ -168,18 +170,81 @@ ScheduleLedger record_schedule(const runtime::InferenceEngine& engine,
   return led;
 }
 
+namespace {
+
+bool layer_matches(const ScheduleLedger::LayerRecord& rec,
+                   const runtime::LayerPlan& plan) {
+  return plan.granularity == rec.granularity &&
+         plan.dvfs_enabled == rec.dvfs_enabled && plan.lfo == rec.lfo;
+}
+
+}  // namespace
+
 bool replay_compatible(const ScheduleLedger& ledger,
                        const runtime::Schedule& schedule) {
   if (ledger.layers.size() != schedule.plans.size()) return false;
   for (std::size_t i = 0; i < schedule.plans.size(); ++i) {
-    const ScheduleLedger::LayerRecord& rec = ledger.layers[i];
-    const runtime::LayerPlan& plan = schedule.plans[i];
-    if (plan.granularity != rec.granularity ||
-        plan.dvfs_enabled != rec.dvfs_enabled || !(plan.lfo == rec.lfo)) {
-      return false;
-    }
+    if (!layer_matches(ledger.layers[i], schedule.plans[i])) return false;
   }
   return true;
+}
+
+int patch_recorded_granularity(ScheduleLedger& ledger,
+                               const runtime::InferenceEngine& engine,
+                               const runtime::Schedule& schedule,
+                               const sim::SimParams& sim) {
+  if (ledger.layers.size() != schedule.plans.size() ||
+      ledger.entry_caches.size() != schedule.plans.size()) {
+    throw std::invalid_argument(
+        "patch_recorded_granularity: layer count mismatch");
+  }
+  std::size_t k = 0;
+  while (k < schedule.plans.size() &&
+         layer_matches(ledger.layers[k], schedule.plans[k])) {
+    ++k;
+  }
+  if (k == schedule.plans.size()) return 0;
+
+  // Fresh Mcu seeded with the in-situ cache image at the first mismatch; the
+  // power/time side of this run is discarded — only the work streams (which
+  // are frequency-independent) matter.
+  sim::SimParams params = sim;
+  params.boot = schedule.plans[k].hfo;
+  sim::Mcu mcu(params);
+  mcu.cache() = ledger.entry_caches[k];
+
+  int rerecorded = 0;
+  for (std::size_t i = k; i < schedule.plans.size(); ++i) {
+    if (i > k &&
+        mcu.cache().state_fingerprint() ==
+            ledger.entry_caches[i].state_fingerprint()) {
+      // Cache state re-converged onto the recording; if no later layer
+      // changes its plan, every remaining record is still exact.
+      bool suffix_unchanged = true;
+      for (std::size_t j = i; j < schedule.plans.size(); ++j) {
+        if (!layer_matches(ledger.layers[j], schedule.plans[j])) {
+          suffix_unchanged = false;
+          break;
+        }
+      }
+      if (suffix_unchanged) break;
+    }
+    const runtime::LayerPlan& plan = schedule.plans[i];
+    ledger.entry_caches[i] = mcu.cache();
+    mcu.switch_clock(plan.hfo);
+    ScheduleLedger::LayerRecord& rec = ledger.layers[i];
+    rec.work = {};
+    rec.ref_hfo = plan.hfo;
+    rec.lfo = plan.lfo;
+    rec.granularity = plan.granularity;
+    rec.dvfs_enabled = plan.dvfs_enabled;
+    mcu.set_ledger(&rec.work);
+    (void)engine.run_layer(mcu, static_cast<int>(i), plan,
+                           kernels::ExecMode::kTiming);
+    mcu.set_ledger(nullptr);
+    ++rerecorded;
+  }
+  return rerecorded;
 }
 
 ProfileEntry replay_schedule(const ScheduleLedger& ledger,

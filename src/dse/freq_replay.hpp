@@ -52,9 +52,17 @@ namespace daedvfs::dse {
 // mirror of the Rcc switch policy (relock + voltage-scale rules). Replayed
 // totals match a direct simulation of the new schedule to FP-reassociation
 // error (~1e-12 relative; pinned at 1e-9 in tests/test_schedule_replay.cpp).
+//
 // Changing a layer's granularity/DVFS flag or the LFO invalidates that
-// layer's work stream (and its successors' cache inheritance): callers check
-// replay_compatible and re-record on such edits.
+// layer's work stream (and, through the inherited cache state, possibly a
+// few successors'): callers check replay_compatible and, instead of
+// re-simulating the whole schedule, call patch_recorded_granularity — it
+// re-records the minimal suffix of *single layers* starting from the stored
+// per-layer entry cache images, stopping as soon as the cache state
+// re-converges onto the recording (CacheSim::state_fingerprint). Patched
+// recordings are exactly the in-situ streams a full re-simulation would
+// produce, so replay accuracy is unchanged — this closes the last re-record
+// path of the schedule-construction repair loop (core::ScheduleBuilder).
 
 struct ScheduleLedger {
   struct LayerRecord {
@@ -66,9 +74,17 @@ struct ScheduleLedger {
   };
 
   std::vector<LayerRecord> layers;
+  /// Cache image at each layer's entry (after its predecessors ran) — the
+  /// in-situ context patch_recorded_granularity re-records variants from.
+  /// The stream a layer emits depends only on this image and its own plan
+  /// (addresses and order are frequency-independent), so a variant recorded
+  /// from the image is bitwise the stream of a full re-simulation.
+  std::vector<sim::CacheSim> entry_caches;
   /// Exact simulated totals of the recorded schedule (bitwise equal to
   /// running runtime::InferenceEngine::run on a fresh Mcu booted at the
   /// schedule's first-layer HFO — the measurement the repair loop uses).
+  /// Describes the *original* recording; granularity patches do not update
+  /// these (callers re-measure via replay_schedule).
   double recorded_t_us = 0.0;
   double recorded_e_uj = 0.0;
 };
@@ -86,6 +102,22 @@ struct ScheduleLedger {
 /// replay_schedule.
 [[nodiscard]] bool replay_compatible(const ScheduleLedger& ledger,
                                      const runtime::Schedule& schedule);
+
+/// Makes `ledger` replay-compatible with `schedule` when they differ in some
+/// layers' granularity/DVFS/LFO: starting at the first mismatching layer,
+/// re-records one layer at a time on a fresh Mcu seeded with the stored
+/// entry cache image, and stops as soon as the evolving cache state
+/// fingerprints equal to the recording at a layer whose remaining suffix is
+/// unchanged (streaming kernels evict inherited lines fast, so this
+/// typically converges within a couple of layers). Returns the number of
+/// single-layer recordings performed (0 when already compatible). Layer
+/// records and entry images are updated in place; recorded_t_us/e_uj keep
+/// describing the original recording. Throws std::invalid_argument on a
+/// layer-count mismatch.
+int patch_recorded_granularity(ScheduleLedger& ledger,
+                               const runtime::InferenceEngine& engine,
+                               const runtime::Schedule& schedule,
+                               const sim::SimParams& sim);
 
 /// Closed-form (t, E) of `schedule` evaluated from a compatible recording:
 /// one replay_profile per layer plus the analytic inter-layer switch terms.

@@ -11,10 +11,28 @@
 #include "scenario/engine.hpp"
 
 namespace daedvfs::governor {
+namespace {
+
+/// Peak SYSCLK a schedule touches (HFOs always; the LFO only where DVFS
+/// toggling actually engages it) — what thermal derating caps.
+double schedule_peak_mhz(const runtime::Schedule& schedule) {
+  double peak = 0.0;
+  for (const runtime::LayerPlan& plan : schedule.plans) {
+    peak = std::max(peak, plan.hfo.sysclk_mhz());
+    if (plan.dvfs_enabled && plan.granularity > 0) {
+      peak = std::max(peak, plan.lfo.sysclk_mhz());
+    }
+  }
+  return peak;
+}
+
+}  // namespace
 
 ScheduleGovernor::ScheduleGovernor(const graph::Model& model,
                                    GovernorConfig cfg)
-    : cfg_(std::move(cfg)), pm_(cfg_.pipeline.explore.sim.power) {
+    : scenario::LadderPolicy(cfg.pipeline.explore.sim.switching,
+                             cfg.pipeline.explore.sim.power, cfg.predictive),
+      cfg_(std::move(cfg)) {
   const core::PipelineConfig& pc = cfg_.pipeline;
   runtime::InferenceEngine engine(model);
   t_base_us_ = core::tinyengine_baseline_us(engine, pc.explore.sim);
@@ -69,6 +87,7 @@ ScheduleGovernor::ScheduleGovernor(const graph::Model& model,
     rung.e_uj = built.measured_e_uj;
     rung.entry_hfo = built.schedule.plans.front().hfo;
     rung.exit_hfo = built.schedule.plans.back().hfo;
+    rung.max_sysclk_mhz = schedule_peak_mhz(built.schedule);
     built.schedule.name = "governor(" + rung.name + ")";
     rungs_.push_back(std::move(rung));
     schedules_.push_back(std::move(built.schedule));
@@ -95,36 +114,6 @@ ScheduleGovernor::ScheduleGovernor(const graph::Model& model,
   }
   rungs_ = std::move(sorted_rungs);
   schedules_ = std::move(sorted_schedules);
-}
-
-int ScheduleGovernor::choose(const scenario::FrameContext& ctx,
-                             int current_rung) const {
-  if (rungs_.empty()) return -1;
-  int best = -1;
-  double best_e = std::numeric_limits<double>::infinity();
-  int fastest = 0;
-  double fastest_t = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < rungs_.size(); ++i) {
-    scenario::TransitionCost trans;
-    if (current_rung >= 0) {
-      trans = scenario::rung_transition(
-          rungs_[static_cast<std::size_t>(current_rung)], rungs_[i],
-          cfg_.pipeline.explore.sim.switching, pm_);
-    }
-    const double t = rungs_[i].t_us + trans.us;
-    const double e = rungs_[i].e_uj + trans.uj;
-    if (t < fastest_t) {
-      fastest_t = t;
-      fastest = static_cast<int>(i);
-    }
-    if (t <= ctx.deadline_us + 1e-9 && e < best_e) {
-      best_e = e;
-      best = static_cast<int>(i);
-    }
-  }
-  // No rung fits the deadline: run the fastest reachable one (the miss is
-  // the scenario engine's to count).
-  return best >= 0 ? best : fastest;
 }
 
 }  // namespace daedvfs::governor

@@ -2,10 +2,19 @@
 // the MCKP solved at several QoS slacks over ONE design-space exploration,
 // one shared mckp::DpWorkspace (single DP pass via solve_dp_sweep) and one
 // dse::ProfileCache — and switches rungs online as deployment conditions
-// change (QoS events, frame-rate bursts, low battery). Per frame it picks
-// the minimum-energy rung whose measured latency, net of the clock-tree
-// transition cost of leaving the current rung, still meets the active
-// deadline.
+// change (QoS events, frame-rate bursts, low battery, thermal derating,
+// connectivity backlog). Per frame it picks the minimum-energy rung whose
+// measured latency, net of the clock-tree transition cost out of the wake
+// state, still meets the active deadline — the shared
+// scenario::LadderPolicy decision rule.
+//
+// With `GovernorConfig::predictive` set, the governor additionally predicts
+// the rung it would run next frame if waking were free, and the scenario
+// engine pre-locks that rung's entry PLL during sleep: the relock moves off
+// the wake critical path, so rungs that a reactive wake could not reach
+// inside the deadline (wrap-around relocks, cross-family switches) become
+// eligible. A missed prediction degrades gracefully to the PR 2 reactive
+// transition.
 //
 // The ladder build is the expensive part and happens once in the
 // constructor; choose() is a handful of comparisons — cheap enough to run
@@ -30,24 +39,21 @@ struct GovernorConfig {
   /// the ladder supplies its own. Set `explore.cache` to share one
   /// dse::ProfileCache across governors/pipelines of an evaluation suite.
   core::PipelineConfig pipeline;
+  /// Predictive PLL pre-lock during sleep (see file comment). Off by
+  /// default: the reactive governor is the PR 2 baseline the benches
+  /// compare the predictive one against.
+  bool predictive = false;
 };
 
-class ScheduleGovernor final : public scenario::SchedulePolicy {
+class ScheduleGovernor final : public scenario::LadderPolicy {
  public:
   /// Builds the ladder (DSE + MCKP sweep + per-rung smoothing/QoS repair).
   /// `model` is only borrowed during construction.
   ScheduleGovernor(const graph::Model& model, GovernorConfig cfg);
 
-  [[nodiscard]] const std::vector<scenario::RungInfo>& rungs() const override {
-    return rungs_;
+  [[nodiscard]] std::string name() const override {
+    return predictive_ ? "governor+prelock" : "governor";
   }
-  /// Minimum-energy rung meeting ctx.deadline_us net of the transition cost
-  /// from `current_rung` (-1 = cold start, no transition); falls back to the
-  /// fastest reachable rung when none fits the deadline. Returns -1 on an
-  /// empty ladder (every slack infeasible) — check rungs() first.
-  [[nodiscard]] int choose(const scenario::FrameContext& ctx,
-                           int current_rung) const override;
-  [[nodiscard]] std::string name() const override { return "governor"; }
 
   [[nodiscard]] double t_base_us() const { return t_base_us_; }
   /// Executable schedule behind rung `i` (aligned with rungs()).
@@ -61,10 +67,8 @@ class ScheduleGovernor final : public scenario::SchedulePolicy {
 
  private:
   GovernorConfig cfg_;
-  power::PowerModel pm_;
   double t_base_us_ = 0.0;
   dse::ExploreStats explore_stats_;
-  std::vector<scenario::RungInfo> rungs_;       ///< Ascending latency.
   std::vector<runtime::Schedule> schedules_;    ///< Aligned with rungs_.
 };
 

@@ -1,6 +1,7 @@
 #include "power/battery.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace daedvfs::power {
 namespace {
@@ -33,7 +34,9 @@ double BatteryModel::lifetime_days(double inference_uj, double inference_us,
 Battery::Battery(BatteryParams p)
     : capacity_mwh_(std::max(p.capacity_mwh, 0.0)),
       remaining_mwh_(capacity_mwh_),
-      self_discharge_mw_(std::max(p.self_discharge_mw, 0.0)) {}
+      self_discharge_mw_(std::max(p.self_discharge_mw, 0.0)),
+      leakage_doubling_c_(std::max(p.leakage_doubling_c, 0.0)),
+      effective_self_mw_(self_discharge_mw_) {}
 
 void Battery::drain_uj(double uj) {
   if (uj <= 0.0) return;
@@ -42,8 +45,16 @@ void Battery::drain_uj(double uj) {
 
 void Battery::elapse(double seconds, double draw_mw) {
   if (seconds <= 0.0) return;
-  const double mw = std::max(draw_mw, 0.0) + self_discharge_mw_;
+  const double mw = std::max(draw_mw, 0.0) + effective_self_mw_;
   remaining_mwh_ = std::max(remaining_mwh_ - mw * seconds / 3600.0, 0.0);
+}
+
+void Battery::set_ambient_c(double c) {
+  ambient_c_ = c;
+  effective_self_mw_ =
+      leakage_doubling_c_ > 0.0
+          ? self_discharge_mw_ * std::exp2((c - 25.0) / leakage_doubling_c_)
+          : self_discharge_mw_;
 }
 
 double Battery::soc() const {

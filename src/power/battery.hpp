@@ -13,7 +13,12 @@ namespace daedvfs::power {
 
 struct BatteryParams {
   double capacity_mwh = 2400.0;  ///< e.g. 2x AA-class budget at the rail.
-  double self_discharge_mw = 0.02;
+  double self_discharge_mw = 0.02;  ///< Leakage at the 25 C reference.
+  /// Arrhenius-style leakage scaling: the self-discharge doubles every
+  /// `leakage_doubling_c` degrees above 25 C (and halves below). 0 disables
+  /// temperature scaling. Drives the thermal-derating mission events of the
+  /// scenario engine (scenario/engine.cpp).
+  double leakage_doubling_c = 10.0;
 };
 
 /// Deployment duty cycle: one inference every `period_s`, `sleep_mw` drawn
@@ -55,8 +60,13 @@ class Battery {
   /// Instantaneous draw of one inference/transition (microjoules).
   void drain_uj(double uj);
   /// Wall-clock time passing at an external draw of `draw_mw`; the battery's
-  /// own self-discharge is added on top.
+  /// own (temperature-scaled) self-discharge is added on top.
   void elapse(double seconds, double draw_mw);
+  /// Ambient temperature for subsequent elapse() calls: the effective
+  /// self-discharge is `self_discharge_mw * 2^((c - 25) / doubling)` when
+  /// `leakage_doubling_c > 0`, unchanged otherwise.
+  void set_ambient_c(double c);
+  [[nodiscard]] double ambient_c() const { return ambient_c_; }
 
   [[nodiscard]] double capacity_mwh() const { return capacity_mwh_; }
   [[nodiscard]] double remaining_mwh() const { return remaining_mwh_; }
@@ -67,7 +77,10 @@ class Battery {
  private:
   double capacity_mwh_ = 0.0;
   double remaining_mwh_ = 0.0;
-  double self_discharge_mw_ = 0.0;
+  double self_discharge_mw_ = 0.0;      ///< At the 25 C reference.
+  double leakage_doubling_c_ = 0.0;
+  double ambient_c_ = 25.0;
+  double effective_self_mw_ = 0.0;      ///< Scaled to ambient_c_.
 };
 
 }  // namespace daedvfs::power

@@ -1,6 +1,7 @@
 #include "scenario/engine.hpp"
 
 #include <algorithm>
+#include <deque>
 #include <optional>
 
 namespace daedvfs::scenario {
@@ -26,29 +27,51 @@ class Xorshift64 {
   std::uint64_t s_;
 };
 
-}  // namespace
+/// Connectivity windows normalized to disjoint, ascending intervals, with
+/// monotone-time queries. No *effective* (positive-duration) windows =
+/// always connected: a list of degenerate zero-length entries behaves like
+/// the documented empty list, not like a permanent blackout.
+class Connectivity {
+ public:
+  explicit Connectivity(const std::vector<ConnectivityWindow>& windows) {
+    for (const ConnectivityWindow& w : windows) {
+      if (w.duration_s > 0.0) {
+        spans_.push_back({w.start_s, w.start_s + w.duration_s});
+      }
+    }
+    std::sort(spans_.begin(), spans_.end());
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < spans_.size(); ++i) {
+      if (out > 0 && spans_[i].first <= spans_[out - 1].second) {
+        spans_[out - 1].second =
+            std::max(spans_[out - 1].second, spans_[i].second);
+      } else {
+        spans_[out++] = spans_[i];
+      }
+    }
+    spans_.resize(out);
+    always_ = spans_.empty();
+  }
 
-TransitionCost rung_transition(const RungInfo& from, const RungInfo& to,
-                               const clock::SwitchCostParams& switching,
-                               const power::PowerModel& pm) {
-  const clock::ClockConfig& src = from.exit_hfo;
-  const clock::ClockConfig& dst = to.entry_hfo;
-  // Sleep retains the exit clock state (locked PLL, pinned scale); waking
-  // into the next schedule runs the shared RCC transition policy from there.
-  std::optional<clock::PllConfig> locked;
-  if (src.source == clock::ClockSource::kPll) locked = src.pll;
-  clock::VoltageScale scale = src.voltage_scale();
-  const clock::SwitchCost cost =
-      clock::apply_switch_policy(switching, src, dst, locked, scale);
-  TransitionCost out;
-  if (cost.total_us == 0.0) return out;
-  out.us = cost.total_us;
-  out.uj = cost.total_us *
-           pm.power_mw(power::PowerState::from_parts(dst, locked, scale),
-                       power::Activity::kMemoryStall) *
-           1e-3;
-  return out;
-}
+  [[nodiscard]] bool gated() const { return !always_; }
+
+  /// Is `t` inside a window? Queries must be non-decreasing in time.
+  [[nodiscard]] bool connected(double t) {
+    if (always_) return true;
+    while (idx_ < spans_.size() && spans_[idx_].second <= t) ++idx_;
+    return idx_ < spans_.size() && spans_[idx_].first <= t;
+  }
+
+  /// End of the window containing `t` (call connected(t) first).
+  [[nodiscard]] double window_end() const { return spans_[idx_].second; }
+
+ private:
+  std::vector<std::pair<double, double>> spans_;
+  std::size_t idx_ = 0;
+  bool always_ = true;
+};
+
+}  // namespace
 
 MissionReport simulate_mission(const MissionSpec& spec,
                                const SchedulePolicy& policy,
@@ -69,14 +92,38 @@ MissionReport simulate_mission(const MissionSpec& spec,
                    [](const QosEvent& a, const QosEvent& b) {
                      return a.at_s < b.at_s;
                    });
+  std::vector<TempEvent> temp_events = spec.temp_events;
+  std::stable_sort(temp_events.begin(), temp_events.end(),
+                   [](const TempEvent& a, const TempEvent& b) {
+                     return a.at_s < b.at_s;
+                   });
+  Connectivity link(spec.connectivity);
   Xorshift64 rng(spec.seed);
+  double max_peak_mhz = 0.0;
+  for (const RungInfo& rung : rungs) {
+    max_peak_mhz = std::max(max_peak_mhz, rung.peak_mhz());
+  }
 
   double now_s = 0.0;
   double slack = spec.base_qos_slack;
+  double ambient_c = spec.base_ambient_c;
+  if (ambient_c != 25.0) battery.set_ambient_c(ambient_c);
   std::size_t next_event = 0;
+  std::size_t next_temp = 0;
   int cur = -1;
+  std::optional<WakeState> wake;  ///< Clock tree state across sleeps.
+  std::deque<double> queue;       ///< Capture times awaiting service.
+  const std::size_t queue_cap =
+      std::max<std::uint32_t>(spec.uplink_queue_frames, 1);
+  int predicted = -1;             ///< Pre-locked rung awaiting its wake.
+  bool prelock_pending = false;
+
+  // One frame is *captured* per duty-cycle slot. While the uplink is gated
+  // and down, captures queue as latency debt; while it is up, the engine
+  // serves the queue front (the live capture, when the queue was empty)
+  // and then drains further backlog back-to-back inside the slot.
   while (now_s < spec.horizon_s && !battery.depleted()) {
-    if (r.frames >= kMaxFrames) {
+    if (r.frames >= kMaxFrames || r.frames_captured >= kMaxFrames) {
       r.truncated = true;
       break;
     }
@@ -84,6 +131,15 @@ MissionReport simulate_mission(const MissionSpec& spec,
            qos_events[next_event].at_s <= now_s) {
       slack = qos_events[next_event++].qos_slack;
     }
+    bool ambient_changed = false;
+    while (next_temp < temp_events.size() &&
+           temp_events[next_temp].at_s <= now_s) {
+      ambient_c = temp_events[next_temp++].ambient_c;
+      ambient_changed = true;
+    }
+    if (ambient_changed) battery.set_ambient_c(ambient_c);
+    const double cap_mhz = spec.derate.max_sysclk_mhz(ambient_c);
+
     double period_s = spec.duty.period_s;
     for (const Burst& b : spec.bursts) {
       if (b.period_s > 0.0 && now_s >= b.start_s &&
@@ -100,41 +156,129 @@ MissionReport simulate_mission(const MissionSpec& spec,
         battery.soc() < spec.low_battery_soc) {
       active_slack = std::max(active_slack, spec.low_battery_qos_slack);
     }
+    const double deadline_us = t_base_us * (1.0 + active_slack);
 
-    const FrameContext ctx{now_s, t_base_us * (1.0 + active_slack), period_s,
-                           battery.soc()};
-    const int next = policy.choose(ctx, cur);
-    const RungInfo& rung = rungs.at(static_cast<std::size_t>(next));
-    const TransitionCost trans =
-        cur >= 0 ? rung_transition(rungs[static_cast<std::size_t>(cur)],
-                                   rung, sim.switching, pm)
-                 : TransitionCost{};
+    // ---- Capture.
+    ++r.frames_captured;
+    queue.push_back(now_s);
+    if (queue.size() > queue_cap) {
+      queue.pop_front();
+      ++r.frames_dropped;
+    }
+    if (link.gated()) {
+      r.max_backlog = std::max<std::uint64_t>(r.max_backlog, queue.size());
+    }
 
-    const double frame_us = trans.us + rung.t_us;
-    if (frame_us > ctx.deadline_us + 1e-9) ++r.deadline_misses;
-    if (cur >= 0 && next != cur) ++r.rung_switches;
-    battery.drain_uj(rung.e_uj + trans.uj);
-    r.inference_uj += rung.e_uj;
-    r.transition_uj += trans.uj;
-    ++r.frames_per_rung[static_cast<std::size_t>(next)];
-    ++r.frames;
-    cur = next;
+    if (!link.connected(now_s)) {
+      // Down: the whole slot sleeps on the retained clock state.
+      r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * period_s * 1e3;
+      battery.elapse(period_s, spec.duty.sleep_mw);
+      now_s += period_s;
+      continue;
+    }
 
-    // The frame occupies max(period, active time); the remainder sleeps.
+    // ---- Serve: queue front first (== the live capture when no backlog),
+    // then drain back-to-back while frames fit inside the slot and the
+    // window stays up. The first serve may overrun the slot (the slot then
+    // stretches, exactly like a v1 frame whose inference exceeds the
+    // period).
+    const double slot_end_s = now_s + period_s;
+    double total_active_s = 0.0;
+    bool first = true;
+    FrameContext ctx;
+    while (!queue.empty()) {
+      const double serve_s = now_s + total_active_s;
+      if (!first && !link.connected(serve_s)) break;
+      const double capture_s = queue.front();
+
+      ctx = FrameContext{};
+      ctx.time_s = serve_s;
+      ctx.deadline_us = deadline_us;
+      ctx.period_s = period_s;
+      ctx.battery_soc = battery.soc();
+      ctx.max_sysclk_mhz = cap_mhz;
+      ctx.backlog = static_cast<std::uint32_t>(queue.size() - 1);
+      ctx.window_remaining_s =
+          link.gated() ? link.window_end() - serve_s : -1.0;
+      ctx.wake = wake;
+
+      const int next = policy.choose(ctx, cur);
+      const RungInfo& rung = rungs.at(static_cast<std::size_t>(next));
+      const TransitionCost trans =
+          wake ? wake_transition(*wake, rung, sim.switching, pm)
+               : TransitionCost{};
+      const double frame_us = trans.us + rung.t_us;
+      if (!first && serve_s + frame_us * 1e-6 > slot_end_s) break;
+      queue.pop_front();
+
+      if (frame_us > ctx.deadline_us + 1e-9) ++r.deadline_misses;
+      if (cur >= 0 && next != cur) ++r.rung_switches;
+      if (cap_mhz > 0.0) {
+        if (max_peak_mhz > cap_mhz + 1e-9) ++r.derated_frames;
+        if (rung.peak_mhz() > cap_mhz + 1e-9) ++r.thermal_violations;
+      }
+      if (prelock_pending) {
+        next == predicted ? ++r.prelock_hits : ++r.prelock_misses;
+        prelock_pending = false;
+      }
+      battery.drain_uj(rung.e_uj + trans.uj);
+      r.inference_uj += rung.e_uj;
+      r.transition_uj += trans.uj;
+      ++r.frames_per_rung[static_cast<std::size_t>(next)];
+      ++r.frames;
+      r.backlog_latency_s += serve_s - capture_s;
+      cur = next;
+      wake = WakeState::after(rung);
+      total_active_s += frame_us * 1e-6;
+      first = false;
+      if (battery.depleted()) break;
+    }
+
+    // The slot occupies max(period, active time); the remainder sleeps.
     // Self-discharge applies over the whole wall-clock span. Depletion is
-    // resolved at frame granularity (the battery pins at empty mid-frame).
-    const double active_s = frame_us * 1e-6;
-    const double step_s = std::max(period_s, active_s);
-    const double sleep_s = step_s - active_s;
+    // resolved at slot granularity (the battery pins at empty mid-slot).
+    const double step_s = std::max(period_s, total_active_s);
+    const double sleep_s = step_s - total_active_s;
     r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * sleep_s * 1e3;
     battery.elapse(sleep_s, spec.duty.sleep_mw);
-    battery.elapse(active_s, 0.0);
+    battery.elapse(total_active_s, 0.0);
+
+    // ---- Predictive pre-lock: reposition the PLL/regulator for the rung
+    // the policy expects next, paid during the sleep just charged (off the
+    // wake critical path). Only when the sleep actually fits the relock.
+    if (wake && !first) {
+      const int pred = policy.predict_next(ctx, cur);
+      if (pred >= 0 && sleep_s * 1e6 > 0.0) {
+        WakeState repositioned = *wake;
+        const clock::SwitchCost cost = clock::background_reposition_cost(
+            sim.switching,
+            rungs[static_cast<std::size_t>(pred)].entry_hfo,
+            repositioned.config, repositioned.locked_pll,
+            repositioned.scale);
+        if (cost.total_us > 0.0 && cost.total_us <= sleep_s * 1e6) {
+          const double uj =
+              cost.total_us *
+              pm.power_mw(power::PowerState::from_parts(
+                              repositioned.config, repositioned.locked_pll,
+                              repositioned.scale),
+                          power::Activity::kMemoryStall) *
+              1e-3;
+          battery.drain_uj(uj);
+          r.prelock_uj += uj;
+          ++r.prelocks;
+          predicted = pred;
+          prelock_pending = true;
+          wake = repositioned;
+        }
+      }
+    }
     now_s += step_s;
   }
 
   r.simulated_s = now_s;
   r.battery_depleted = battery.depleted();
   r.battery_remaining_mwh = battery.remaining_mwh();
+  r.frames_pending = queue.size();
   return r;
 }
 

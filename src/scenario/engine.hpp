@@ -4,6 +4,19 @@
 // O(1) each — the heavy lifting (full-model simulation of every rung) was
 // done once when the policy's ladder was built — so simulating weeks of
 // deployment and millions of inferences takes milliseconds.
+//
+// v2 mission events (docs/scenarios.md):
+//   * temperature steps scale battery leakage and, with a ThermalDerate
+//     curve, cap the allowed clock (thermal-aware policies downshift; the
+//     report counts violations of thermal-blind ones);
+//   * connectivity windows gate frame service behind a bounded backlog
+//     queue — missed windows become latency debt the policy burns down by
+//     draining queued frames back-to-back once the link returns;
+//   * policies that implement predict_next get their predicted rung's PLL
+//     pre-locked (and regulator pre-settled) during sleep, moving the
+//     relock off the wake critical path; mispredictions fall back to the
+//     reactive wake transition.
+// Specs that use none of these reproduce the v1 engine bit for bit.
 #pragma once
 
 #include "scenario/mission.hpp"

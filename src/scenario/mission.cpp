@@ -34,6 +34,17 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
      << in << "\"truncated\": " << (r.truncated ? "true" : "false") << ",\n"
      << in << "\"battery_remaining_mwh\": " << r.battery_remaining_mwh
      << ",\n"
+     << in << "\"frames_captured\": " << r.frames_captured << ",\n"
+     << in << "\"frames_dropped\": " << r.frames_dropped << ",\n"
+     << in << "\"frames_pending\": " << r.frames_pending << ",\n"
+     << in << "\"max_backlog\": " << r.max_backlog << ",\n"
+     << in << "\"backlog_latency_s\": " << r.backlog_latency_s << ",\n"
+     << in << "\"thermal_violations\": " << r.thermal_violations << ",\n"
+     << in << "\"derated_frames\": " << r.derated_frames << ",\n"
+     << in << "\"prelocks\": " << r.prelocks << ",\n"
+     << in << "\"prelock_hits\": " << r.prelock_hits << ",\n"
+     << in << "\"prelock_misses\": " << r.prelock_misses << ",\n"
+     << in << "\"prelock_uj\": " << r.prelock_uj << ",\n"
      << in << "\"frames_per_rung\": [";
   for (std::size_t i = 0; i < r.frames_per_rung.size(); ++i) {
     os << (i ? ", " : "") << r.frames_per_rung[i];

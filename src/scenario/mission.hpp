@@ -1,11 +1,13 @@
 // Declarative mission specs for the deployment scenario engine: a battery, a
 // base duty cycle, and a timeline of events — frame-rate bursts, QoS-slack
-// changes, a low-battery threshold that relaxes the latency bound. The
-// engine (scenario/engine.hpp) simulates weeks of deployment against a
-// SchedulePolicy and emits a deterministic MissionReport. No wall-clock
-// randomness anywhere: the optional period jitter is driven by a seeded
-// xorshift generator, so a (spec, policy) pair always reproduces the same
-// report bit for bit.
+// changes, a low-battery threshold that relaxes the latency bound, ambient
+// temperature steps that derate the allowed clock and scale battery leakage,
+// and connectivity windows that gate frame delivery behind a bounded backlog
+// queue. The engine (scenario/engine.hpp) simulates weeks of deployment
+// against a SchedulePolicy and emits a deterministic MissionReport. No
+// wall-clock randomness anywhere: the optional period jitter is driven by a
+// seeded xorshift generator, so a (spec, policy) pair always reproduces the
+// same report bit for bit (pinned by tests/test_scenario_fuzz.cpp).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +34,40 @@ struct Burst {
   double period_s = 1.0;
 };
 
+/// Step change of the ambient temperature at a mission time (sun exposure,
+/// day/night cycles). Applied in `at_s` order, later events win.
+struct TempEvent {
+  double at_s = 0.0;
+  double ambient_c = 25.0;
+};
+
+/// Thermal derating curve: above `start_c` the sustainable SYSCLK drops
+/// linearly from `nominal_max_mhz` by `mhz_per_c` per degree. The engine
+/// turns the active ambient temperature into a per-frame clock cap
+/// (FrameContext::max_sysclk_mhz) that thermal-aware policies respect;
+/// frames executed on a rung whose peak clock exceeds the cap are counted
+/// as thermal violations. `mhz_per_c == 0` disables derating.
+struct ThermalDerate {
+  double start_c = 60.0;
+  double mhz_per_c = 0.0;
+  double nominal_max_mhz = 216.0;
+
+  /// Clock cap at `ambient_c`; 0 = uncapped (derating disabled or below
+  /// the derating knee). Never derates below 1 MHz.
+  [[nodiscard]] double max_sysclk_mhz(double ambient_c) const {
+    if (mhz_per_c <= 0.0 || ambient_c <= start_c) return 0.0;
+    const double capped = nominal_max_mhz - (ambient_c - start_c) * mhz_per_c;
+    return capped < 1.0 ? 1.0 : capped;
+  }
+};
+
+/// Uplink-available interval. While no window is active, captured frames
+/// cannot be served and queue up (bounded) as latency debt.
+struct ConnectivityWindow {
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
 struct MissionSpec {
   std::string name = "mission";
   power::BatteryParams battery;
@@ -53,6 +89,25 @@ struct MissionSpec {
   /// `seed`. 0 disables.
   double period_jitter = 0.0;
   std::uint64_t seed = 0x5eedULL;
+
+  // ---- v2 events -----------------------------------------------------
+
+  /// Ambient temperature before the first TempEvent. Scales the battery's
+  /// self-discharge (power::Battery::set_ambient_c) and, with `derate`
+  /// active, caps the allowed clock.
+  double base_ambient_c = 25.0;
+  std::vector<TempEvent> temp_events;
+  ThermalDerate derate;
+
+  /// Uplink-available intervals. Empty — or containing no positive-duration
+  /// window — = always connected (v1 behavior: every captured frame is
+  /// served immediately). While disconnected,
+  /// captures queue up to `uplink_queue_frames`; overflow drops the oldest
+  /// frame. While connected, the engine serves the live frame and then
+  /// drains queued frames back-to-back in the remainder of each capture
+  /// period — the backlog the governor burns down by picking faster rungs.
+  std::vector<ConnectivityWindow> connectivity;
+  std::uint32_t uplink_queue_frames = 64;
 };
 
 struct MissionReport {
@@ -61,7 +116,7 @@ struct MissionReport {
   bool battery_depleted = false;
   bool truncated = false;        ///< Hit the frame-count safety cap.
   double simulated_s = 0.0;      ///< Horizon reached, or depletion time.
-  std::uint64_t frames = 0;
+  std::uint64_t frames = 0;      ///< Frames *served* (inference executed).
   std::uint64_t deadline_misses = 0;
   std::uint64_t rung_switches = 0;
   double inference_uj = 0.0;
@@ -70,8 +125,30 @@ struct MissionReport {
   double battery_remaining_mwh = 0.0;
   std::vector<std::uint64_t> frames_per_rung;
 
+  // ---- Connectivity accounting (zero for always-connected missions).
+  std::uint64_t frames_captured = 0;  ///< All capture events.
+  std::uint64_t frames_dropped = 0;   ///< Backlog-queue overflow evictions.
+  std::uint64_t frames_pending = 0;   ///< Still queued at mission end.
+  std::uint64_t max_backlog = 0;
+  /// Latency debt: total queueing delay (serve time - capture time) of
+  /// frames served out of the backlog.
+  double backlog_latency_s = 0.0;
+
+  // ---- Thermal accounting.
+  /// Served frames whose rung's peak clock exceeded the active thermal cap
+  /// (thermal-blind policies, or a cap below every rung on the ladder).
+  std::uint64_t thermal_violations = 0;
+  /// Served frames during which the cap excluded at least one ladder rung.
+  std::uint64_t derated_frames = 0;
+
+  // ---- Predictive pre-lock accounting.
+  std::uint64_t prelocks = 0;         ///< Background repositions performed.
+  std::uint64_t prelock_hits = 0;     ///< Next wake used the pre-locked PLL.
+  std::uint64_t prelock_misses = 0;
+  double prelock_uj = 0.0;            ///< Energy of background repositions.
+
   [[nodiscard]] double total_uj() const {
-    return inference_uj + transition_uj + sleep_uj;
+    return inference_uj + transition_uj + sleep_uj + prelock_uj;
   }
   /// Average external draw over the simulated span.
   [[nodiscard]] double avg_mw() const {

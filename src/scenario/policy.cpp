@@ -1,0 +1,177 @@
+#include "scenario/policy.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "clock/rcc.hpp"
+
+namespace daedvfs::scenario {
+
+TransitionCost wake_transition(const WakeState& wake, const RungInfo& to,
+                               const clock::SwitchCostParams& sw,
+                               const power::PowerModel& pm) {
+  std::optional<clock::PllConfig> locked = wake.locked_pll;
+  clock::VoltageScale scale = wake.scale;
+  const clock::SwitchCost cost =
+      clock::apply_switch_policy(sw, wake.config, to.entry_hfo, locked, scale);
+  TransitionCost out;
+  if (cost.total_us == 0.0) return out;
+  out.us = cost.total_us;
+  out.uj = cost.total_us *
+           pm.power_mw(
+               power::PowerState::from_parts(to.entry_hfo, locked, scale),
+               power::Activity::kMemoryStall) *
+           1e-3;
+  return out;
+}
+
+TransitionCost rung_transition(const RungInfo& from, const RungInfo& to,
+                               const clock::SwitchCostParams& switching,
+                               const power::PowerModel& pm) {
+  return wake_transition(WakeState::after(from), to, switching, pm);
+}
+
+LadderPolicy::LadderPolicy(std::vector<RungInfo> rungs,
+                           clock::SwitchCostParams switching,
+                           power::PowerModelParams power, std::string name,
+                           bool predictive)
+    : rungs_(std::move(rungs)),
+      switching_(switching),
+      pm_(power),
+      name_(std::move(name)),
+      predictive_(predictive) {}
+
+LadderPolicy::LadderPolicy(clock::SwitchCostParams switching,
+                           power::PowerModelParams power, bool predictive)
+    : switching_(switching), pm_(power), predictive_(predictive) {}
+
+namespace {
+
+/// Shared selection loop of choose() and predict_next(). `free_wake` prices
+/// every transition as the bare mux toggle (what a pre-lock establishes);
+/// otherwise transitions run the full switch policy from `wake`.
+int pick_rung(const std::vector<RungInfo>& rungs,
+              const clock::SwitchCostParams& switching,
+              const power::PowerModel& pm, const FrameContext& ctx,
+              const std::optional<WakeState>& wake, bool free_wake) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Catch-up budget: with a backlog and a closing window, aim to serve the
+  // queue plus this frame before the window ends. Only ever *tightens* the
+  // declared deadline, and is dropped first when nothing meets it.
+  double budget_us = kInf;
+  if (ctx.backlog > 0 && ctx.window_remaining_s >= 0.0) {
+    budget_us = ctx.window_remaining_s * 1e6 /
+                (static_cast<double>(ctx.backlog) + 1.0);
+  }
+  const double cap = ctx.max_sysclk_mhz;
+
+  int best_budget = -1, best_deadline = -1, fastest = -1, coolest = -1;
+  double be_budget = kInf, be_deadline = kInf, fastest_t = kInf;
+  double coolest_mhz = kInf;
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    const RungInfo& r = rungs[i];
+    if (r.peak_mhz() < coolest_mhz) {
+      coolest_mhz = r.peak_mhz();
+      coolest = static_cast<int>(i);
+    }
+    if (cap > 0.0 && r.peak_mhz() > cap + 1e-9) continue;  // thermally barred
+
+    TransitionCost trans;
+    if (free_wake) {
+      trans.us = switching.mux_switch_us;
+      trans.uj = trans.us *
+                 pm.config_power_mw(r.entry_hfo,
+                                    power::Activity::kMemoryStall) *
+                 1e-3;
+    } else if (wake) {
+      trans = wake_transition(*wake, r, switching, pm);
+    }
+    const double t = r.t_us + trans.us;
+    const double e = r.e_uj + trans.uj;
+    if (t < fastest_t) {
+      fastest_t = t;
+      fastest = static_cast<int>(i);
+    }
+    if (t <= ctx.deadline_us + 1e-9 && e < be_deadline) {
+      be_deadline = e;
+      best_deadline = static_cast<int>(i);
+    }
+    if (t <= std::min(ctx.deadline_us, budget_us) + 1e-9 && e < be_budget) {
+      be_budget = e;
+      best_budget = static_cast<int>(i);
+    }
+  }
+  if (best_budget >= 0) return best_budget;
+  if (best_deadline >= 0) return best_deadline;
+  // No rung fits the deadline: run the fastest reachable one (the miss is
+  // the scenario engine's to count).
+  if (fastest >= 0) return fastest;
+  // The thermal cap excluded everything: run the coolest rung (the engine
+  // counts the violation).
+  return coolest;
+}
+
+}  // namespace
+
+int LadderPolicy::choose(const FrameContext& ctx, int current_rung) const {
+  if (rungs_.empty()) return -1;
+  std::optional<WakeState> wake = ctx.wake;
+  if (!wake && current_rung >= 0) {
+    wake = WakeState::after(rungs_[static_cast<std::size_t>(current_rung)]);
+  }
+  return pick_rung(rungs_, switching_, pm_, ctx, wake, /*free_wake=*/false);
+}
+
+std::optional<PrelockAnchor> find_prelock_anchor(
+    const std::vector<RungInfo>& rungs, double t_base_us,
+    const clock::SwitchCostParams& switching, const power::PowerModel& pm) {
+  if (t_base_us <= 0.0) return std::nullopt;
+  for (std::size_t j = 0; j < rungs.size(); ++j) {
+    const TransitionCost wrap =
+        rung_transition(rungs[j], rungs[j], switching, pm);
+    if (wrap.us < 1.0) continue;  // wrap-free: not a mixed rung
+    for (std::size_t i = 0; i < j; ++i) {
+      const TransitionCost iwrap =
+          rung_transition(rungs[i], rungs[i], switching, pm);
+      if (iwrap.us >= 1.0 || rungs[i].e_uj <= rungs[j].e_uj) continue;
+      PrelockAnchor anchor;
+      anchor.mixed = static_cast<int>(j);
+      anchor.pure = static_cast<int>(i);
+      anchor.tight_slack =
+          (rungs[j].t_us + wrap.us * 0.5) / t_base_us - 1.0;
+      return anchor;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<ThermalAnchor> find_thermal_anchor(
+    const std::vector<RungInfo>& rungs) {
+  double peak_min = std::numeric_limits<double>::infinity();
+  double peak_max = 0.0;
+  for (const RungInfo& r : rungs) {
+    peak_min = std::min(peak_min, r.peak_mhz());
+    peak_max = std::max(peak_max, r.peak_mhz());
+  }
+  if (!(peak_min + 1.0 < peak_max)) return std::nullopt;
+  ThermalAnchor anchor;
+  anchor.derate.start_c = 45.0;
+  anchor.derate.mhz_per_c = 4.0;
+  anchor.derate.nominal_max_mhz = peak_max;
+  anchor.cap_mhz = (peak_min + peak_max) / 2.0;
+  anchor.hot_ambient_c =
+      anchor.derate.start_c + (peak_max - anchor.cap_mhz) / anchor.derate.mhz_per_c;
+  return anchor;
+}
+
+int LadderPolicy::predict_next(const FrameContext& ctx, int chosen) const {
+  (void)chosen;
+  if (!predictive_ || rungs_.empty()) return -1;
+  // Steady-duty-cycle assumption: the next frame looks like this one. Pick
+  // the rung the policy would run if waking were free — pre-locking its
+  // entry PLL during the coming sleep is exactly what makes that true.
+  return pick_rung(rungs_, switching_, pm_, ctx, std::nullopt,
+                   /*free_wake=*/true);
+}
+
+}  // namespace daedvfs::scenario

@@ -2,15 +2,21 @@
 // ladder of executable schedules ("rungs") and picks one per frame. The
 // adaptive governor (governor/governor.hpp) is the interesting
 // implementation; StaticPolicy pins one rung forever and is the baseline the
-// benches compare against.
+// benches compare against. LadderPolicy holds the shared online decision
+// rule (minimum energy under the active deadline, thermal-cap filtering,
+// backlog catch-up, optional predictive PLL pre-lock) so the governor and
+// synthetic test ladders run the exact same code.
 #pragma once
 
+#include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "clock/clock_config.hpp"
 #include "clock/switch_model.hpp"
 #include "power/power_model.hpp"
+#include "scenario/mission.hpp"
 
 namespace daedvfs::scenario {
 
@@ -25,6 +31,40 @@ struct RungInfo {
   double e_uj = 0.0;        ///< Measured inference energy.
   clock::ClockConfig entry_hfo;  ///< First layer's clock.
   clock::ClockConfig exit_hfo;   ///< Last layer's clock.
+  /// Peak SYSCLK any layer of the schedule runs at — what a thermal cap
+  /// (FrameContext::max_sysclk_mhz) is compared against. 0 = unknown
+  /// (legacy rungs): treated as max(entry, exit).
+  double max_sysclk_mhz = 0.0;
+
+  [[nodiscard]] double peak_mhz() const {
+    if (max_sysclk_mhz > 0.0) return max_sysclk_mhz;
+    const double e = entry_hfo.sysclk_mhz();
+    const double x = exit_hfo.sysclk_mhz();
+    return e > x ? e : x;
+  }
+};
+
+/// Clock-tree state a frame wakes into: the SYSCLK configuration sleep
+/// retained, plus which PLL parameters are locked and where the regulator
+/// sits. Without predictive pre-locking this is exactly the previous rung's
+/// exit state; a pre-lock repositions `locked_pll`/`scale` during sleep.
+struct WakeState {
+  clock::ClockConfig config;
+  std::optional<clock::PllConfig> locked_pll;
+  clock::VoltageScale scale = clock::VoltageScale::kScale3;
+
+  /// Sleep state left behind by a frame executed on `rung` (the v1
+  /// derivation: exit clock retained, PLL locked iff the exit runs on it,
+  /// regulator at the exit requirement).
+  [[nodiscard]] static WakeState after(const RungInfo& rung) {
+    WakeState w;
+    w.config = rung.exit_hfo;
+    if (rung.exit_hfo.source == clock::ClockSource::kPll) {
+      w.locked_pll = rung.exit_hfo.pll;
+    }
+    w.scale = rung.exit_hfo.voltage_scale();
+    return w;
+  }
 };
 
 /// What a policy sees when asked to schedule one frame.
@@ -33,6 +73,20 @@ struct FrameContext {
   double deadline_us = 0.0;  ///< Active QoS deadline for this inference.
   double period_s = 0.0;     ///< Active inference period.
   double battery_soc = 1.0;  ///< Battery state of charge in [0, 1].
+
+  /// Thermal clock cap; rungs whose peak clock exceeds it should not run.
+  /// 0 = uncapped.
+  double max_sysclk_mhz = 0.0;
+  /// Frames queued behind this one (connectivity backlog). Policies burn
+  /// the debt down by picking rungs fast enough to drain the queue.
+  std::uint32_t backlog = 0;
+  /// Time left in the active connectivity window; < 0 = unbounded (always
+  /// connected, or no window accounting).
+  double window_remaining_s = -1.0;
+  /// Clock-tree state at wake, when the engine tracks it (pre-lock aware).
+  /// Unset on a cold start or when calling choose() outside the engine —
+  /// policies then fall back to the previous rung's exit state.
+  std::optional<WakeState> wake;
 };
 
 class SchedulePolicy {
@@ -43,8 +97,129 @@ class SchedulePolicy {
   /// executed rung (-1 on the first frame).
   [[nodiscard]] virtual int choose(const FrameContext& ctx,
                                    int current_rung) const = 0;
+  /// Rung the policy expects to run next frame, given the frame just
+  /// executed. A non-negative answer lets the engine pre-lock that rung's
+  /// entry PLL (and pre-settle the regulator) during the following sleep,
+  /// moving the relock off the wake critical path; a wrong prediction falls
+  /// back to the reactive wake transition. -1 (default) disables
+  /// prediction.
+  [[nodiscard]] virtual int predict_next(const FrameContext& ctx,
+                                         int chosen) const {
+    (void)ctx;
+    (void)chosen;
+    return -1;
+  }
   [[nodiscard]] virtual std::string name() const = 0;
 };
+
+/// Cost of waking into `to` from the clock-tree state sleep retained:
+/// SYSCLK mux + PLL relock when the parameters are not already locked +
+/// regulator settle when the scale differs, stalled at the target's
+/// memory-stall power. Runs the shared clock::apply_switch_policy state
+/// machine, so it can never drift from the stateful Rcc model.
+struct TransitionCost {
+  double us = 0.0;
+  double uj = 0.0;
+};
+
+[[nodiscard]] TransitionCost wake_transition(const WakeState& wake,
+                                             const RungInfo& to,
+                                             const clock::SwitchCostParams& sw,
+                                             const power::PowerModel& pm);
+
+/// Legacy convenience: transition out of `from`'s exit state (no pre-lock).
+/// Same-schedule wrap-around (from == to) pays it too whenever the
+/// schedule's last layer runs a different HFO than its first.
+[[nodiscard]] TransitionCost rung_transition(
+    const RungInfo& from, const RungInfo& to,
+    const clock::SwitchCostParams& switching, const power::PowerModel& pm);
+
+/// Shared ladder decision rule. Owns a rung ladder plus the switch/power
+/// parameterization that prices wake transitions, and implements:
+///
+///   choose  — minimum-energy rung whose latency plus the wake-transition
+///             cost meets the effective deadline, where the effective
+///             deadline is the declared QoS bound tightened (never loosened)
+///             by the backlog catch-up budget `window_remaining / (backlog
+///             + 1)`. Rungs above the thermal cap are filtered out first.
+///             Tiered fallbacks keep the declared QoS primary: if nothing
+///             meets the catch-up budget the budget is dropped; if nothing
+///             meets the declared deadline the fastest reachable rung runs
+///             (the miss is the engine's to count); if the cap excludes
+///             every rung, the coolest rung runs (the engine counts the
+///             thermal violation).
+///   predict — with `predictive` set: the rung choose() would pick for an
+///             unchanged context if waking were free (transitions reduced
+///             to the mux toggle) — exactly what a pre-lock establishes.
+///             Without `predictive`: -1 (the PR 2 reactive behavior).
+///
+/// The governor derives from this class; tests drive it with synthetic
+/// ladders so the fuzz harness exercises the very same decision code.
+class LadderPolicy : public SchedulePolicy {
+ public:
+  LadderPolicy(std::vector<RungInfo> rungs, clock::SwitchCostParams switching,
+               power::PowerModelParams power, std::string name = "ladder",
+               bool predictive = false);
+
+  [[nodiscard]] const std::vector<RungInfo>& rungs() const override {
+    return rungs_;
+  }
+  [[nodiscard]] int choose(const FrameContext& ctx,
+                           int current_rung) const override;
+  [[nodiscard]] int predict_next(const FrameContext& ctx,
+                                 int chosen) const override;
+  [[nodiscard]] std::string name() const override { return name_; }
+  [[nodiscard]] bool predictive() const { return predictive_; }
+
+ protected:
+  /// For subclasses (the governor) that build the ladder after base-class
+  /// construction.
+  LadderPolicy(clock::SwitchCostParams switching,
+               power::PowerModelParams power, bool predictive);
+
+  std::vector<RungInfo> rungs_;      ///< Ascending latency.
+  clock::SwitchCostParams switching_;
+  power::PowerModel pm_;
+  std::string name_ = "ladder";
+  bool predictive_ = false;
+};
+
+/// The ladder structure the predictive pre-lock exploits, found by
+/// find_prelock_anchor: rung `mixed` enters at a different clock than it
+/// exits (holding it reactively pays a wrap-around relock every frame)
+/// while the faster, pricier rung `pure` wraps for free. `tight_slack`
+/// places the deadline halfway into the relock window above the mixed rung
+/// — mux-reachable with a pre-locked PLL, relock-unreachable without — the
+/// spot where the predictive governor's rung-selection win materializes.
+struct PrelockAnchor {
+  int mixed = -1;
+  int pure = -1;
+  double tight_slack = 0.0;
+};
+
+/// Scans a ladder (ascending latency) for the pre-lock lever described
+/// above. nullopt when the ladder has no mixed rung with a faster wrap-free
+/// alternative. Shared by bench_scenario's gated v2 mission and the
+/// mission_sim walkthrough so the anchoring formula cannot drift.
+[[nodiscard]] std::optional<PrelockAnchor> find_prelock_anchor(
+    const std::vector<RungInfo>& rungs, double t_base_us,
+    const clock::SwitchCostParams& switching, const power::PowerModel& pm);
+
+/// Thermal-derating anchor for benches/examples: a derate curve plus the
+/// ambient temperature that cap the clock halfway between the ladder's
+/// coolest and hottest rung peaks — hot phases then bar the fast PLL family
+/// while keeping the cool one eligible. nullopt when every rung peaks at
+/// the same clock (no cap can separate them). Shared by bench_scenario's
+/// gated v2 mission and the mission_sim walkthrough so the derate
+/// parameters cannot drift.
+struct ThermalAnchor {
+  ThermalDerate derate;     ///< start 45 C, 4 MHz per degree, ladder peak.
+  double hot_ambient_c = 0.0;  ///< Ambient realizing the mid-family cap.
+  double cap_mhz = 0.0;
+};
+
+[[nodiscard]] std::optional<ThermalAnchor> find_thermal_anchor(
+    const std::vector<RungInfo>& rungs);
 
 /// Pins one rung forever — the "best single static schedule" baseline.
 class StaticPolicy final : public SchedulePolicy {
@@ -63,19 +238,5 @@ class StaticPolicy final : public SchedulePolicy {
  private:
   std::vector<RungInfo> rungs_;
 };
-
-/// Cost of waking into `to` when the previous frame left the clock tree at
-/// `from`'s exit state: SYSCLK mux + PLL relock when the parameters differ +
-/// regulator settle when the scale differs, stalled at the target's
-/// memory-stall power. Same-schedule wrap-around (from == to) pays it too
-/// whenever the schedule's last layer runs a different HFO than its first.
-struct TransitionCost {
-  double us = 0.0;
-  double uj = 0.0;
-};
-
-[[nodiscard]] TransitionCost rung_transition(
-    const RungInfo& from, const RungInfo& to,
-    const clock::SwitchCostParams& switching, const power::PowerModel& pm);
 
 }  // namespace daedvfs::scenario

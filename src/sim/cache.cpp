@@ -79,6 +79,37 @@ AccessResult CacheSim::access_strided(uint64_t vaddr, uint64_t stride,
   return total;
 }
 
+uint64_t CacheSim::state_fingerprint() const {
+  // FNV-1a over the way-ordered line array. Way positions matter (victim
+  // selection scans ways in order when invalid lines exist); absolute LRU
+  // stamps do not (only their per-set ordering among valid lines drives
+  // future victim choices), so each valid line contributes its rank instead.
+  uint64_t h = 0xcbf29ce484222325ull;
+  const auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ ((v >> (8 * i)) & 0xff)) * 0x100000001b3ull;
+    }
+  };
+  const uint32_t sets = cfg_.num_sets();
+  for (uint32_t set = 0; set < sets; ++set) {
+    const Line* base = &lines_[static_cast<std::size_t>(set) * cfg_.ways];
+    for (uint32_t w = 0; w < cfg_.ways; ++w) {
+      const Line& l = base[w];
+      if (!l.valid) {
+        mix(0);
+        continue;
+      }
+      uint64_t rank = 0;
+      for (uint32_t v = 0; v < cfg_.ways; ++v) {
+        if (base[v].valid && base[v].lru < l.lru) ++rank;
+      }
+      mix(1 | (l.dirty ? 2 : 0) | (rank << 2));
+      mix(l.tag);
+    }
+  }
+  return h;
+}
+
 void CacheSim::flush(bool clear_stats) {
   for (Line& l : lines_) l = {};
   use_stamp_ = 0;

@@ -61,6 +61,14 @@ class CacheSim {
   /// Invalidates all lines (discarding dirty data) and optionally the stats.
   void flush(bool clear_stats = false);
 
+  /// Canonical fingerprint of the *behavioral* cache state: per way the
+  /// (valid, tag, dirty) triple plus each valid line's LRU rank within its
+  /// set. Absolute use stamps are normalized away — two caches with equal
+  /// fingerprints produce identical hit/miss/writeback streams for any
+  /// future access sequence, which is what the schedule-ledger granularity
+  /// patch (dse/freq_replay) uses as its re-record stopping rule.
+  [[nodiscard]] uint64_t state_fingerprint() const;
+
   [[nodiscard]] const CacheStats& stats() const { return stats_; }
   [[nodiscard]] const CacheConfig& config() const { return cfg_; }
 

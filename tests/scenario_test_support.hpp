@@ -1,0 +1,95 @@
+// Shared support for the scenario v2 tests (test_scenario.cpp's edge cases
+// and the test_scenario_fuzz.cpp harness): one synthetic rung ladder, the
+// relock-window deadline anchor, and the MissionReport invariant checker —
+// so a new report field or invariant is added in exactly one place.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+
+#include "scenario/engine.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::scenario {
+
+/// TinyEngine reference latency the synthetic rungs below are scaled to.
+inline constexpr double kSyntheticTBase = 40000.0;
+
+/// Synthetic ladder mirroring the structure the PD governor ladder
+/// exhibits: a pure fast rung (entry == exit == 216 MHz), a cheaper *mixed*
+/// rung whose entry and exit clocks differ (every wrap-around pays a PLL
+/// relock unless it was pre-locked during sleep), and a cheap slow rung.
+/// `with_eco` appends a deep 96 MHz rung for thermal-derating diversity.
+inline LadderPolicy make_synthetic_ladder(bool predictive,
+                                          bool with_eco = false) {
+  const clock::ClockConfig fast = clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+  const clock::ClockConfig mid = clock::ClockConfig::pll_hse(50.0, 25, 168, 2);
+  std::vector<RungInfo> rungs = {
+      RungInfo{"fast", 0.05, 40700.0, 7088.0, fast, fast, 216.0},
+      RungInfo{"mixed", 0.10, 42770.0, 7004.0, mid, fast, 216.0},
+      RungInfo{"slow", 0.30, 52331.0, 6785.0, mid, mid, 168.0}};
+  if (with_eco) {
+    const clock::ClockConfig eco = clock::ClockConfig::pll_hse(50.0, 25, 96, 2);
+    rungs.push_back(RungInfo{"eco", 0.75, 69400.0, 6390.0, eco, eco, 96.0});
+  }
+  const sim::SimParams sim;
+  return LadderPolicy(std::move(rungs), sim.switching, sim.power,
+                      predictive ? "synthetic+prelock" : "synthetic",
+                      predictive);
+}
+
+/// Deadline inside the relock window above the mixed rung: reachable with a
+/// pre-locked entry PLL (mux toggle), unreachable through a wake relock.
+inline double mixed_rung_slack() {
+  const sim::SimParams sim;
+  const double d =
+      42770.0 + (sim.switching.pll_relock_us + sim.switching.vos_change_us) / 2;
+  return d / kSyntheticTBase - 1.0;
+}
+
+/// The MissionReport invariants every scenario — fuzzed or hand-written —
+/// must satisfy: frame accounting closes, every QoS miss is accounted, the
+/// backlog respects its bound, pre-lock bookkeeping balances, and the
+/// battery only ever discharges while covering the reported energy split.
+inline void check_mission_invariants(const MissionSpec& spec,
+                                     const MissionReport& r) {
+  EXPECT_EQ(r.frames_captured, r.frames + r.frames_dropped + r.frames_pending);
+  std::uint64_t per_rung = 0;
+  for (std::uint64_t n : r.frames_per_rung) per_rung += n;
+  EXPECT_EQ(per_rung, r.frames);
+  EXPECT_LE(r.deadline_misses, r.frames);
+  EXPECT_LE(r.thermal_violations, r.frames);
+  EXPECT_LE(r.derated_frames, r.frames);
+  EXPECT_LE(r.max_backlog,
+            static_cast<std::uint64_t>(
+                std::max<std::uint32_t>(spec.uplink_queue_frames, 1)));
+  EXPECT_GE(r.backlog_latency_s, 0.0);
+  if (spec.connectivity.empty()) {
+    EXPECT_EQ(r.frames_dropped, 0u);
+    EXPECT_EQ(r.frames_pending, 0u);
+    EXPECT_EQ(r.backlog_latency_s, 0.0);
+  }
+  EXPECT_LE(r.prelock_hits + r.prelock_misses, r.prelocks);
+  EXPECT_LE(r.prelocks, r.prelock_hits + r.prelock_misses + 1)
+      << "at most the final pre-lock may still await its wake";
+  EXPECT_GE(r.battery_remaining_mwh, 0.0);
+  EXPECT_LE(r.battery_remaining_mwh, spec.battery.capacity_mwh);
+  if (r.battery_depleted) {
+    EXPECT_DOUBLE_EQ(r.battery_remaining_mwh, 0.0);
+  } else {
+    const double drained_mwh =
+        spec.battery.capacity_mwh - r.battery_remaining_mwh;
+    EXPECT_GE(drained_mwh + 1e-9, r.total_uj() / 3.6e6);
+  }
+  EXPECT_GE(r.inference_uj, 0.0);
+  EXPECT_GE(r.transition_uj, 0.0);
+  EXPECT_GE(r.sleep_uj, 0.0);
+  EXPECT_GE(r.prelock_uj, 0.0);
+  EXPECT_NEAR(r.total_uj(),
+              r.inference_uj + r.transition_uj + r.sleep_uj + r.prelock_uj,
+              1e-9);
+}
+
+}  // namespace daedvfs::scenario

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "governor/governor.hpp"
+#include "scenario_test_support.hpp"
 #include "graph/builder.hpp"
 #include "scenario/engine.hpp"
 
@@ -198,6 +199,222 @@ TEST_F(ScenarioTest, StaticPolicyUsesItsOnlyRung) {
   ASSERT_EQ(r.frames_per_rung.size(), 1u);
   EXPECT_EQ(r.frames_per_rung[0], r.frames);
   EXPECT_EQ(r.rung_switches, 0u);
+}
+
+TEST_F(ScenarioTest, ThermalDeratingCapsTheRealLadder) {
+  // A hot phase caps the clock below the fast rungs' 216 MHz: the governor
+  // must downshift (zero violations) while a pinned fast rung racks them up.
+  MissionSpec spec = sentry_mission();
+  spec.qos_events.clear();  // relaxed bound: the cap is the only pressure
+  spec.derate.start_c = 45.0;
+  spec.derate.mhz_per_c = 4.0;
+  spec.temp_events = {{20000.0, 75.0},   // cap = 216 - 30*4 = 96?  see below
+                      {40000.0, 25.0}};
+  // Cap between the ladder's families: above 168, below 216.
+  spec.temp_events[0].ambient_c = 45.0 + (216.0 - 190.0) / 4.0;  // cap 190
+
+  const auto& rungs = gov_->rungs();
+  double peak_max = 0.0, peak_min = 1e9;
+  for (const RungInfo& r : rungs) {
+    peak_max = std::max(peak_max, r.peak_mhz());
+    peak_min = std::min(peak_min, r.peak_mhz());
+  }
+  ASSERT_GT(peak_max, 190.0) << "ladder has no rung above the cap";
+  ASSERT_LT(peak_min, 190.0) << "ladder has no rung under the cap";
+
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport r = simulate_mission(spec, *gov_, gov_->t_base_us(), sim);
+  EXPECT_EQ(r.thermal_violations, 0u) << "governor ran a capped rung";
+  EXPECT_GT(r.derated_frames, 0u) << "the hot phase never engaged";
+
+  int fastest = 0;
+  for (std::size_t i = 0; i < rungs.size(); ++i) {
+    if (rungs[i].peak_mhz() > rungs[static_cast<std::size_t>(fastest)]
+                                  .peak_mhz()) {
+      fastest = static_cast<int>(i);
+    }
+  }
+  const StaticPolicy pinned(rungs[static_cast<std::size_t>(fastest)]);
+  const MissionReport rs = simulate_mission(spec, pinned, gov_->t_base_us(),
+                                            sim);
+  EXPECT_GT(rs.thermal_violations, 0u)
+      << "thermal-blind static rung must be caught by the accounting";
+}
+
+TEST_F(ScenarioTest, HotAmbientScalesBatteryLeakage) {
+  MissionSpec cool = sentry_mission();
+  cool.qos_events.clear();
+  cool.bursts.clear();
+  cool.battery.self_discharge_mw = 2.0;  // make leakage visible
+  MissionSpec hot = cool;
+  hot.base_ambient_c = 55.0;  // 3 doublings over the 25 C reference
+
+  const sim::SimParams& sim = gov_->config().pipeline.explore.sim;
+  const MissionReport rc = simulate_mission(cool, *gov_, gov_->t_base_us(), sim);
+  const MissionReport rh = simulate_mission(hot, *gov_, gov_->t_base_us(), sim);
+  ASSERT_FALSE(rc.battery_depleted);
+  EXPECT_LT(rh.battery_remaining_mwh, rc.battery_remaining_mwh)
+      << "hot ambient must drain the battery faster via leakage";
+  EXPECT_DOUBLE_EQ(rh.total_uj(), rc.total_uj())
+      << "leakage is battery-internal: the external energy split is equal";
+}
+
+// ---- v2 edge cases on a synthetic ladder -------------------------------
+//
+// make_synthetic_ladder (scenario_test_support.hpp) mirrors the structure
+// the PD governor ladder exhibits, including a mixed entry/exit rung.
+// Driving the shared LadderPolicy decision rule directly keeps these tests
+// DSE-free and lets them pin exact switching behavior.
+
+constexpr double kTBase = kSyntheticTBase;
+
+LadderPolicy synthetic_ladder(bool predictive) {
+  return make_synthetic_ladder(predictive);
+}
+
+void check_accounting(const MissionSpec& spec, const MissionReport& r) {
+  check_mission_invariants(spec, r);
+}
+
+TEST(ScenarioEdge, PredictionMissMidBurstFallsBackReactively) {
+  // Steady state sits on the mixed rung (one pre-lock per frame). Mid-burst
+  // the backend relaxes the bound: the pre-lock made under the tight
+  // deadline predicts the mixed rung, but the wake choice is the slow rung
+  // — a prediction miss that must degrade to the reactive transition
+  // without ever violating the declared deadline.
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec spec;
+  spec.name = "miss-mid-burst";
+  spec.horizon_s = 4000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = mixed_rung_slack();
+  spec.bursts = {{1000.0, 2000.0, 2.0}};
+  spec.qos_events = {{2000.0, 0.60},   // relaxes mid-burst...
+                     {2400.0, spec.base_qos_slack}};  // ...and re-tightens
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  EXPECT_EQ(r.deadline_misses, 0u)
+      << "every phase has a rung fitting its declared deadline";
+  EXPECT_GT(r.prelocks, 0u);
+  EXPECT_GT(r.prelock_hits, 0u) << "steady-state predictions must land";
+  EXPECT_GE(r.prelock_misses, 1u) << "the mid-burst relax must mispredict";
+  EXPECT_GT(r.frames_per_rung[1], 0u) << "mixed rung never ran";
+  EXPECT_GT(r.frames_per_rung[2], 0u) << "relaxed phase never downshifted";
+}
+
+TEST(ScenarioEdge, PrelockMakesTheMixedRungReachable) {
+  // Same mission, reactive vs predictive: without the pre-lock the mixed
+  // rung's wrap-around relock overruns the tight deadline, so the reactive
+  // policy must run the expensive fast rung — strictly more energy.
+  MissionSpec spec;
+  spec.name = "prelock-win";
+  spec.horizon_s = 4000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = mixed_rung_slack();
+
+  const sim::SimParams sim;
+  const MissionReport pred =
+      simulate_mission(spec, synthetic_ladder(true), kTBase, sim);
+  const MissionReport reac =
+      simulate_mission(spec, synthetic_ladder(false), kTBase, sim);
+  check_accounting(spec, pred);
+  check_accounting(spec, reac);
+  EXPECT_EQ(pred.deadline_misses, 0u);
+  EXPECT_EQ(reac.deadline_misses, 0u);
+  EXPECT_GT(pred.frames_per_rung[1], pred.frames / 2)
+      << "predictive must hold 'mixed' in steady state";
+  EXPECT_LE(reac.frames_per_rung[1], 1u)
+      << "reactive cannot hold 'mixed' past the (transition-free) cold "
+         "start: the wrap-around relock overruns the deadline";
+  EXPECT_LT(pred.total_uj(), reac.total_uj())
+      << "moving the relock off the wake path must save energy";
+  EXPECT_EQ(reac.prelocks, 0u);
+}
+
+TEST(ScenarioEdge, LowBatteryCrossingDuringPreLockedSleep) {
+  // The battery crosses the low-SoC threshold *during* a pre-locked sleep:
+  // the wake deadline relaxes, the choice drops to the slow rung instead of
+  // the predicted mixed rung — a miss that must neither violate the (now
+  // relaxed) declared deadline nor corrupt the accounting.
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec spec;
+  spec.name = "low-batt-prelock";
+  spec.horizon_s = 40000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = mixed_rung_slack();
+  spec.low_battery_qos_slack = 0.60;
+  spec.low_battery_soc = 0.5;
+  // Sized so the threshold crossing happens mid-mission (~1.5 mW average
+  // draw -> 50% of 18 mWh after ~6 of the mission's ~11 hours).
+  spec.battery.capacity_mwh = 18.0;
+  spec.battery.self_discharge_mw = 0.0;
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  EXPECT_EQ(r.deadline_misses, 0u);
+  EXPECT_GE(r.prelock_misses, 1u)
+      << "the threshold crossing must invalidate one prediction";
+  EXPECT_GT(r.frames_per_rung[1], 0u) << "tight phase on the mixed rung";
+  EXPECT_GT(r.frames_per_rung[2], 0u) << "low-battery phase on the slow rung";
+  // Sanity: the threshold did engage before the horizon.
+  EXPECT_LT(r.battery_remaining_mwh, 0.5 * spec.battery.capacity_mwh);
+}
+
+TEST(ScenarioEdge, WindowShorterThanOneInference) {
+  // Connectivity windows shorter than one inference: service is gated on
+  // the window being up at serve *start*, so each aligned window serves
+  // exactly one frame and the backlog keeps building — bounded by the
+  // queue, with drops accounted and the declared QoS never violated by
+  // backlog pressure.
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec spec;
+  spec.name = "short-window";
+  spec.horizon_s = 2000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = 0.60;
+  spec.uplink_queue_frames = 8;
+  // A 20 ms window at every 5th capture (the fastest rung runs ~41 ms).
+  for (double t = 0.0; t < 2000.0; t += 50.0) {
+    spec.connectivity.push_back({t, 0.020});
+  }
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  EXPECT_EQ(r.frames_captured, 200u);
+  EXPECT_EQ(r.frames, 40u) << "one serve per aligned window";
+  EXPECT_GT(r.frames_dropped, 0u) << "the 8-deep queue must overflow";
+  EXPECT_EQ(r.max_backlog, 8u);
+  EXPECT_GT(r.backlog_latency_s, 0.0);
+  EXPECT_EQ(r.deadline_misses, 0u)
+      << "catch-up pressure must never force a declared-QoS miss";
+}
+
+TEST(ScenarioEdge, BacklogDrainsWhenTheLinkReturns) {
+  // A nightly blackout queues frames; the morning window must drain them
+  // back-to-back (latency debt paid down, nothing left pending).
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec spec;
+  spec.name = "blackout-drain";
+  spec.horizon_s = 3000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = 0.60;
+  spec.uplink_queue_frames = 200;
+  spec.connectivity = {{0.0, 1000.0}, {2000.0, 1000.0}};
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  EXPECT_EQ(r.frames_dropped, 0u) << "queue sized for the whole blackout";
+  EXPECT_EQ(r.frames_pending, 0u) << "morning window must clear the debt";
+  EXPECT_EQ(r.frames, r.frames_captured);
+  EXPECT_EQ(r.max_backlog, 101u)
+      << "100 blackout slots plus the live capture at the window opening";
+  EXPECT_GT(r.backlog_latency_s, 0.0);
+  EXPECT_EQ(r.deadline_misses, 0u);
 }
 
 }  // namespace

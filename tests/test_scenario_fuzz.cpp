@@ -1,0 +1,283 @@
+// Scenario-fuzz harness: the determinism contract of the mission state
+// machine (docs/scenarios.md). Seeded random MissionSpecs — bursts x QoS
+// events x temperature derating x connectivity windows x low-battery
+// thresholds x period jitter — run against the shared LadderPolicy decision
+// rule (reactive and predictive), asserting for every seed that
+//
+//   (a) the same seed reproduces a byte-identical MissionReport JSON across
+//       two runs (and, in GoldenMissionReport / BackendsAgree below, across
+//       schema revisions and kernel backends), and
+//   (b) the report's physical invariants hold: the battery only ever
+//       discharges and the external energy split never exceeds the charge
+//       drawn, frame accounting closes (captured = served + dropped +
+//       pending, per-rung counts sum to served), every QoS miss is
+//       accounted (misses <= served), the backlog respects its bound, and
+//       pre-lock bookkeeping balances.
+//
+// Seed count: 200 by default; the ASan+UBSan CI job reduces it via the
+// DAEDVFS_FUZZ_SEEDS environment variable.
+//
+// Golden file: tests/data/mission_report_golden.json pins the MissionReport
+// JSON schema + engine arithmetic for one canonical mission using every v2
+// event kind. Schema changes are an explicit diff — regenerate with
+//   DAEDVFS_REGEN_GOLDEN=1 ./build/daedvfs_tests --gtest_filter='*Golden*'
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "graph/builder.hpp"
+#include "kernels/backend.hpp"
+#include "runtime/engine.hpp"
+#include "scenario/engine.hpp"
+#include "scenario_test_support.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::scenario {
+namespace {
+
+constexpr double kTBase = kSyntheticTBase;
+
+/// Implementation-independent generator (std::uniform_* distributions are
+/// not bit-portable across standard libraries; this is).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : s_(seed ? seed : 1ULL) {}
+  double unit() {  // [0, 1)
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return static_cast<double>(s_ >> 11) * 0x1.0p-53;
+  }
+  double range(double lo, double hi) { return lo + (hi - lo) * unit(); }
+  int upto(int n) { return static_cast<int>(unit() * n); }  // [0, n)
+  bool coin() { return unit() < 0.5; }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// The shared synthetic ladder plus its deep-eco rung: both PLL families, a
+/// mixed entry/exit rung (wrap-around relocks — the predictive pre-lock's
+/// home turf) and a 96 MHz clock for thermal-derating diversity.
+LadderPolicy fuzz_ladder(bool predictive) {
+  return make_synthetic_ladder(predictive, /*with_eco=*/true);
+}
+
+MissionSpec random_spec(std::uint64_t seed) {
+  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  MissionSpec spec;
+  spec.name = "fuzz-" + std::to_string(seed);
+  spec.seed = seed;
+  spec.horizon_s = rng.range(0.1, 1.5) * 86400.0;
+  spec.duty.period_s = rng.range(2.0, 120.0);
+  spec.duty.sleep_mw = rng.range(0.0, 2.0);
+  spec.battery.capacity_mwh = rng.coin() ? rng.range(1.0, 30.0)   // may die
+                                         : rng.range(100.0, 3000.0);
+  spec.battery.self_discharge_mw = rng.range(0.0, 0.1);
+  spec.battery.leakage_doubling_c = rng.coin() ? 0.0 : rng.range(6.0, 15.0);
+  spec.base_qos_slack = rng.range(0.05, 1.0);
+
+  const int n_qos = rng.upto(6);
+  for (int i = 0; i < n_qos; ++i) {
+    spec.qos_events.push_back(
+        {rng.range(0.0, spec.horizon_s), rng.range(0.05, 1.0)});
+  }
+  const int n_bursts = rng.upto(4);
+  for (int i = 0; i < n_bursts; ++i) {
+    spec.bursts.push_back({rng.range(0.0, spec.horizon_s),
+                           rng.range(100.0, 20000.0), rng.range(0.5, 5.0)});
+  }
+  spec.base_ambient_c = rng.range(-20.0, 45.0);
+  const int n_temp = rng.upto(5);
+  for (int i = 0; i < n_temp; ++i) {
+    spec.temp_events.push_back(
+        {rng.range(0.0, spec.horizon_s), rng.range(-20.0, 90.0)});
+  }
+  if (rng.coin()) {
+    spec.derate.start_c = rng.range(40.0, 70.0);
+    spec.derate.mhz_per_c = rng.range(1.0, 8.0);
+  }
+  if (rng.coin()) {
+    const int n_win = 1 + rng.upto(6);
+    for (int i = 0; i < n_win; ++i) {
+      spec.connectivity.push_back({rng.range(0.0, spec.horizon_s),
+                                   rng.range(10.0, spec.horizon_s / 2)});
+    }
+    spec.uplink_queue_frames = static_cast<std::uint32_t>(1 + rng.upto(128));
+  }
+  if (rng.coin()) {
+    spec.low_battery_soc = rng.range(0.1, 0.9);
+    spec.low_battery_qos_slack = rng.range(0.3, 1.0);
+  }
+  if (rng.coin()) spec.period_jitter = rng.range(0.0, 0.3);
+  return spec;
+}
+
+std::string report_json(const MissionReport& r) {
+  std::ostringstream os;
+  write_json(os, r, 0);
+  return os.str();
+}
+
+int fuzz_seed_count() {
+  if (const char* env = std::getenv("DAEDVFS_FUZZ_SEEDS")) {
+    const int n = std::atoi(env);
+    if (n > 0) return n;
+  }
+  return 200;
+}
+
+TEST(ScenarioFuzz, SameSeedSameBytesAndInvariantsHold) {
+  const sim::SimParams sim;
+  const LadderPolicy predictive = fuzz_ladder(true);
+  const LadderPolicy reactive = fuzz_ladder(false);
+  const int seeds = fuzz_seed_count();
+  for (int seed = 0; seed < seeds; ++seed) {
+    const MissionSpec spec = random_spec(static_cast<std::uint64_t>(seed));
+    const LadderPolicy& policy = seed % 2 == 0 ? predictive : reactive;
+    const MissionReport a = simulate_mission(spec, policy, kTBase, sim);
+    const MissionReport b = simulate_mission(spec, policy, kTBase, sim);
+    ASSERT_EQ(report_json(a), report_json(b))
+        << "seed " << seed << " is not run-to-run deterministic";
+    check_mission_invariants(spec, a);
+    if (::testing::Test::HasFailure()) FAIL() << "invariants at seed " << seed;
+  }
+}
+
+// Different seeds must actually explore different timelines (a generator
+// collapse would quietly gut the harness).
+TEST(ScenarioFuzz, SeedsDiversify) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = fuzz_ladder(true);
+  std::set<std::string> bodies;
+  for (int seed = 0; seed < 16; ++seed) {
+    bodies.insert(report_json(
+        simulate_mission(random_spec(static_cast<std::uint64_t>(seed)),
+                         gov, kTBase, sim)));
+  }
+  EXPECT_EQ(bodies.size(), 16u);
+}
+
+// ---- Cross-backend determinism ----------------------------------------
+//
+// Rung measurements come from full-model simulation; missions must not
+// depend on which kernel backend (scalar / SIMD) executed the math. The
+// cost stream is backend-independent by design (PR 3, DESIGN.md §5.1) —
+// this pins it end-to-end at the mission level: Full-mode measurements
+// under every compiled-in backend must produce byte-identical
+// MissionReports.
+TEST(ScenarioFuzz, BackendsAgreeOnMissionReports) {
+  graph::ModelBuilder b("fuzz-backend", 32, 32, 3, 7);
+  int x = b.conv2d(graph::ModelBuilder::input(), 8, 3, 2, true);
+  x = b.depthwise(x, 3, 1, true);
+  x = b.pointwise(x, 16, false);
+  x = b.global_avg_pool(x);
+  b.fully_connected(x, 4);
+  const graph::Model model = b.take();
+  const sim::SimParams sim;
+
+  // One schedule per rung family, measured in Full mode per backend.
+  const clock::ClockConfig fast = clock::ClockConfig::pll_hse(50.0, 25, 216, 2);
+  const clock::ClockConfig mid = clock::ClockConfig::pll_hse(50.0, 25, 168, 2);
+
+  std::vector<std::string> reports;
+  for (const kernels::Backend* backend : kernels::available_backends()) {
+    runtime::InferenceEngine engine(model);
+    engine.set_backend(backend);
+    std::vector<RungInfo> rungs;
+    int idx = 0;
+    for (const clock::ClockConfig& cfg : {fast, mid}) {
+      const runtime::Schedule sched =
+          runtime::make_uniform_schedule(model, cfg);
+      sim::SimParams params = sim;
+      params.boot = cfg;
+      sim::Mcu mcu(params);
+      const runtime::InferenceResult res =
+          engine.run(mcu, sched, kernels::ExecMode::kFull);
+      RungInfo rung;
+      rung.name = "r" + std::to_string(idx++);
+      rung.qos_slack = 0.1 * idx;
+      rung.t_us = res.total_us;
+      rung.e_uj = res.total_energy_uj;
+      rung.entry_hfo = cfg;
+      rung.exit_hfo = cfg;
+      rung.max_sysclk_mhz = cfg.sysclk_mhz();
+      rungs.push_back(rung);
+    }
+    LadderPolicy gov(rungs, sim.switching, sim.power, "xbackend", true);
+
+    MissionSpec spec = random_spec(424242);
+    spec.name = "xbackend";
+    const MissionReport r =
+        simulate_mission(spec, gov, rungs.front().t_us, sim);
+    reports.push_back(report_json(r));
+  }
+  ASSERT_GE(reports.size(), 1u);
+  for (std::size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_EQ(reports[0], reports[i])
+        << "backend " << kernels::available_backends()[i]->name
+        << " diverged from "
+        << kernels::available_backends()[0]->name;
+  }
+}
+
+// ---- Golden report ----------------------------------------------------
+
+/// One canonical mission exercising every v2 event kind on the synthetic
+/// ladder. Deliberately modest in size so the golden JSON stays readable.
+MissionSpec golden_spec() {
+  MissionSpec spec;
+  spec.name = "golden-v2";
+  spec.seed = 2026;
+  spec.horizon_s = 2.0 * 86400.0;
+  spec.duty = {10.0, 0.8};
+  spec.battery = {600.0, 0.02, 10.0};
+  spec.base_qos_slack = 0.60;
+  const double tight = 42890.0 / kTBase - 1.0;  // mixed rung + half a relock
+  spec.qos_events = {{20000.0, tight},  {26000.0, 0.60},
+                     {60000.0, tight},  {70000.0, 0.60},
+                     {110000.0, tight}, {118000.0, 0.60}};
+  spec.bursts = {{20000.0, 6000.0, 2.0}, {60000.0, 10000.0, 1.0}};
+  spec.base_ambient_c = 25.0;
+  spec.temp_events = {{40000.0, 68.0}, {52000.0, 25.0},
+                      {126400.0, 68.0}, {138400.0, 25.0}};
+  spec.derate = {50.0, 3.0, 216.0};  // 68 C -> cap at 162 MHz
+  spec.connectivity = {{0.0, 30000.0}, {36000.0, 93600.0},
+                       {132000.0, 40800.0}};
+  spec.uplink_queue_frames = 32;
+  spec.low_battery_soc = 0.25;
+  spec.low_battery_qos_slack = 0.80;
+  spec.period_jitter = 0.10;
+  return spec;
+}
+
+TEST(ScenarioFuzz, GoldenMissionReport) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = fuzz_ladder(true);
+  const MissionReport r = simulate_mission(golden_spec(), gov, kTBase, sim);
+  check_mission_invariants(golden_spec(), r);
+  const std::string got = report_json(r) + "\n";
+
+  const std::string path =
+      std::string(DAEDVFS_TEST_DATA_DIR) + "/mission_report_golden.json";
+  if (std::getenv("DAEDVFS_REGEN_GOLDEN") != nullptr) {
+    std::ofstream os(path, std::ios::binary);
+    os << got;
+    GTEST_SKIP() << "regenerated " << path;
+  }
+  std::ifstream is(path, std::ios::binary);
+  ASSERT_TRUE(is.good()) << "missing golden file " << path;
+  std::ostringstream want;
+  want << is.rdbuf();
+  EXPECT_EQ(want.str(), got)
+      << "MissionReport JSON drifted from the golden schema. If the change "
+         "is intentional, regenerate with DAEDVFS_REGEN_GOLDEN=1 (see file "
+         "header).";
+}
+
+}  // namespace
+}  // namespace daedvfs::scenario

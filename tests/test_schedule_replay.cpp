@@ -9,6 +9,7 @@
 #include <cmath>
 #include <random>
 
+#include "core/schedule_builder.hpp"
 #include "dse/design_space.hpp"
 #include "dse/freq_replay.hpp"
 #include "graph/builder.hpp"
@@ -165,6 +166,169 @@ TEST(ScheduleReplay, GranularityChangeIsIncompatible) {
                            ? ds.hfo_configs.back()
                            : ds.hfo_configs.front();
   EXPECT_TRUE(replay_compatible(led, moved));
+}
+
+// Granularity patch (patch_recorded_granularity): random schedule pairs
+// differing in one layer's granularity must replay to within 1e-9 of a
+// direct simulation after the patch — with only single-layer re-records,
+// never a full re-simulation. The patched suffix is typically a couple of
+// layers (the cache-state fingerprint converges fast under streaming
+// kernels).
+TEST(ScheduleReplay, GranularityPatchMatchesDirectSimulation) {
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  const sim::SimParams sim;
+  std::mt19937 rng(555);
+
+  for (const graph::Model& m : graph::zoo::make_evaluation_suite()) {
+    runtime::InferenceEngine engine(m);
+    std::vector<std::size_t> dae_layers;
+    for (std::size_t i = 0; i < m.layers().size(); ++i) {
+      if (m.layers()[i].is_dae_eligible()) dae_layers.push_back(i);
+    }
+    ASSERT_FALSE(dae_layers.empty()) << m.name();
+    std::uniform_int_distribution<std::size_t> pick_layer(
+        0, dae_layers.size() - 1);
+    std::uniform_int_distribution<std::size_t> pick_g(
+        0, ds.granularities.size() - 1);
+
+    for (int pair = 0; pair < 4; ++pair) {
+      const runtime::Schedule base = random_schedule(m, ds, rng, true);
+      ScheduleLedger led = record_schedule(engine, base, sim);
+
+      runtime::Schedule swapped = base;
+      const std::size_t k = dae_layers[pick_layer(rng)];
+      int g = ds.granularities[pick_g(rng)];
+      if (g == base.plans[k].granularity) {
+        g = base.plans[k].granularity == ds.granularities.front()
+                ? ds.granularities.back()
+                : ds.granularities.front();
+      }
+      swapped.plans[k].granularity = g;
+      swapped.plans[k].dvfs_enabled = g > 0;
+
+      const int rerecorded =
+          patch_recorded_granularity(led, engine, swapped, sim);
+      EXPECT_GE(rerecorded, 1) << m.name() << " pair " << pair;
+      EXPECT_LE(rerecorded, static_cast<int>(m.layers().size()));
+      ASSERT_TRUE(replay_compatible(led, swapped));
+
+      const ProfileEntry replayed = replay_schedule(led, swapped, sim);
+      const ScheduleLedger direct = record_schedule(engine, swapped, sim);
+      EXPECT_NEAR(replayed.t_us, direct.recorded_t_us,
+                  std::abs(direct.recorded_t_us) * 1e-9)
+          << m.name() << " pair " << pair << " layer " << k;
+      EXPECT_NEAR(replayed.energy_uj, direct.recorded_e_uj,
+                  std::abs(direct.recorded_e_uj) * 1e-9)
+          << m.name() << " pair " << pair << " layer " << k;
+    }
+  }
+}
+
+// The patched ledger must keep serving *subsequent* mutations: granularity
+// swaps at several layers, interleaved with HFO reassignments — the repair
+// loop's actual access pattern.
+TEST(ScheduleReplay, GranularityPatchComposes) {
+  const graph::Model m = small_model();
+  runtime::InferenceEngine engine(m);
+  const power::PowerModel pm;
+  const DesignSpace ds = make_reduced_design_space(pm);
+  std::mt19937 rng(77);
+  const sim::SimParams sim;
+
+  runtime::Schedule sched = random_schedule(m, ds, rng, true);
+  ScheduleLedger led = record_schedule(engine, sched, sim);
+  std::uniform_int_distribution<std::size_t> pick_g(
+      0, ds.granularities.size() - 1);
+
+  for (int step = 0; step < 6; ++step) {
+    if (step % 2 == 0) {
+      // Granularity swap at an eligible layer (cycle through them).
+      std::size_t k = 0;
+      int seen = 0;
+      for (std::size_t i = 0; i < m.layers().size(); ++i) {
+        if (!m.layers()[i].is_dae_eligible()) continue;
+        if (seen++ == step / 2 % 3) k = i;
+      }
+      int g = ds.granularities[pick_g(rng)];
+      if (g == sched.plans[k].granularity) {
+        g = g == ds.granularities.front() ? ds.granularities.back()
+                                          : ds.granularities.front();
+      }
+      sched.plans[k].granularity = g;
+      sched.plans[k].dvfs_enabled = g > 0;
+      (void)patch_recorded_granularity(led, engine, sched, sim);
+    } else {
+      sched = reassign_hfos(sched, ds, rng);
+      EXPECT_EQ(patch_recorded_granularity(led, engine, sched, sim), 0)
+          << "HFO-only moves need no patching";
+    }
+    ASSERT_TRUE(replay_compatible(led, sched)) << "step " << step;
+    const ProfileEntry replayed = replay_schedule(led, sched, sim);
+    const ScheduleLedger direct = record_schedule(engine, sched, sim);
+    EXPECT_NEAR(replayed.t_us, direct.recorded_t_us,
+                std::abs(direct.recorded_t_us) * 1e-9)
+        << "step " << step;
+    EXPECT_NEAR(replayed.energy_uj, direct.recorded_e_uj,
+                std::abs(direct.recorded_e_uj) * 1e-9)
+        << "step " << step;
+  }
+}
+
+// The repair loop itself must never re-simulate: the replay path reports
+// exactly one full simulation (the initial recording) even when swaps
+// change granularities, and still emits the same schedule as
+// exact_simulation. The zoo x reduced-space sweep covers HFO-only repair;
+// the paper-space VWW budgets are the ones PR 2's bench showed to take
+// granularity-changing swaps, so they pin the patch path end to end.
+TEST(ScheduleReplay, RepairNeverResimulates) {
+  const power::PowerModel pm;
+  const sim::SimParams sim;
+
+  bool some_granularity_swap = false;
+  const auto check_model = [&](const graph::Model& m,
+                               const core::PipelineConfig& cfg) {
+    runtime::InferenceEngine engine(m);
+    const auto sets = explore_model(m, cfg.space, cfg.effective_explore());
+    const core::ScheduleBuilder builder(m, engine, cfg);
+    const double t_base = core::tinyengine_baseline_us(engine, sim);
+    for (double slack : {0.05, 0.10, 0.20}) {
+      mckp::DpWorkspace ws;
+      const core::BuiltSchedule replay =
+          builder.build(sets, t_base * (1.0 + slack), ws);
+      if (!replay.feasible) continue;
+      EXPECT_EQ(replay.repair_simulations, 1)
+          << m.name() << " slack " << slack
+          << ": replay-path repair must record exactly once";
+      if (replay.repair_layer_recordings > 0) some_granularity_swap = true;
+
+      core::PipelineConfig exact_cfg = cfg;
+      exact_cfg.exact_simulation = true;
+      const core::ScheduleBuilder exact_builder(m, engine, exact_cfg);
+      mckp::DpWorkspace ws2;
+      const core::BuiltSchedule exact =
+          exact_builder.build(sets, t_base * (1.0 + slack), ws2);
+      EXPECT_TRUE(runtime::plans_identical(replay.schedule, exact.schedule))
+          << m.name() << " slack " << slack;
+      EXPECT_EQ(replay.repair_iterations, exact.repair_iterations);
+    }
+  };
+
+  core::PipelineConfig reduced;
+  reduced.space = make_reduced_design_space(pm);
+  reduced.mckp_ticks = 5000;
+  reduced.reserve_switch_overhead = false;  // force the repair loop on
+  for (const graph::Model& m : graph::zoo::make_evaluation_suite()) {
+    check_model(m, reduced);
+  }
+
+  core::PipelineConfig paper = reduced;
+  paper.space = make_paper_design_space(pm);
+  check_model(graph::zoo::make_vww(), paper);
+
+  EXPECT_TRUE(some_granularity_swap)
+      << "no budget exercised a granularity-changing swap; the patch path "
+         "went untested";
 }
 
 }  // namespace
