@@ -24,9 +24,18 @@
 //     wrap-around PLL relock on the wake path every frame — pre-locking
 //     during sleep makes it mux-reachable inside the tight bound.
 //
+//  4. Harvest + radio mission & the mission Pareto front: the v2 mission
+//     plus a daytime solar profile (charge-rate-capped, panel thermal
+//     derating) and a radio model pricing every uplinked frame. Every
+//     policy (predictive, reactive, all statics) lands in the mission-level
+//     (total energy, mean lateness) plane; the emitted Pareto analysis must
+//     place >= 3 static schedules in that plane and the predictive governor
+//     must sit on the front.
+//
 //   $ ./build/bench_scenario                 # VWW + PD v2, full checks
 //   $ ./build/bench_scenario mbv2 out.json
 //   $ ./build/bench_scenario smoke           # small model, CI-fast
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iostream>
@@ -319,6 +328,57 @@ int main(int argc, char** argv) {
             << (v2_have_static ? v2_best_static_uj / 1e6 : 0.0) << " J ("
             << (v2_have_static ? v2_best_static : "none") << ")\n";
 
+  // ---- Harvest + radio mission: the v2 field conditions plus a daytime
+  // solar profile charging the battery between frames and a radio pricing
+  // every uplinked frame. The mission-level Pareto front over (total
+  // energy, mean lateness) is the acceptance artifact: the predictive
+  // governor must sit on it.
+  scenario::MissionSpec v3 = v2;
+  v3.name = "sentry-v3-harvest-radio";
+  v3.battery.charge_rate_cap_mw = 5.0;
+  v3.radio.link_kbps = 250.0;   // ~512 B at 250 kbit/s + 1.5 ms PA ramp
+  v3.radio.payload_bytes = 512.0;
+  v3.radio.tx_mw = 80.0;
+  v3.radio.ramp_us = 1500.0;
+  for (int day = 0; v3.horizon_s - day * 86400.0 > 0; ++day) {
+    const double base_s = day * 86400.0;
+    // Sunrise ramp, a midday plateau that overlaps the heat soak (panel
+    // thermal derating engages), and sunset back to zero.
+    v3.harvest_events.push_back({base_s + 21600.0, 2.5});
+    v3.harvest_events.push_back({base_s + 28800.0, 6.0});
+    v3.harvest_events.push_back({base_s + 72000.0, 2.5});
+    v3.harvest_events.push_back({base_s + 82800.0, 0.0});
+  }
+
+  std::vector<scenario::MissionReport> v3_reports;
+  v3_reports.push_back(simulate_mission(v3, v2_pred, v2_tbase, sim));
+  v3_reports.push_back(simulate_mission(v3, v2_reac, v2_tbase, sim));
+  for (const scenario::RungInfo& rung : v2_rungs) {
+    v3_reports.push_back(
+        simulate_mission(v3, scenario::StaticPolicy(rung), v2_tbase, sim));
+  }
+  const scenario::MissionReport& v3_pred = v3_reports.front();
+  double v3_peak_harvest_mw = v3.base_harvest_mw;
+  for (const scenario::HarvestEvent& h : v3.harvest_events) {
+    v3_peak_harvest_mw = std::max(v3_peak_harvest_mw, h.intake_mw);
+  }
+  const std::vector<scenario::MissionParetoPoint> pareto =
+      scenario::mission_pareto(v3_reports);
+  const bool predictive_on_front = pareto.front().on_front;
+  const std::size_t v3_statics = v3_reports.size() - 2;
+  const bool v3_exercised =
+      v3_pred.harvested_mwh > 0.0 && v3_pred.radio_uj > 0.0;
+  std::cout << "harvest+radio mission (" << v2_model.name()
+            << "), Pareto front over (energy, mean lateness):\n";
+  for (const scenario::MissionParetoPoint& p : pareto) {
+    std::cout << "  " << (p.on_front ? "* " : "  ") << p.policy << ": "
+              << p.total_uj / 1e6 << " J, mean lateness "
+              << p.mean_lateness_s << " s, max debt " << p.max_latency_debt_s
+              << " s, " << p.deadline_misses << " misses\n";
+  }
+  std::cout << "  predictive harvested " << v3_pred.harvested_mwh
+            << " mWh, radio " << v3_pred.radio_uj / 1e6 << " J\n";
+
   // ---- Emit BENCH_scenario.json.
   std::ofstream os(out_path);
   os.precision(6);
@@ -413,6 +473,42 @@ int main(int argc, char** argv) {
      << (v2_beats_reactive ? "true" : "false") << ",\n"
      << "    \"predictive_beats_best_static\": "
      << (v2_beats_static ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"mission_v3\": {\n"
+     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"horizon_s\": " << v3.horizon_s << ",\n"
+     << "    \"radio\": {\"link_kbps\": " << v3.radio.link_kbps
+     << ", \"payload_bytes\": " << v3.radio.payload_bytes
+     << ", \"tx_mw\": " << v3.radio.tx_mw
+     << ", \"ramp_us\": " << v3.radio.ramp_us << "},\n"
+     << "    \"harvest_peak_mw\": " << v3_peak_harvest_mw << ",\n"
+     << "    \"charge_rate_cap_mw\": " << v3.battery.charge_rate_cap_mw
+     << ",\n"
+     << "    \"policies\": [\n";
+  for (std::size_t i = 0; i < v3_reports.size(); ++i) {
+    if (i) os << ",\n";
+    write_json(os, v3_reports[i], 6);
+  }
+  os << "\n    ],\n"
+     << "    \"pareto\": \n";
+  write_pareto_json(os, pareto, 4);
+  os << ",\n"
+     << "    \"front\": [";
+  {
+    bool first_front = true;
+    for (const scenario::MissionParetoPoint& p : pareto) {
+      if (!p.on_front) continue;
+      os << (first_front ? "" : ", ") << "\"" << p.policy << "\"";
+      first_front = false;
+    }
+  }
+  os << "],\n"
+     << "    \"static_policies\": " << v3_statics << ",\n"
+     << "    \"predictive_harvested_mwh\": " << v3_pred.harvested_mwh
+     << ",\n"
+     << "    \"predictive_radio_uj\": " << v3_pred.radio_uj << ",\n"
+     << "    \"predictive_on_front\": "
+     << (predictive_on_front ? "true" : "false") << "\n"
      << "  }\n}\n";
   os.close();
   std::cout << "-> " << out_path << "\n";
@@ -432,6 +528,23 @@ int main(int argc, char** argv) {
     std::cerr << "v2 gate failed: predictive clean=" << v2_pred_clean
               << " beats_reactive=" << v2_beats_reactive
               << " beats_static=" << v2_beats_static << "\n";
+    ok = false;
+  }
+  if (!predictive_on_front) {
+    std::cerr << "harvest+radio gate failed: the predictive governor fell "
+                 "off the mission Pareto front\n";
+    ok = false;
+  }
+  if (v3_statics < 3) {
+    std::cerr << "harvest+radio gate failed: only " << v3_statics
+              << " static schedules landed in the Pareto plane (need >= 3 "
+                 "for a meaningful front; ladder collapsed?)\n";
+    ok = false;
+  }
+  if (!v3_exercised) {
+    std::cerr << "harvest+radio gate failed: harvest or radio never engaged "
+                 "(harvested " << v3_pred.harvested_mwh << " mWh, radio "
+              << v3_pred.radio_uj << " uJ)\n";
     ok = false;
   }
   if (!smoke && replay.built.repair_iterations == 0) {

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo resolve. No network: only
+file-path targets are verified; http(s)/mailto links and bare anchors are
+skipped, and an in-file #anchor suffix is stripped before the existence
+check. Exit nonzero listing every broken link.
+
+Usage: python3 scripts/check_md_links.py [repo_root]
+"""
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in (".git", "build", "node_modules") and
+            not d.startswith("build")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    broken = []
+    checked = 0
+    for path in sorted(md_files(root)):
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+        for match in LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP_PREFIXES):
+                continue
+            target = target.split("#", 1)[0]
+            if not target:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target))
+            checked += 1
+            if not os.path.exists(resolved):
+                broken.append((os.path.relpath(path, root), target))
+    if broken:
+        print(f"{len(broken)} broken markdown link(s):")
+        for src, target in broken:
+            print(f"  {src}: {target}")
+        return 1
+    print(f"all {checked} relative markdown links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,10 +3,12 @@
 // one shared mckp::DpWorkspace (single DP pass via solve_dp_sweep) and one
 // dse::ProfileCache — and switches rungs online as deployment conditions
 // change (QoS events, frame-rate bursts, low battery, thermal derating,
-// connectivity backlog). Per frame it picks the minimum-energy rung whose
-// measured latency, net of the clock-tree transition cost out of the wake
-// state, still meets the active deadline — the shared
-// scenario::LadderPolicy decision rule.
+// connectivity backlog, radio uplink costs). Per frame it picks the
+// minimum-energy rung whose measured latency, net of the clock-tree
+// transition cost out of the wake state, still meets the active deadline —
+// tightened by the backlog catch-up budget net of the per-frame radio
+// burst, so the governor trades compute energy against backlog latency
+// debt AND radio cost — the shared scenario::LadderPolicy decision rule.
 //
 // With `GovernorConfig::predictive` set, the governor additionally predicts
 // the rung it would run next frame if waking were free, and the scenario

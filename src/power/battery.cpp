@@ -35,6 +35,7 @@ Battery::Battery(BatteryParams p)
     : capacity_mwh_(std::max(p.capacity_mwh, 0.0)),
       remaining_mwh_(capacity_mwh_),
       self_discharge_mw_(std::max(p.self_discharge_mw, 0.0)),
+      charge_rate_cap_mw_(std::max(p.charge_rate_cap_mw, 0.0)),
       leakage_doubling_c_(std::max(p.leakage_doubling_c, 0.0)),
       effective_self_mw_(self_discharge_mw_) {}
 
@@ -47,6 +48,17 @@ void Battery::elapse(double seconds, double draw_mw) {
   if (seconds <= 0.0) return;
   const double mw = std::max(draw_mw, 0.0) + effective_self_mw_;
   remaining_mwh_ = std::max(remaining_mwh_ - mw * seconds / 3600.0, 0.0);
+}
+
+double Battery::charge(double seconds, double intake_mw) {
+  if (seconds <= 0.0 || intake_mw <= 0.0) return 0.0;
+  double mw = intake_mw;
+  if (charge_rate_cap_mw_ > 0.0) mw = std::min(mw, charge_rate_cap_mw_);
+  const double offered_mwh = mw * seconds / 3600.0;
+  const double stored_mwh =
+      std::min(offered_mwh, capacity_mwh_ - remaining_mwh_);
+  remaining_mwh_ += stored_mwh;
+  return stored_mwh;
 }
 
 void Battery::set_ambient_c(double c) {

@@ -19,6 +19,10 @@ struct BatteryParams {
   /// temperature scaling. Drives the thermal-derating mission events of the
   /// scenario engine (scenario/engine.cpp).
   double leakage_doubling_c = 10.0;
+  /// Maximum charging power the cell accepts (harvest intake above it is
+  /// lost, e.g. a coin cell behind a small solar panel on a bright day).
+  /// 0 = uncapped.
+  double charge_rate_cap_mw = 0.0;
 };
 
 /// Deployment duty cycle: one inference every `period_s`, `sleep_mw` drawn
@@ -52,7 +56,8 @@ class BatteryModel {
 /// Stateful battery: tracks remaining charge across a simulated deployment.
 /// Negative parameters are clamped to zero at construction; a zero-capacity
 /// battery starts depleted. Charge never goes below zero — draining an empty
-/// battery is a no-op beyond pinning it at empty.
+/// battery is a no-op beyond pinning it at empty — and never above capacity:
+/// charging a full battery clips the intake.
 class Battery {
  public:
   explicit Battery(BatteryParams p = {});
@@ -62,6 +67,12 @@ class Battery {
   /// Wall-clock time passing at an external draw of `draw_mw`; the battery's
   /// own (temperature-scaled) self-discharge is added on top.
   void elapse(double seconds, double draw_mw);
+  /// Harvest intake over a time span: stores `intake_mw` (capped at
+  /// `charge_rate_cap_mw` when set) for `seconds`, clamped at capacity.
+  /// Returns the charge actually stored (mWh) — the quantity the scenario
+  /// engine accounts as MissionReport::harvested_mwh; intake above the rate
+  /// cap or arriving into a full battery is lost, not banked.
+  double charge(double seconds, double intake_mw);
   /// Ambient temperature for subsequent elapse() calls: the effective
   /// self-discharge is `self_discharge_mw * 2^((c - 25) / doubling)` when
   /// `leakage_doubling_c > 0`, unchanged otherwise.
@@ -78,6 +89,7 @@ class Battery {
   double capacity_mwh_ = 0.0;
   double remaining_mwh_ = 0.0;
   double self_discharge_mw_ = 0.0;      ///< At the 25 C reference.
+  double charge_rate_cap_mw_ = 0.0;
   double leakage_doubling_c_ = 0.0;
   double ambient_c_ = 25.0;
   double effective_self_mw_ = 0.0;      ///< Scaled to ambient_c_.

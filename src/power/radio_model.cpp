@@ -1,0 +1,17 @@
+#include "power/radio_model.hpp"
+
+#include <algorithm>
+
+namespace daedvfs::power {
+
+RadioModel::RadioModel(RadioParams p) : params_(p) {
+  if (params_.link_kbps <= 0.0 || params_.payload_bytes <= 0.0) return;
+  const double ramp_us = std::max(params_.ramp_us, 0.0);
+  const double tx_mw = std::max(params_.tx_mw, 0.0);
+  // link_kbps is kbit/s = bit/ms: payload_bits / link_kbps is milliseconds.
+  const double payload_us = params_.payload_bytes * 8.0 / params_.link_kbps * 1e3;
+  tx_us_ = ramp_us + payload_us;
+  tx_uj_ = tx_us_ * tx_mw * 1e-3;
+}
+
+}  // namespace daedvfs::power

@@ -1,0 +1,47 @@
+// Radio uplink energy model for the deployment scenario engine: serving a
+// frame inside a connectivity window is not free — the radio ramps its PA,
+// syncs, and clocks the payload out at a finite link rate. The model is
+// deliberately small (a fixed per-burst ramp plus payload bytes at a spec'd
+// link rate and transmit draw) because that is the granularity the
+// mission-level energy/latency-debt trade needs: per served frame the engine
+// charges `tx_uj()` to the battery and occupies the slot for `tx_us()`,
+// which throttles how fast a backlog can drain through a window — the radio
+// cost the governor's catch-up budget accounts for (scenario/policy.cpp).
+#pragma once
+
+namespace daedvfs::power {
+
+/// Uplink radio parameterization. Disabled (enabled() == false) unless both
+/// `link_kbps` and `payload_bytes` are positive — a disabled radio serves
+/// frames for free, which is the pre-v2 behavior missions without radio
+/// params reproduce bit for bit.
+struct RadioParams {
+  double link_kbps = 0.0;      ///< Uplink rate (kbit/s). 0 disables.
+  double payload_bytes = 0.0;  ///< Per-frame uplink payload. 0 disables.
+  double tx_mw = 120.0;        ///< Draw while ramping/transmitting.
+  double ramp_us = 800.0;      ///< PA ramp + sync overhead per burst.
+};
+
+/// Precomputed per-frame transmit time/energy. Negative parameters clamp to
+/// zero at construction (a non-positive link rate or payload disables the
+/// model rather than producing negative costs).
+class RadioModel {
+ public:
+  explicit RadioModel(RadioParams p = {});
+
+  [[nodiscard]] bool enabled() const { return tx_us_ > 0.0; }
+  /// Burst duration per served frame: ramp + payload / link rate. 0 when
+  /// disabled.
+  [[nodiscard]] double tx_us() const { return tx_us_; }
+  /// Burst energy per served frame: tx draw over the burst duration. 0 when
+  /// disabled.
+  [[nodiscard]] double tx_uj() const { return tx_uj_; }
+  [[nodiscard]] const RadioParams& params() const { return params_; }
+
+ private:
+  RadioParams params_;
+  double tx_us_ = 0.0;
+  double tx_uj_ = 0.0;
+};
+
+}  // namespace daedvfs::power

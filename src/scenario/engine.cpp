@@ -71,6 +71,26 @@ class Connectivity {
   bool always_ = true;
 };
 
+/// Harvest intake effective at `ambient_c`: the active step scaled by the
+/// panel thermal-derating coefficient, clamped at zero.
+double effective_intake_mw(const MissionSpec& spec, double harvest_mw,
+                           double ambient_c) {
+  if (spec.harvest_temp_coeff <= 0.0) return harvest_mw;
+  return harvest_mw *
+         std::max(0.0, 1.0 - spec.harvest_temp_coeff * (ambient_c - 25.0));
+}
+
+/// Events sorted by their mission time, ties kept in spec order.
+template <class Event>
+std::vector<Event> sorted_by_time(const std::vector<Event>& events) {
+  std::vector<Event> sorted = events;
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const Event& a, const Event& b) {
+                     return a.at_s < b.at_s;
+                   });
+  return sorted;
+}
+
 }  // namespace
 
 MissionReport simulate_mission(const MissionSpec& spec,
@@ -87,16 +107,13 @@ MissionReport simulate_mission(const MissionSpec& spec,
 
   const power::PowerModel pm(sim.power);
   power::Battery battery(spec.battery);
-  std::vector<QosEvent> qos_events = spec.qos_events;
-  std::stable_sort(qos_events.begin(), qos_events.end(),
-                   [](const QosEvent& a, const QosEvent& b) {
-                     return a.at_s < b.at_s;
-                   });
-  std::vector<TempEvent> temp_events = spec.temp_events;
-  std::stable_sort(temp_events.begin(), temp_events.end(),
-                   [](const TempEvent& a, const TempEvent& b) {
-                     return a.at_s < b.at_s;
-                   });
+  const std::vector<QosEvent> qos_events = sorted_by_time(spec.qos_events);
+  const std::vector<TempEvent> temp_events = sorted_by_time(spec.temp_events);
+  const std::vector<HarvestEvent> harvest_events =
+      sorted_by_time(spec.harvest_events);
+  const power::RadioModel radio(spec.radio);
+  const double radio_us = radio.tx_us();
+  const double radio_uj = radio.tx_uj();
   Connectivity link(spec.connectivity);
   Xorshift64 rng(spec.seed);
   double max_peak_mhz = 0.0;
@@ -108,8 +125,11 @@ MissionReport simulate_mission(const MissionSpec& spec,
   double slack = spec.base_qos_slack;
   double ambient_c = spec.base_ambient_c;
   if (ambient_c != 25.0) battery.set_ambient_c(ambient_c);
+  double harvest_mw = std::max(spec.base_harvest_mw, 0.0);
+  const bool has_harvest = harvest_mw > 0.0 || !harvest_events.empty();
   std::size_t next_event = 0;
   std::size_t next_temp = 0;
+  std::size_t next_harvest = 0;
   int cur = -1;
   std::optional<WakeState> wake;  ///< Clock tree state across sleeps.
   std::deque<double> queue;       ///< Capture times awaiting service.
@@ -138,6 +158,10 @@ MissionReport simulate_mission(const MissionSpec& spec,
       ambient_changed = true;
     }
     if (ambient_changed) battery.set_ambient_c(ambient_c);
+    while (next_harvest < harvest_events.size() &&
+           harvest_events[next_harvest].at_s <= now_s) {
+      harvest_mw = std::max(harvest_events[next_harvest++].intake_mw, 0.0);
+    }
     const double cap_mhz = spec.derate.max_sysclk_mhz(ambient_c);
 
     double period_s = spec.duty.period_s;
@@ -170,9 +194,14 @@ MissionReport simulate_mission(const MissionSpec& spec,
     }
 
     if (!link.connected(now_s)) {
-      // Down: the whole slot sleeps on the retained clock state.
+      // Down: the whole slot sleeps on the retained clock state. The sun
+      // does not care about the uplink — harvest still charges the slot.
       r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * period_s * 1e3;
       battery.elapse(period_s, spec.duty.sleep_mw);
+      if (has_harvest && !battery.depleted()) {
+        r.harvested_mwh += battery.charge(
+            period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
+      }
       now_s += period_s;
       continue;
     }
@@ -200,6 +229,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
       ctx.backlog = static_cast<std::uint32_t>(queue.size() - 1);
       ctx.window_remaining_s =
           link.gated() ? link.window_end() - serve_s : -1.0;
+      ctx.radio_us = radio_us;
       ctx.wake = wake;
 
       const int next = policy.choose(ctx, cur);
@@ -207,11 +237,18 @@ MissionReport simulate_mission(const MissionSpec& spec,
       const TransitionCost trans =
           wake ? wake_transition(*wake, rung, sim.switching, pm)
                : TransitionCost{};
-      const double frame_us = trans.us + rung.t_us;
+      // The QoS deadline bounds the compute path (transition + inference);
+      // the uplink burst extends the frame's slot occupancy instead — its
+      // delay surfaces as backlog latency debt, not as a deadline miss.
+      const double compute_us = trans.us + rung.t_us;
+      const double frame_us = compute_us + radio_us;
       if (!first && serve_s + frame_us * 1e-6 > slot_end_s) break;
       queue.pop_front();
 
-      if (frame_us > ctx.deadline_us + 1e-9) ++r.deadline_misses;
+      if (compute_us > ctx.deadline_us + 1e-9) {
+        ++r.deadline_misses;
+        r.deadline_overrun_s += (compute_us - ctx.deadline_us) * 1e-6;
+      }
       if (cur >= 0 && next != cur) ++r.rung_switches;
       if (cap_mhz > 0.0) {
         if (max_peak_mhz > cap_mhz + 1e-9) ++r.derated_frames;
@@ -221,12 +258,15 @@ MissionReport simulate_mission(const MissionSpec& spec,
         next == predicted ? ++r.prelock_hits : ++r.prelock_misses;
         prelock_pending = false;
       }
-      battery.drain_uj(rung.e_uj + trans.uj);
+      battery.drain_uj(rung.e_uj + trans.uj + radio_uj);
       r.inference_uj += rung.e_uj;
       r.transition_uj += trans.uj;
+      r.radio_uj += radio_uj;
       ++r.frames_per_rung[static_cast<std::size_t>(next)];
       ++r.frames;
-      r.backlog_latency_s += serve_s - capture_s;
+      const double debt_s = serve_s - capture_s;
+      r.backlog_latency_s += debt_s;
+      r.max_latency_debt_s = std::max(r.max_latency_debt_s, debt_s);
       cur = next;
       wake = WakeState::after(rung);
       total_active_s += frame_us * 1e-6;
@@ -271,6 +311,17 @@ MissionReport simulate_mission(const MissionSpec& spec,
           wake = repositioned;
         }
       }
+    }
+
+    // ---- Harvest: the active intake charges the battery over the whole
+    // slot span (the sun does not care what the MCU is doing — blackout
+    // slots above charge too), scaled by panel thermal derating,
+    // rate-capped and clamped at capacity inside Battery::charge. Skipped
+    // once depleted: a browned-out node is dead — charge never revives it,
+    // so depletion semantics match the discharge-only engine exactly.
+    if (has_harvest && !battery.depleted()) {
+      r.harvested_mwh += battery.charge(
+          step_s, effective_intake_mw(spec, harvest_mw, ambient_c));
     }
     now_s += step_s;
   }

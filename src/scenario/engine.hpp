@@ -15,7 +15,14 @@
 //   * policies that implement predict_next get their predicted rung's PLL
 //     pre-locked (and regulator pre-settled) during sleep, moving the
 //     relock off the wake critical path; mispredictions fall back to the
-//     reactive wake transition.
+//     reactive wake transition;
+//   * harvest intake steps (solar profile) charge the battery over each
+//     slot — piecewise-constant intake, panel thermal derating, the cell's
+//     charge-rate cap and a full-battery clamp. Depletion stays terminal:
+//     a node that browns out is dead, later sun does not revive it;
+//   * a radio model prices every uplinked frame (PA ramp + payload at the
+//     link rate): the tx energy drains the battery and the tx time occupies
+//     the slot, throttling how fast a backlog drains through a window.
 // Specs that use none of these reproduce the v1 engine bit for bit.
 #pragma once
 

@@ -39,17 +39,70 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
      << in << "\"frames_pending\": " << r.frames_pending << ",\n"
      << in << "\"max_backlog\": " << r.max_backlog << ",\n"
      << in << "\"backlog_latency_s\": " << r.backlog_latency_s << ",\n"
+     << in << "\"max_latency_debt_s\": " << r.max_latency_debt_s << ",\n"
+     << in << "\"deadline_overrun_s\": " << r.deadline_overrun_s << ",\n"
      << in << "\"thermal_violations\": " << r.thermal_violations << ",\n"
      << in << "\"derated_frames\": " << r.derated_frames << ",\n"
      << in << "\"prelocks\": " << r.prelocks << ",\n"
      << in << "\"prelock_hits\": " << r.prelock_hits << ",\n"
      << in << "\"prelock_misses\": " << r.prelock_misses << ",\n"
      << in << "\"prelock_uj\": " << r.prelock_uj << ",\n"
+     << in << "\"radio_uj\": " << r.radio_uj << ",\n"
+     << in << "\"harvested_mwh\": " << r.harvested_mwh << ",\n"
      << in << "\"frames_per_rung\": [";
   for (std::size_t i = 0; i < r.frames_per_rung.size(); ++i) {
     os << (i ? ", " : "") << r.frames_per_rung[i];
   }
   os << "]\n" << pad << "}";
+}
+
+std::vector<MissionParetoPoint> mission_pareto(
+    const std::vector<MissionReport>& reports) {
+  std::vector<MissionParetoPoint> points;
+  points.reserve(reports.size());
+  for (const MissionReport& r : reports) {
+    MissionParetoPoint p;
+    p.policy = r.policy;
+    p.total_uj = r.total_uj();
+    p.mean_lateness_s = r.mean_lateness_s();
+    p.max_latency_debt_s = r.max_latency_debt_s;
+    p.mean_latency_debt_s = r.mean_latency_debt_s();
+    p.deadline_misses = r.deadline_misses;
+    points.push_back(std::move(p));
+  }
+  for (MissionParetoPoint& p : points) {
+    p.on_front = true;
+    for (const MissionParetoPoint& q : points) {
+      const bool no_worse = q.total_uj <= p.total_uj &&
+                            q.mean_lateness_s <= p.mean_lateness_s;
+      const bool strictly_better = q.total_uj < p.total_uj ||
+                                   q.mean_lateness_s < p.mean_lateness_s;
+      if (no_worse && strictly_better) {
+        p.on_front = false;
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+void write_pareto_json(std::ostream& os,
+                       const std::vector<MissionParetoPoint>& points,
+                       int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  os << pad << "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const MissionParetoPoint& p = points[i];
+    os << in << "{\"policy\": \"" << p.policy << "\", \"total_uj\": "
+       << p.total_uj << ", \"mean_lateness_s\": " << p.mean_lateness_s
+       << ", \"max_latency_debt_s\": " << p.max_latency_debt_s
+       << ", \"mean_latency_debt_s\": " << p.mean_latency_debt_s
+       << ", \"deadline_misses\": " << p.deadline_misses
+       << ", \"on_front\": " << (p.on_front ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << pad << "]";
 }
 
 }  // namespace daedvfs::scenario

@@ -2,12 +2,14 @@
 // base duty cycle, and a timeline of events — frame-rate bursts, QoS-slack
 // changes, a low-battery threshold that relaxes the latency bound, ambient
 // temperature steps that derate the allowed clock and scale battery leakage,
-// and connectivity windows that gate frame delivery behind a bounded backlog
-// queue. The engine (scenario/engine.hpp) simulates weeks of deployment
-// against a SchedulePolicy and emits a deterministic MissionReport. No
-// wall-clock randomness anywhere: the optional period jitter is driven by a
-// seeded xorshift generator, so a (spec, policy) pair always reproduces the
-// same report bit for bit (pinned by tests/test_scenario_fuzz.cpp).
+// connectivity windows that gate frame delivery behind a bounded backlog
+// queue, solar-harvest intake steps that charge the battery between frames,
+// and a radio model pricing every uplinked frame. The engine
+// (scenario/engine.hpp) simulates weeks of deployment against a
+// SchedulePolicy and emits a deterministic MissionReport. No wall-clock
+// randomness anywhere: the optional period jitter is driven by a seeded
+// xorshift generator, so a (spec, policy) pair always reproduces the same
+// report bit for bit (pinned by tests/test_scenario_fuzz.cpp).
 #pragma once
 
 #include <cstdint>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "power/battery.hpp"
+#include "power/radio_model.hpp"
 
 namespace daedvfs::scenario {
 
@@ -68,6 +71,16 @@ struct ConnectivityWindow {
   double duration_s = 0.0;
 };
 
+/// Step change of the harvest intake at a mission time (sunrise, a cloud
+/// bank, sunset back to 0). The intake is piecewise-constant between events
+/// — later events win — and is scaled by the ambient temperature through
+/// `MissionSpec::harvest_temp_coeff` before charging the battery, capped by
+/// `power::BatteryParams::charge_rate_cap_mw` and clamped at capacity.
+struct HarvestEvent {
+  double at_s = 0.0;
+  double intake_mw = 0.0;
+};
+
 struct MissionSpec {
   std::string name = "mission";
   power::BatteryParams battery;
@@ -108,6 +121,26 @@ struct MissionSpec {
   /// period — the backlog the governor burns down by picking faster rungs.
   std::vector<ConnectivityWindow> connectivity;
   std::uint32_t uplink_queue_frames = 64;
+
+  // ---- Energy model v2: solar harvesting + radio uplink ---------------
+
+  /// Harvest intake before the first HarvestEvent (usually 0: launch at
+  /// night or indoors).
+  double base_harvest_mw = 0.0;
+  /// Intake step changes, applied in `at_s` order (later events win). Empty
+  /// and `base_harvest_mw == 0` = no harvesting (pre-v2 behavior, bit for
+  /// bit: the battery only ever discharges).
+  std::vector<HarvestEvent> harvest_events;
+  /// Panel thermal derating: the effective intake is scaled by
+  /// `1 - harvest_temp_coeff * (ambient_c - 25)`, clamped at 0 — a typical
+  /// c-Si panel loses ~0.4%/C above the 25 C reference (and gains a little
+  /// below it). 0 disables the scaling.
+  double harvest_temp_coeff = 0.004;
+  /// Uplink radio pricing every served frame (ramp + payload at the link
+  /// rate, scenario engine drains `tx_uj` and occupies the slot for
+  /// `tx_us`). Default-disabled: missions without radio params serve frames
+  /// for free (pre-v2 behavior, bit for bit).
+  power::RadioParams radio;
 };
 
 struct MissionReport {
@@ -133,6 +166,15 @@ struct MissionReport {
   /// Latency debt: total queueing delay (serve time - capture time) of
   /// frames served out of the backlog.
   double backlog_latency_s = 0.0;
+  /// Worst single frame's queueing delay. FIFO service makes this mostly
+  /// policy-independent (the oldest queued frame is served first when the
+  /// window reopens, at the same mission time for every policy), which is
+  /// why the Pareto front below uses mean lateness as its axis instead.
+  double max_latency_debt_s = 0.0;
+  /// Total compute-path overrun beyond the active deadline across served
+  /// frames (the time side of deadline_misses) — the second component of
+  /// mission-level lateness.
+  double deadline_overrun_s = 0.0;
 
   // ---- Thermal accounting.
   /// Served frames whose rung's peak clock exceeded the active thermal cap
@@ -147,8 +189,26 @@ struct MissionReport {
   std::uint64_t prelock_misses = 0;
   double prelock_uj = 0.0;            ///< Energy of background repositions.
 
+  // ---- Energy model v2 accounting (zero without harvest/radio events).
+  double radio_uj = 0.0;       ///< Uplink tx energy (ramp + payload bursts).
+  double harvested_mwh = 0.0;  ///< Charge actually stored by the battery.
+
   [[nodiscard]] double total_uj() const {
-    return inference_uj + transition_uj + sleep_uj + prelock_uj;
+    return inference_uj + transition_uj + sleep_uj + prelock_uj + radio_uj;
+  }
+  /// Average queueing delay per served frame.
+  [[nodiscard]] double mean_latency_debt_s() const {
+    return frames > 0 ? backlog_latency_s / static_cast<double>(frames) : 0.0;
+  }
+  /// Mission-level lateness: delivery delay (queueing) plus deadline
+  /// overruns — the latency-debt axis of the mission Pareto front. A policy
+  /// that "saves" energy by blowing through deadlines accrues overrun debt
+  /// here instead of hiding it.
+  [[nodiscard]] double lateness_s() const {
+    return backlog_latency_s + deadline_overrun_s;
+  }
+  [[nodiscard]] double mean_lateness_s() const {
+    return frames > 0 ? lateness_s() / static_cast<double>(frames) : 0.0;
   }
   /// Average external draw over the simulated span.
   [[nodiscard]] double avg_mw() const {
@@ -162,5 +222,35 @@ struct MissionReport {
 
 /// Writes the report as a JSON object (used by bench_scenario).
 void write_json(std::ostream& os, const MissionReport& report, int indent = 0);
+
+/// One policy's position in the mission-level energy/latency-debt plane.
+/// `on_front` marks Pareto optimality over (total_uj, mean_lateness_s),
+/// both minimized — the whole-mission analogue of the per-layer
+/// (latency, energy) fronts the DSE feeds the MCKP. Mean lateness
+/// (queueing delay + deadline overrun per served frame) is the axis
+/// because the worst-case queueing delay is policy-independent under FIFO
+/// service; the max is still reported alongside.
+struct MissionParetoPoint {
+  std::string policy;
+  double total_uj = 0.0;
+  double mean_lateness_s = 0.0;       ///< Front axis.
+  double max_latency_debt_s = 0.0;    ///< Worst queueing delay (reported).
+  double mean_latency_debt_s = 0.0;   ///< Queueing-only mean (reported).
+  std::uint64_t deadline_misses = 0;
+  bool on_front = false;
+};
+
+/// Reduces a set of MissionReports (same mission, different policies) to the
+/// mission Pareto front: a point is on the front iff no other point is at
+/// most as expensive AND at most as late with one of the two strict.
+/// Deterministic: exact duplicates in both objectives are all kept on the
+/// front, input order is preserved.
+[[nodiscard]] std::vector<MissionParetoPoint> mission_pareto(
+    const std::vector<MissionReport>& reports);
+
+/// Writes the Pareto points as a JSON array (used by bench_scenario).
+void write_pareto_json(std::ostream& os,
+                       const std::vector<MissionParetoPoint>& points,
+                       int indent = 0);
 
 }  // namespace daedvfs::scenario

@@ -56,12 +56,16 @@ int pick_rung(const std::vector<RungInfo>& rungs,
               const std::optional<WakeState>& wake, bool free_wake) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Catch-up budget: with a backlog and a closing window, aim to serve the
-  // queue plus this frame before the window ends. Only ever *tightens* the
-  // declared deadline, and is dropped first when nothing meets it.
+  // queue plus this frame before the window ends. Each frame's share of the
+  // window must also fit its uplink burst, so the compute budget is the
+  // share net of the radio time — the radio-cost side of the energy /
+  // latency-debt trade. Only ever *tightens* the declared deadline, and is
+  // dropped first when nothing meets it.
   double budget_us = kInf;
   if (ctx.backlog > 0 && ctx.window_remaining_s >= 0.0) {
     budget_us = ctx.window_remaining_s * 1e6 /
-                (static_cast<double>(ctx.backlog) + 1.0);
+                    (static_cast<double>(ctx.backlog) + 1.0) -
+                ctx.radio_us;
   }
   const double cap = ctx.max_sysclk_mhz;
 

@@ -83,6 +83,11 @@ struct FrameContext {
   /// Time left in the active connectivity window; < 0 = unbounded (always
   /// connected, or no window accounting).
   double window_remaining_s = -1.0;
+  /// Per-frame uplink transmit time (power::RadioModel), 0 when the radio
+  /// model is disabled. Serving a frame occupies the slot for compute PLUS
+  /// this burst, so the backlog catch-up budget subtracts it from each
+  /// frame's share of the closing window.
+  double radio_us = 0.0;
   /// Clock-tree state at wake, when the engine tracks it (pre-lock aware).
   /// Unset on a cold start or when calling choose() outside the engine —
   /// policies then fall back to the previous rung's exit state.
@@ -141,7 +146,9 @@ struct TransitionCost {
 ///             cost meets the effective deadline, where the effective
 ///             deadline is the declared QoS bound tightened (never loosened)
 ///             by the backlog catch-up budget `window_remaining / (backlog
-///             + 1)`. Rungs above the thermal cap are filtered out first.
+///             + 1) - radio_tx` (each queued frame's share of the closing
+///             window must also fit its uplink burst). Rungs above the
+///             thermal cap are filtered out first.
 ///             Tiered fallbacks keep the declared QoS primary: if nothing
 ///             meets the catch-up budget the budget is dropped; if nothing
 ///             meets the declared deadline the fastest reachable rung runs

@@ -50,9 +50,11 @@ inline double mixed_rung_slack() {
 }
 
 /// The MissionReport invariants every scenario — fuzzed or hand-written —
-/// must satisfy: frame accounting closes, every QoS miss is accounted, the
-/// backlog respects its bound, pre-lock bookkeeping balances, and the
-/// battery only ever discharges while covering the reported energy split.
+/// must satisfy: frame accounting closes, every QoS miss is accounted (in
+/// count AND overrun time), the backlog respects its bound, pre-lock
+/// bookkeeping balances, radio energy is non-negative and disabled radios
+/// serve for free, and the battery never exceeds its capacity while the
+/// charge drawn plus the charge harvested covers the reported energy split.
 inline void check_mission_invariants(const MissionSpec& spec,
                                      const MissionReport& r) {
   EXPECT_EQ(r.frames_captured, r.frames + r.frames_dropped + r.frames_pending);
@@ -66,29 +68,52 @@ inline void check_mission_invariants(const MissionSpec& spec,
             static_cast<std::uint64_t>(
                 std::max<std::uint32_t>(spec.uplink_queue_frames, 1)));
   EXPECT_GE(r.backlog_latency_s, 0.0);
+  EXPECT_GE(r.max_latency_debt_s, 0.0);
+  EXPECT_LE(r.max_latency_debt_s, r.backlog_latency_s + 1e-9)
+      << "the worst frame's debt cannot exceed the total";
   if (spec.connectivity.empty()) {
     EXPECT_EQ(r.frames_dropped, 0u);
     EXPECT_EQ(r.frames_pending, 0u);
     EXPECT_EQ(r.backlog_latency_s, 0.0);
+    EXPECT_EQ(r.max_latency_debt_s, 0.0);
   }
+  EXPECT_GE(r.deadline_overrun_s, 0.0);
+  EXPECT_EQ(r.deadline_misses == 0, r.deadline_overrun_s == 0.0)
+      << "overrun time and miss count must agree on whether misses happened";
   EXPECT_LE(r.prelock_hits + r.prelock_misses, r.prelocks);
   EXPECT_LE(r.prelocks, r.prelock_hits + r.prelock_misses + 1)
       << "at most the final pre-lock may still await its wake";
   EXPECT_GE(r.battery_remaining_mwh, 0.0);
-  EXPECT_LE(r.battery_remaining_mwh, spec.battery.capacity_mwh);
+  EXPECT_LE(r.battery_remaining_mwh, spec.battery.capacity_mwh)
+      << "charging must clamp at capacity";
+  EXPECT_GE(r.harvested_mwh, 0.0);
+  const bool has_harvest =
+      spec.base_harvest_mw > 0.0 || !spec.harvest_events.empty();
+  if (!has_harvest) {
+    EXPECT_EQ(r.harvested_mwh, 0.0)
+        << "missions without harvest events must only ever discharge";
+  }
+  EXPECT_GE(r.radio_uj, 0.0);
+  if (!power::RadioModel(spec.radio).enabled()) {
+    EXPECT_EQ(r.radio_uj, 0.0) << "a disabled radio serves frames for free";
+  }
   if (r.battery_depleted) {
     EXPECT_DOUBLE_EQ(r.battery_remaining_mwh, 0.0);
   } else {
+    // Energy coverage: what the battery gave up plus what the harvest put
+    // in covers every externally accounted microjoule (self-discharge sits
+    // on top, which is why this is >=, not ==).
     const double drained_mwh =
         spec.battery.capacity_mwh - r.battery_remaining_mwh;
-    EXPECT_GE(drained_mwh + 1e-9, r.total_uj() / 3.6e6);
+    EXPECT_GE(drained_mwh + r.harvested_mwh + 1e-9, r.total_uj() / 3.6e6);
   }
   EXPECT_GE(r.inference_uj, 0.0);
   EXPECT_GE(r.transition_uj, 0.0);
   EXPECT_GE(r.sleep_uj, 0.0);
   EXPECT_GE(r.prelock_uj, 0.0);
   EXPECT_NEAR(r.total_uj(),
-              r.inference_uj + r.transition_uj + r.sleep_uj + r.prelock_uj,
+              r.inference_uj + r.transition_uj + r.sleep_uj + r.prelock_uj +
+                  r.radio_uj,
               1e-9);
 }
 

@@ -6,6 +6,7 @@
 #include "clock/rcc.hpp"
 #include "power/battery.hpp"
 #include "power/power_model.hpp"
+#include "power/radio_model.hpp"
 
 namespace daedvfs::power {
 namespace {
@@ -179,6 +180,68 @@ TEST(StatefulBattery, SelfDischargeDrainsWithoutLoad) {
   EXPECT_TRUE(b.depleted());
 }
 
+TEST(StatefulBattery, ChargeStoresClampsAndReportsStoredAmount) {
+  BatteryParams p;
+  p.capacity_mwh = 1.0;
+  p.self_discharge_mw = 0.0;
+  Battery b(p);
+  b.drain_uj(1.8e6);  // down to 0.5 mWh
+  // 2 mW for a quarter hour = 0.5 mWh: exactly fills the battery.
+  EXPECT_NEAR(b.charge(900.0, 2.0), 0.5, 1e-12);
+  EXPECT_NEAR(b.remaining_mwh(), 1.0, 1e-12);
+  // A full battery clips the whole intake: nothing stored, nothing banked.
+  EXPECT_DOUBLE_EQ(b.charge(900.0, 2.0), 0.0);
+  EXPECT_NEAR(b.remaining_mwh(), 1.0, 1e-12);
+  // Partial clip: only the headroom is stored and reported.
+  b.drain_uj(0.36e6);  // 0.1 mWh of headroom
+  EXPECT_NEAR(b.charge(3600.0, 2.0), 0.1, 1e-12);
+  EXPECT_NEAR(b.soc(), 1.0, 1e-12);
+}
+
+TEST(StatefulBattery, ChargeRateCapLimitsIntake) {
+  BatteryParams p;
+  p.capacity_mwh = 10.0;
+  p.self_discharge_mw = 0.0;
+  p.charge_rate_cap_mw = 1.0;
+  Battery b(p);
+  b.drain_uj(18e6);  // down to 5 mWh
+  // 6 mW offered, 1 mW accepted: one hour stores 1 mWh, the rest is lost.
+  EXPECT_NEAR(b.charge(3600.0, 6.0), 1.0, 1e-12);
+  EXPECT_NEAR(b.remaining_mwh(), 6.0, 1e-12);
+  // Below the cap the full intake lands.
+  EXPECT_NEAR(b.charge(3600.0, 0.5), 0.5, 1e-12);
+}
+
+TEST(StatefulBattery, ChargeDegenerateInputsAreNoOps) {
+  Battery b(BatteryParams{1.0, 0.0});
+  b.drain_uj(1.8e6);
+  EXPECT_DOUBLE_EQ(b.charge(-10.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.charge(100.0, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(b.charge(0.0, 2.0), 0.0);
+  EXPECT_NEAR(b.remaining_mwh(), 0.5, 1e-12);
+  Battery zero(BatteryParams{0.0, 0.0});
+  EXPECT_DOUBLE_EQ(zero.charge(3600.0, 5.0), 0.0)
+      << "a zero-capacity battery has no headroom to store into";
+  EXPECT_TRUE(zero.depleted());
+}
+
+TEST(StatefulBattery, DischargeIsMonotoneWithoutCharge) {
+  // The fuzz harness's "monotone between charge intervals" contract at the
+  // unit level: any interleaving of drains and elapses only ever lowers the
+  // charge; only charge() raises it.
+  Battery b(BatteryParams{5.0, 0.01});
+  double prev = b.remaining_mwh();
+  const double drains[] = {100.0, 0.0, 5e4, 300.0};
+  for (double uj : drains) {
+    b.drain_uj(uj);
+    b.elapse(120.0, 0.4);
+    EXPECT_LE(b.remaining_mwh(), prev);
+    prev = b.remaining_mwh();
+  }
+  b.charge(3600.0, 1.0);
+  EXPECT_GT(b.remaining_mwh(), prev);
+}
+
 TEST(StatefulBattery, DegenerateParamsAreClamped) {
   Battery zero(BatteryParams{0.0, 0.02});
   EXPECT_TRUE(zero.depleted());
@@ -194,6 +257,32 @@ TEST(StatefulBattery, DegenerateParamsAreClamped) {
   EXPECT_DOUBLE_EQ(b.remaining_mwh(), 1.0);
   b.drain_uj(-100.0);  // negative drain is a no-op
   EXPECT_DOUBLE_EQ(b.remaining_mwh(), 1.0);
+}
+
+TEST(RadioModel, DisabledUnlessRateAndPayloadArePositive) {
+  EXPECT_FALSE(RadioModel{}.enabled());
+  EXPECT_FALSE(RadioModel(RadioParams{250.0, 0.0, 80.0, 800.0}).enabled());
+  EXPECT_FALSE(RadioModel(RadioParams{0.0, 512.0, 80.0, 800.0}).enabled());
+  const RadioModel off(RadioParams{-1.0, 512.0, 80.0, 800.0});
+  EXPECT_FALSE(off.enabled());
+  EXPECT_DOUBLE_EQ(off.tx_us(), 0.0);
+  EXPECT_DOUBLE_EQ(off.tx_uj(), 0.0);
+}
+
+TEST(RadioModel, BurstTimeAndEnergyFollowTheLinkRate) {
+  // 512 B at 250 kbit/s = 4096 bits / 250 bits-per-ms = 16.384 ms, plus the
+  // 1.5 ms PA ramp; at 80 mW the burst costs tx_us * 80e-3 uJ.
+  const RadioModel radio(RadioParams{250.0, 512.0, 80.0, 1500.0});
+  ASSERT_TRUE(radio.enabled());
+  EXPECT_NEAR(radio.tx_us(), 1500.0 + 16384.0, 1e-9);
+  EXPECT_NEAR(radio.tx_uj(), radio.tx_us() * 80.0 * 1e-3, 1e-9);
+  // Doubling the link rate halves the payload time, not the ramp.
+  const RadioModel fast(RadioParams{500.0, 512.0, 80.0, 1500.0});
+  EXPECT_NEAR(fast.tx_us(), 1500.0 + 8192.0, 1e-9);
+  // Negative ramp/draw clamp to zero instead of producing negative costs.
+  const RadioModel weird(RadioParams{250.0, 512.0, -80.0, -1500.0});
+  EXPECT_NEAR(weird.tx_us(), 16384.0, 1e-9);
+  EXPECT_DOUBLE_EQ(weird.tx_uj(), 0.0);
 }
 
 }  // namespace

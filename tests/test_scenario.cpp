@@ -417,5 +417,201 @@ TEST(ScenarioEdge, BacklogDrainsWhenTheLinkReturns) {
   EXPECT_EQ(r.deadline_misses, 0u);
 }
 
+// ---- Energy model v2: solar harvesting + radio uplink ------------------
+
+TEST(ScenarioEnergyV2, HarvestExtendsTheMission) {
+  // A battery sized to die mid-mission without the panel; daytime intake
+  // must stretch the mission (and be visible in the report).
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec dark;
+  dark.name = "no-sun";
+  dark.horizon_s = 6.0 * 86400.0;
+  dark.duty.period_s = 10.0;
+  dark.base_qos_slack = 0.60;
+  dark.battery.capacity_mwh = 40.0;
+  dark.battery.self_discharge_mw = 0.0;
+
+  MissionSpec sunny = dark;
+  sunny.name = "sun";
+  for (int day = 0; day < 6; ++day) {
+    sunny.harvest_events.push_back({day * 86400.0 + 28800.0, 2.0});
+    sunny.harvest_events.push_back({day * 86400.0 + 64800.0, 0.0});
+  }
+
+  const sim::SimParams sim;
+  const MissionReport rd = simulate_mission(dark, gov, kTBase, sim);
+  const MissionReport rs = simulate_mission(sunny, gov, kTBase, sim);
+  check_accounting(dark, rd);
+  check_accounting(sunny, rs);
+  ASSERT_TRUE(rd.battery_depleted);
+  EXPECT_EQ(rd.harvested_mwh, 0.0);
+  EXPECT_GT(rs.harvested_mwh, 0.0);
+  EXPECT_GT(rs.simulated_s, rd.simulated_s)
+      << "daytime charging must stretch the mission";
+}
+
+TEST(ScenarioEnergyV2, ChargeClampsAtCapacityAndRespectsTheRateCap) {
+  // A panel far larger than the load: the battery must pin at capacity
+  // (never above), and a charge-rate cap must cut the stored total.
+  const LadderPolicy gov = synthetic_ladder(false);
+  MissionSpec spec;
+  spec.name = "overpaneled";
+  spec.horizon_s = 86400.0;
+  spec.duty.period_s = 30.0;
+  spec.base_qos_slack = 0.60;
+  spec.battery.capacity_mwh = 20.0;
+  spec.base_harvest_mw = 50.0;
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  EXPECT_FALSE(r.battery_depleted);
+  EXPECT_LE(r.battery_remaining_mwh, spec.battery.capacity_mwh);
+  EXPECT_NEAR(r.battery_remaining_mwh, spec.battery.capacity_mwh, 1e-6)
+      << "a 50 mW panel against a ~mW load must hold the battery full";
+  EXPECT_GT(r.harvested_mwh, 0.0);
+
+  MissionSpec capped = spec;
+  capped.battery.charge_rate_cap_mw = 0.5;
+  const MissionReport rc = simulate_mission(capped, gov, kTBase, sim);
+  check_accounting(capped, rc);
+  EXPECT_LT(rc.harvested_mwh, r.harvested_mwh)
+      << "the rate cap must cut what the cell accepts";
+}
+
+TEST(ScenarioEnergyV2, DepletionIsTerminalDespiteLaterHarvest) {
+  // The battery browns out before the sun comes up: the mission must end at
+  // depletion — harvest never revives a dead node.
+  const LadderPolicy gov = synthetic_ladder(false);
+  MissionSpec spec;
+  spec.name = "dead-before-dawn";
+  spec.horizon_s = 86400.0;
+  spec.duty.period_s = 5.0;
+  spec.base_qos_slack = 0.60;
+  spec.battery.capacity_mwh = 0.5;  // dies within the first hours
+  spec.harvest_events = {{50000.0, 100.0}};
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_accounting(spec, r);
+  ASSERT_TRUE(r.battery_depleted);
+  EXPECT_LT(r.simulated_s, 50000.0) << "death precedes the harvest event";
+  EXPECT_EQ(r.harvested_mwh, 0.0);
+  EXPECT_DOUBLE_EQ(r.battery_remaining_mwh, 0.0);
+}
+
+TEST(ScenarioEnergyV2, PanelThermalDeratingScalesIntake) {
+  // Same panel, hot vs cool ambient: the temperature coefficient must cut
+  // the stored charge (leakage scaling disabled to isolate the panel term).
+  // The intake sits below the ~1 mW load so the battery declines overall —
+  // a full battery would clip both runs to "stored == drained" and hide
+  // the scaling.
+  const LadderPolicy gov = synthetic_ladder(false);
+  MissionSpec cool;
+  cool.name = "cool-panel";
+  cool.horizon_s = 86400.0;
+  cool.duty.period_s = 30.0;
+  cool.base_qos_slack = 0.60;
+  cool.battery.capacity_mwh = 2000.0;
+  cool.battery.leakage_doubling_c = 0.0;
+  cool.base_harvest_mw = 0.3;
+  cool.harvest_temp_coeff = 0.004;
+
+  MissionSpec hot = cool;
+  hot.base_ambient_c = 65.0;  // 40 C over reference: -16% panel output
+
+  const sim::SimParams sim;
+  const MissionReport rc = simulate_mission(cool, gov, kTBase, sim);
+  const MissionReport rh = simulate_mission(hot, gov, kTBase, sim);
+  check_accounting(cool, rc);
+  check_accounting(hot, rh);
+  ASSERT_GT(rc.harvested_mwh, 0.0);
+  EXPECT_NEAR(rh.harvested_mwh, rc.harvested_mwh * (1.0 - 0.004 * 40.0),
+              rc.harvested_mwh * 1e-9);
+}
+
+TEST(ScenarioEnergyV2, RadioPricesEveryUplinkedFrame) {
+  // Always-connected mission, radio on vs off: every served frame pays
+  // exactly one tx burst, and nothing else about the mission changes.
+  const LadderPolicy gov = synthetic_ladder(false);
+  MissionSpec off;
+  off.name = "radio-off";
+  off.horizon_s = 40000.0;
+  off.duty.period_s = 10.0;
+  off.base_qos_slack = 0.60;
+
+  MissionSpec on = off;
+  on.radio = {250.0, 512.0, 80.0, 1500.0};
+  const power::RadioModel radio(on.radio);
+
+  const sim::SimParams sim;
+  const MissionReport r_off = simulate_mission(off, gov, kTBase, sim);
+  const MissionReport r_on = simulate_mission(on, gov, kTBase, sim);
+  check_accounting(off, r_off);
+  check_accounting(on, r_on);
+  EXPECT_EQ(r_off.radio_uj, 0.0);
+  ASSERT_EQ(r_on.frames, r_off.frames);
+  EXPECT_EQ(r_on.deadline_misses, r_off.deadline_misses)
+      << "the QoS deadline bounds the compute path, not the uplink burst";
+  EXPECT_NEAR(r_on.radio_uj,
+              static_cast<double>(r_on.frames) * radio.tx_uj(), 1e-6);
+  // The burst occupies the slot, displacing its own duration of sleep draw
+  // — the total grows by the radio energy net of that displaced sleep.
+  const double displaced_sleep_uj = static_cast<double>(r_on.frames) *
+                                    radio.tx_us() * 1e-6 *
+                                    on.duty.sleep_mw * 1e3;
+  EXPECT_NEAR(r_off.sleep_uj - r_on.sleep_uj, displaced_sleep_uj, 0.5);
+  EXPECT_NEAR(r_on.total_uj() - r_off.total_uj(),
+              r_on.radio_uj - displaced_sleep_uj, 0.5);
+}
+
+TEST(ScenarioEnergyV2, RadioTimeThrottlesBacklogDrain) {
+  // The blackout-drain mission again, now with a radio whose burst eats
+  // into each slot: draining the queue takes longer, so the latency debt
+  // grows — while backlog pressure still never causes a declared-QoS miss.
+  const LadderPolicy gov = synthetic_ladder(true);
+  MissionSpec spec;
+  spec.name = "blackout-radio";
+  spec.horizon_s = 3000.0;
+  spec.duty.period_s = 10.0;
+  spec.base_qos_slack = 0.60;
+  spec.uplink_queue_frames = 200;
+  spec.connectivity = {{0.0, 1000.0}, {2000.0, 1000.0}};
+
+  MissionSpec heavy = spec;
+  heavy.radio = {50.0, 4096.0, 80.0, 1500.0};  // ~656 ms per burst
+
+  const sim::SimParams sim;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  const MissionReport rr = simulate_mission(heavy, gov, kTBase, sim);
+  check_accounting(spec, r);
+  check_accounting(heavy, rr);
+  EXPECT_EQ(rr.frames_dropped, 0u);
+  EXPECT_GT(rr.radio_uj, 0.0);
+  EXPECT_GT(rr.backlog_latency_s, r.backlog_latency_s)
+      << "tx time must slow the back-to-back drain";
+  EXPECT_EQ(rr.deadline_misses, 0u);
+}
+
+TEST(ScenarioEnergyV2, CatchUpBudgetAccountsForRadioTime) {
+  // Direct LadderPolicy probe: with a backlog and a closing window the
+  // budget is window/(backlog+1) minus the tx burst — a burst big enough
+  // must push the choice from the slow rung to the (faster) mixed rung.
+  const LadderPolicy gov = synthetic_ladder(false);
+  FrameContext ctx;
+  ctx.deadline_us = 100000.0;
+  ctx.period_s = 10.0;
+  ctx.backlog = 9;
+  ctx.window_remaining_s = 0.6;  // budget share: 60 ms per frame
+  const int current = 2;         // waking out of the slow rung
+
+  ctx.radio_us = 0.0;
+  EXPECT_EQ(gov.choose(ctx, current), 2)
+      << "without radio time the slow rung fits the 60 ms share";
+  ctx.radio_us = 10000.0;  // 10 ms burst: share drops to 50 ms
+  EXPECT_EQ(gov.choose(ctx, current), 1)
+      << "the burst must push the choice to the faster mixed rung";
+}
+
 }  // namespace
 }  // namespace daedvfs::scenario

@@ -110,6 +110,22 @@ MissionSpec random_spec(std::uint64_t seed) {
     spec.uplink_queue_frames = static_cast<std::uint32_t>(1 + rng.upto(128));
   }
   if (rng.coin()) {
+    spec.base_harvest_mw = rng.coin() ? 0.0 : rng.range(0.0, 5.0);
+    const int n_harvest = rng.upto(5);
+    for (int i = 0; i < n_harvest; ++i) {
+      spec.harvest_events.push_back(
+          {rng.range(0.0, spec.horizon_s), rng.range(0.0, 10.0)});
+    }
+    spec.harvest_temp_coeff = rng.coin() ? 0.0 : rng.range(0.0, 0.01);
+    if (rng.coin()) spec.battery.charge_rate_cap_mw = rng.range(0.1, 3.0);
+  }
+  if (rng.coin()) {
+    spec.radio.link_kbps = rng.range(50.0, 1000.0);
+    spec.radio.payload_bytes = rng.range(32.0, 2048.0);
+    spec.radio.tx_mw = rng.range(20.0, 200.0);
+    spec.radio.ramp_us = rng.range(0.0, 3000.0);
+  }
+  if (rng.coin()) {
     spec.low_battery_soc = rng.range(0.1, 0.9);
     spec.low_battery_qos_slack = rng.range(0.3, 1.0);
   }
@@ -145,6 +161,53 @@ TEST(ScenarioFuzz, SameSeedSameBytesAndInvariantsHold) {
         << "seed " << seed << " is not run-to-run deterministic";
     check_mission_invariants(spec, a);
     if (::testing::Test::HasFailure()) FAIL() << "invariants at seed " << seed;
+  }
+}
+
+// Charging invariant, sampled along the timeline: harvest confined to one
+// known midday interval; the battery must decrease monotonically at every
+// horizon outside that interval and never exceed capacity anywhere.
+// Horizon truncation is exact — slot arithmetic has no horizon dependence
+// (events are absolute times, jitter off), so each longer run extends the
+// shorter one and sampling via horizons is sampling one timeline.
+TEST(ScenarioFuzz, ChargingMonotoneBetweenHarvestIntervals) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = fuzz_ladder(true);
+  for (int seed = 0; seed < 12; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 77 + 3);
+    MissionSpec spec;
+    spec.name = "charge-monotone-" + std::to_string(seed);
+    spec.duty.period_s = 10.0;
+    spec.base_qos_slack = rng.range(0.1, 0.8);
+    spec.battery.capacity_mwh = rng.range(5.0, 60.0);
+    spec.battery.self_discharge_mw = rng.range(0.0, 0.05);
+    if (rng.coin()) spec.battery.charge_rate_cap_mw = rng.range(0.5, 4.0);
+    spec.harvest_events = {{20000.0, rng.range(1.0, 20.0)}, {40000.0, 0.0}};
+
+    // Discharge-only before the sun comes up...
+    double prev = spec.battery.capacity_mwh;
+    for (double h : {5000.0, 10000.0, 15000.0, 20000.0}) {
+      spec.horizon_s = h;
+      const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+      EXPECT_LE(r.battery_remaining_mwh, prev + 1e-12)
+          << "seed " << seed << ": charged before the first harvest event";
+      EXPECT_LE(r.battery_remaining_mwh, spec.battery.capacity_mwh);
+      prev = r.battery_remaining_mwh;
+    }
+    // ...capacity-bounded while it shines...
+    spec.horizon_s = 40000.0;
+    const MissionReport mid = simulate_mission(spec, gov, kTBase, sim);
+    EXPECT_LE(mid.battery_remaining_mwh, spec.battery.capacity_mwh)
+        << "seed " << seed << ": charging overfilled the battery";
+    // ...and discharge-only again after sunset.
+    prev = mid.battery_remaining_mwh;
+    for (double h : {50000.0, 65000.0, 86400.0}) {
+      spec.horizon_s = h;
+      const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+      EXPECT_LE(r.battery_remaining_mwh, prev + 1e-12)
+          << "seed " << seed << ": charged after the harvest interval";
+      prev = r.battery_remaining_mwh;
+    }
   }
 }
 
@@ -227,15 +290,17 @@ TEST(ScenarioFuzz, BackendsAgreeOnMissionReports) {
 
 // ---- Golden report ----------------------------------------------------
 
-/// One canonical mission exercising every v2 event kind on the synthetic
-/// ladder. Deliberately modest in size so the golden JSON stays readable.
+/// One canonical mission exercising every v2 event kind — plus the energy
+/// model v2 additions (solar harvest steps with a charge-rate cap, radio
+/// uplink costs) — on the synthetic ladder. Deliberately modest in size so
+/// the golden JSON stays readable.
 MissionSpec golden_spec() {
   MissionSpec spec;
   spec.name = "golden-v2";
   spec.seed = 2026;
   spec.horizon_s = 2.0 * 86400.0;
   spec.duty = {10.0, 0.8};
-  spec.battery = {600.0, 0.02, 10.0};
+  spec.battery = {600.0, 0.02, 10.0, 2.5};
   spec.base_qos_slack = 0.60;
   const double tight = 42890.0 / kTBase - 1.0;  // mixed rung + half a relock
   spec.qos_events = {{20000.0, tight},  {26000.0, 0.60},
@@ -249,6 +314,11 @@ MissionSpec golden_spec() {
   spec.connectivity = {{0.0, 30000.0}, {36000.0, 93600.0},
                        {132000.0, 40800.0}};
   spec.uplink_queue_frames = 32;
+  // Daytime solar (the second plateau overlaps the 68 C soak: panel
+  // thermal derating engages) and a 256 B result uplink per served frame.
+  spec.harvest_events = {{28800.0, 3.0}, {64800.0, 0.0},
+                         {115200.0, 3.0}, {151200.0, 0.0}};
+  spec.radio = {250.0, 256.0, 80.0, 1000.0};
   spec.low_battery_soc = 0.25;
   spec.low_battery_qos_slack = 0.80;
   spec.period_jitter = 0.10;
