@@ -32,6 +32,14 @@
 //     place >= 3 static schedules in that plane and the predictive governor
 //     must sit on the front.
 //
+//  5. Fault mission & the availability front: the harvest+radio mission
+//     plus the fault layer — a lossy uplink with bounded retries, per-day
+//     link micro-blackouts with a watchdog reset striking mid-gap, and a
+//     hard radio outage. Each governor runs cold-boot and checkpointed; the
+//     checkpointed predictive governor must sit on the (total energy,
+//     availability) front AND strictly dominate the cold-boot reactive
+//     governor (more delivered frames for less energy).
+//
 //   $ ./build/bench_scenario                 # VWW + PD v2, full checks
 //   $ ./build/bench_scenario mbv2 out.json
 //   $ ./build/bench_scenario smoke           # small model, CI-fast
@@ -379,6 +387,82 @@ int main(int argc, char** argv) {
   std::cout << "  predictive harvested " << v3_pred.harvested_mwh
             << " mWh, radio " << v3_pred.radio_uj / 1e6 << " J\n";
 
+  // ---- Fault mission & the availability front: the harvest+radio field
+  // conditions plus the fault layer (scenario/faults.hpp) — a lossy uplink
+  // (3% per-attempt loss, bounded retries with jittered backoff), three
+  // 200 s link micro-blackouts per day with a watchdog reset striking 100 s
+  // into each gap (while the backlog it threatens is still queued), and a
+  // hard radio outage every evening. Each governor runs in two recovery
+  // postures: cold boot (queue lost, governor state reset) vs periodic
+  // GovernorCheckpoints (60 s interval) restoring rung preference, miss
+  // EWMA and the backlog captured up to the checkpoint. The acceptance
+  // artifact is the (total energy, availability) front: the checkpointed
+  // predictive governor must sit on it AND strictly dominate the cold-boot
+  // reactive governor — more delivered frames for less energy.
+  scenario::MissionSpec v4 = v3;
+  v4.name = "sentry-v4-faults";
+  v4.connectivity.clear();
+  for (int day = 0; v4.horizon_s - day * 86400.0 > 0; ++day) {
+    const double base_s = day * 86400.0;
+    // The v3 daytime window with three 200 s micro-blackouts punched in;
+    // short enough that the bounded queue holds every gap's frames, so the
+    // only way to lose them is a cold boot.
+    v4.connectivity.push_back({base_s, 8000.0});
+    v4.connectivity.push_back({base_s + 8200.0, 7800.0});
+    v4.connectivity.push_back({base_s + 16200.0, 13800.0});
+    v4.connectivity.push_back({base_s + 30200.0, 9800.0});
+    v4.connectivity.push_back({base_s + 50000.0, 36400.0});
+    v4.faults.resets.push_back({base_s + 8100.0});
+    v4.faults.resets.push_back({base_s + 16100.0});
+    v4.faults.resets.push_back({base_s + 30100.0});
+    v4.faults.radio.outages.push_back({base_s + 55000.0, 300.0});
+  }
+  v4.faults.radio.loss_prob = 0.03;
+  v4.faults.radio.max_retries = 3;
+  v4.faults.radio.backoff_base_s = 0.05;
+  v4.faults.radio.backoff_jitter = 0.2;
+  v4.faults.reboot.boot_s = 5.0;
+  v4.faults.reboot.boot_uj = 20000.0;
+  scenario::MissionSpec v4_ckpt = v4;
+  v4_ckpt.faults.reboot.checkpoint_interval_s = 60.0;
+  v4_ckpt.faults.reboot.checkpoint_uj = 50.0;
+
+  std::vector<scenario::MissionReport> v4_reports;
+  v4_reports.push_back(simulate_mission(v4_ckpt, v2_pred, v2_tbase, sim));
+  v4_reports.back().policy += "+ckpt";
+  v4_reports.push_back(simulate_mission(v4, v2_pred, v2_tbase, sim));
+  v4_reports.push_back(simulate_mission(v4_ckpt, v2_reac, v2_tbase, sim));
+  v4_reports.back().policy += "+ckpt";
+  v4_reports.push_back(simulate_mission(v4, v2_reac, v2_tbase, sim));
+  for (const scenario::RungInfo& rung : v2_rungs) {
+    v4_reports.push_back(
+        simulate_mission(v4, scenario::StaticPolicy(rung), v2_tbase, sim));
+  }
+  const scenario::MissionReport& v4_warm = v4_reports.front();
+  const scenario::MissionReport& v4_cold_reac = v4_reports[3];
+  const std::vector<scenario::AvailabilityParetoPoint> v4_front =
+      scenario::availability_pareto(v4_reports);
+  const bool v4_warm_on_front = v4_front.front().on_front;
+  const bool v4_warm_dominates =
+      v4_warm.total_uj() < v4_cold_reac.total_uj() &&
+      v4_warm.availability() > v4_cold_reac.availability();
+  const bool v4_exercised = v4_warm.resets > 0 && v4_warm.checkpoints > 0 &&
+                            v4_warm.retries > 0 && v4_warm.tx_failures > 0;
+  std::cout << "fault mission (" << v2_model.name()
+            << "), availability front over (energy, availability):\n";
+  for (const scenario::AvailabilityParetoPoint& p : v4_front) {
+    std::cout << "  " << (p.on_front ? "* " : "  ") << p.policy << ": "
+              << p.total_uj / 1e6 << " J, availability " << p.availability
+              << ", " << p.resets << " resets, " << p.retries << " retries, "
+              << p.tx_failures << " tx failures, fault energy "
+              << p.fault_uj / 1e6 << " J\n";
+  }
+  std::cout << "  warm-vs-cold: ckpt predictive " << v4_warm.frames
+            << " frames / " << v4_warm.total_uj() / 1e6
+            << " J vs cold reactive " << v4_cold_reac.frames << " frames / "
+            << v4_cold_reac.total_uj() / 1e6 << " J — dominates="
+            << (v4_warm_dominates ? "yes" : "NO") << "\n";
+
   // ---- Emit BENCH_scenario.json.
   std::ofstream os(out_path);
   os.precision(6);
@@ -509,6 +593,44 @@ int main(int argc, char** argv) {
      << "    \"predictive_radio_uj\": " << v3_pred.radio_uj << ",\n"
      << "    \"predictive_on_front\": "
      << (predictive_on_front ? "true" : "false") << "\n"
+     << "  },\n"
+     << "  \"mission_v4\": {\n"
+     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"horizon_s\": " << v4.horizon_s << ",\n"
+     << "    \"faults\": {\"loss_prob\": " << v4.faults.radio.loss_prob
+     << ", \"max_retries\": " << v4.faults.radio.max_retries
+     << ", \"backoff_base_s\": " << v4.faults.radio.backoff_base_s
+     << ", \"backoff_jitter\": " << v4.faults.radio.backoff_jitter
+     << ", \"outages\": " << v4.faults.radio.outages.size()
+     << ", \"resets\": " << v4.faults.resets.size()
+     << ", \"boot_s\": " << v4.faults.reboot.boot_s
+     << ", \"boot_uj\": " << v4.faults.reboot.boot_uj
+     << ", \"checkpoint_interval_s\": "
+     << v4_ckpt.faults.reboot.checkpoint_interval_s
+     << ", \"checkpoint_uj\": " << v4_ckpt.faults.reboot.checkpoint_uj
+     << "},\n"
+     << "    \"policies\": [\n";
+  for (std::size_t i = 0; i < v4_reports.size(); ++i) {
+    if (i) os << ",\n";
+    write_json(os, v4_reports[i], 6);
+  }
+  os << "\n    ],\n"
+     << "    \"availability_pareto\": \n";
+  write_availability_pareto_json(os, v4_front, 4);
+  os << ",\n"
+     << "    \"ckpt_predictive_total_uj\": " << v4_warm.total_uj() << ",\n"
+     << "    \"ckpt_predictive_availability\": " << v4_warm.availability()
+     << ",\n"
+     << "    \"cold_reactive_total_uj\": " << v4_cold_reac.total_uj()
+     << ",\n"
+     << "    \"cold_reactive_availability\": " << v4_cold_reac.availability()
+     << ",\n"
+     << "    \"faults_exercised\": " << (v4_exercised ? "true" : "false")
+     << ",\n"
+     << "    \"ckpt_predictive_on_front\": "
+     << (v4_warm_on_front ? "true" : "false") << ",\n"
+     << "    \"ckpt_predictive_dominates_cold_reactive\": "
+     << (v4_warm_dominates ? "true" : "false") << "\n"
      << "  }\n}\n";
   os.close();
   std::cout << "-> " << out_path << "\n";
@@ -545,6 +667,27 @@ int main(int argc, char** argv) {
     std::cerr << "harvest+radio gate failed: harvest or radio never engaged "
                  "(harvested " << v3_pred.harvested_mwh << " mWh, radio "
               << v3_pred.radio_uj << " uJ)\n";
+    ok = false;
+  }
+  if (!v4_exercised) {
+    std::cerr << "fault gate failed: the fault layer never engaged (resets "
+              << v4_warm.resets << ", checkpoints " << v4_warm.checkpoints
+              << ", retries " << v4_warm.retries << ", tx failures "
+              << v4_warm.tx_failures << ")\n";
+    ok = false;
+  }
+  if (!v4_warm_on_front) {
+    std::cerr << "fault gate failed: the checkpointed predictive governor "
+                 "fell off the (energy, availability) front\n";
+    ok = false;
+  }
+  if (!v4_warm_dominates) {
+    std::cerr << "fault gate failed: checkpointed predictive ("
+              << v4_warm.total_uj() / 1e6 << " J, availability "
+              << v4_warm.availability()
+              << ") does not strictly dominate cold-boot reactive ("
+              << v4_cold_reac.total_uj() / 1e6 << " J, availability "
+              << v4_cold_reac.availability() << ")\n";
     ok = false;
   }
   if (!smoke && replay.built.repair_iterations == 0) {

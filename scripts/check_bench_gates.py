@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Assert every acceptance gate in the BENCH_*.json artifacts passed.
+
+The benches emit their pass/fail verdicts as booleans alongside the numbers
+they gate on (docs/architecture.md § "Bench artifacts"). Each binary
+already exits nonzero when a
+gate fails, but the JSON is what gets committed and compared across PRs —
+this script re-derives the verdict from the artifact alone, so CI catches a
+stale or hand-edited BENCH file even when the bench binary was never rerun.
+
+A boolean is a gate unless it is descriptive state rather than a verdict:
+  * "smoke" — records which mode produced the artifact;
+  * booleans inside per-policy report arrays ("policies") or Pareto-point
+    arrays ("pareto", "availability_pareto") — per-point annotations like
+    on_front / battery_depleted / truncated describe where a policy landed,
+    not whether the bench passed;
+  * those same three key names anywhere, for safety.
+Everything else must be true.
+
+Usage: python3 scripts/check_bench_gates.py [repo_root]
+"""
+import glob
+import json
+import os
+import sys
+
+SKIP_KEYS = {"smoke", "on_front", "battery_depleted", "truncated"}
+SKIP_ARRAYS = {"policies", "pareto", "availability_pareto"}
+
+
+def gates(node, path="", in_skipped_array=False):
+    """Yields (json_path, value) for every gate boolean under `node`."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            if key in SKIP_KEYS:
+                continue
+            yield from gates(value, f"{path}/{key}",
+                             in_skipped_array or key in SKIP_ARRAYS)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            yield from gates(value, f"{path}[{i}]", in_skipped_array)
+    elif isinstance(node, bool) and not in_skipped_array:
+        yield path, node
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    artifacts = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not artifacts:
+        print(f"no BENCH_*.json artifacts under {root}", file=sys.stderr)
+        return 1
+    failed = []
+    total = 0
+    for artifact in artifacts:
+        name = os.path.basename(artifact)
+        try:
+            with open(artifact) as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as err:
+            print(f"{name}: unreadable ({err})", file=sys.stderr)
+            failed.append(f"{name}: unreadable")
+            continue
+        artifact_gates = list(gates(doc))
+        if not artifact_gates:
+            # An artifact without a single verdict boolean is a bench that
+            # forgot to emit its gates — treat as a failure, not a pass.
+            print(f"{name}: no gate booleans found", file=sys.stderr)
+            failed.append(f"{name}: no gates")
+            continue
+        total += len(artifact_gates)
+        for path, value in artifact_gates:
+            if not value:
+                print(f"{name}: gate {path} = false", file=sys.stderr)
+                failed.append(f"{name}{path}")
+    if failed:
+        print(f"{len(failed)} gate(s) failed across "
+              f"{len(artifacts)} artifact(s)", file=sys.stderr)
+        return 1
+    print(f"all {total} gates passed across {len(artifacts)} artifact(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

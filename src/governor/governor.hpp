@@ -18,6 +18,14 @@
 // eligible. A missed prediction degrades gracefully to the PR 2 reactive
 // transition.
 //
+// Under the fault model (scenario/faults.hpp) the governor inherits
+// LadderPolicy's DegradedMode ladder: under sustained miss pressure or
+// critical charge, degraded_skip() sheds a bounded number of captures per
+// served frame instead of letting the node brown out. Its online state
+// (rung preference, miss EWMA) is what a periodic GovernorCheckpoint
+// snapshots — a brownout reset either cold-boots that state or restores
+// it, the warm-vs-cold trade bench_scenario's fault mission measures.
+//
 // The ladder build is the expensive part and happens once in the
 // constructor; choose() is a handful of comparisons — cheap enough to run
 // per inference on-device.

@@ -7,6 +7,10 @@
 // charges `tx_uj()` to the battery and occupies the slot for `tx_us()`,
 // which throttles how fast a backlog can drain through a window — the radio
 // cost the governor's catch-up budget accounts for (scenario/policy.cpp).
+// The fault layer (scenario/faults.hpp) prices retransmissions through the
+// same model: every retry of a lost frame pays `tx_uj()` again — PA ramp
+// included — and occupies the slot for another `tx_us()` plus its backoff,
+// so a noisy channel costs both energy and latency debt.
 #pragma once
 
 namespace daedvfs::power {

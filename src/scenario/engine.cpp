@@ -3,72 +3,52 @@
 #include <algorithm>
 #include <deque>
 #include <optional>
+#include <utility>
+#include <vector>
+
+#include "scenario/faults.hpp"
 
 namespace daedvfs::scenario {
 namespace {
 
 /// Safety cap on simulated frames — bounds runaway specs (e.g. a microsecond
 /// period over a year-long horizon), reported via MissionReport::truncated.
+/// Counted against offered slots, which equal captures on fault-free specs
+/// and additionally cover reboot-downtime slots on faulted ones.
 constexpr std::uint64_t kMaxFrames = 200'000'000ULL;
 
-/// xorshift64: the engine's only randomness source, seeded from the spec.
-class Xorshift64 {
- public:
-  explicit Xorshift64(std::uint64_t seed) : s_(seed ? seed : 1ULL) {}
-  /// Uniform double in [0, 1).
-  double next_unit() {
-    s_ ^= s_ << 13;
-    s_ ^= s_ >> 7;
-    s_ ^= s_ << 17;
-    return static_cast<double>(s_ >> 11) * 0x1.0p-53;
-  }
+/// Seed perturbation of the fault stream: the fault xorshift64 is seeded
+/// with `spec.seed ^ kFaultStreamSalt`, so fault draws (loss, backoff
+/// jitter) never consume — or depend on — the period-jitter stream.
+constexpr std::uint64_t kFaultStreamSalt = 0xfa017c0de5eedULL;
 
- private:
-  std::uint64_t s_;
-};
-
-/// Connectivity windows normalized to disjoint, ascending intervals, with
-/// monotone-time queries. No *effective* (positive-duration) windows =
-/// always connected: a list of degenerate zero-length entries behaves like
-/// the documented empty list, not like a permanent blackout.
+/// Connectivity windows as an IntervalSet (scenario/faults.hpp), preserving
+/// the documented edge case: no *effective* (positive-duration) windows =
+/// always connected — a list of degenerate zero-length entries behaves like
+/// the empty list, not like a permanent blackout.
 class Connectivity {
  public:
   explicit Connectivity(const std::vector<ConnectivityWindow>& windows) {
+    std::vector<std::pair<double, double>> spans;
+    spans.reserve(windows.size());
     for (const ConnectivityWindow& w : windows) {
-      if (w.duration_s > 0.0) {
-        spans_.push_back({w.start_s, w.start_s + w.duration_s});
-      }
+      spans.emplace_back(w.start_s, w.duration_s);
     }
-    std::sort(spans_.begin(), spans_.end());
-    std::size_t out = 0;
-    for (std::size_t i = 0; i < spans_.size(); ++i) {
-      if (out > 0 && spans_[i].first <= spans_[out - 1].second) {
-        spans_[out - 1].second =
-            std::max(spans_[out - 1].second, spans_[i].second);
-      } else {
-        spans_[out++] = spans_[i];
-      }
-    }
-    spans_.resize(out);
-    always_ = spans_.empty();
+    set_ = IntervalSet::from_spans(spans);
   }
 
-  [[nodiscard]] bool gated() const { return !always_; }
+  [[nodiscard]] bool gated() const { return !set_.empty(); }
 
   /// Is `t` inside a window? Queries must be non-decreasing in time.
   [[nodiscard]] bool connected(double t) {
-    if (always_) return true;
-    while (idx_ < spans_.size() && spans_[idx_].second <= t) ++idx_;
-    return idx_ < spans_.size() && spans_[idx_].first <= t;
+    return set_.empty() || set_.contains(t);
   }
 
   /// End of the window containing `t` (call connected(t) first).
-  [[nodiscard]] double window_end() const { return spans_[idx_].second; }
+  [[nodiscard]] double window_end() const { return set_.active_end(); }
 
  private:
-  std::vector<std::pair<double, double>> spans_;
-  std::size_t idx_ = 0;
-  bool always_ = true;
+  IntervalSet set_;
 };
 
 /// Harvest intake effective at `ambient_c`: the active step scaled by the
@@ -121,6 +101,40 @@ MissionReport simulate_mission(const MissionSpec& spec,
     max_peak_mhz = std::max(max_peak_mhz, rung.peak_mhz());
   }
 
+  // ---- Fault machinery (scenario/faults.hpp). Every fault path below is
+  // gated on its spec being declared, and fault decisions draw from a
+  // dedicated stream — a fault-free MissionSpec takes none of these
+  // branches, consumes no fault draws, and reproduces the fault-free engine
+  // bit for bit (pinned by the golden report).
+  const FaultSpec& faults = spec.faults;
+  const bool lossy = radio.enabled() && faults.radio.enabled();
+  std::vector<std::pair<double, double>> outage_spans;
+  outage_spans.reserve(faults.radio.outages.size());
+  for (const Outage& o : faults.radio.outages) {
+    outage_spans.emplace_back(o.start_s, o.duration_s);
+  }
+  IntervalSet outages = IntervalSet::from_spans(outage_spans);
+  Xorshift64 fault_rng(spec.seed ^ kFaultStreamSalt);
+  // An attempt fails inside a hard outage unconditionally (no draw), else
+  // by the per-attempt loss probability. Attempt times are non-decreasing
+  // across the mission, matching the IntervalSet query contract.
+  auto tx_attempt_fails = [&](double t) {
+    if (!outages.empty() && outages.contains(t)) return true;
+    return faults.radio.loss_prob > 0.0 &&
+           fault_rng.next_unit() < faults.radio.loss_prob;
+  };
+  const std::vector<ResetEvent> resets = sorted_by_time(faults.resets);
+  std::size_t next_reset = 0;
+  double down_until_s = 0.0;  ///< Rebooting (node off) until this time.
+  const RebootSpec& reboot = faults.reboot;
+  const bool ckpt_on = reboot.checkpointed();
+  double next_ckpt_s = reboot.checkpoint_interval_s;
+  GovernorCheckpoint ckpt;
+  const DegradedModeSpec& degraded = faults.degraded;
+  const bool degraded_on = degraded.enabled();
+  double miss_ewma = 0.0;          ///< Deadline-miss pressure (served frames).
+  std::uint32_t shed_countdown = 0;  ///< Captures left to shed (degradation).
+
   double now_s = 0.0;
   double slack = spec.base_qos_slack;
   double ambient_c = spec.base_ambient_c;
@@ -143,7 +157,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
   // serves the queue front (the live capture, when the queue was empty)
   // and then drains further backlog back-to-back inside the slot.
   while (now_s < spec.horizon_s && !battery.depleted()) {
-    if (r.frames >= kMaxFrames || r.frames_captured >= kMaxFrames) {
+    if (r.frames >= kMaxFrames || r.frames_offered >= kMaxFrames) {
       r.truncated = true;
       break;
     }
@@ -164,6 +178,63 @@ MissionReport simulate_mission(const MissionSpec& spec,
     }
     const double cap_mhz = spec.derate.max_sysclk_mhz(ambient_c);
 
+    // ---- Faults: brownout/watchdog resets, resolved at slot granularity.
+    // A reset pays the boot energy, takes the node down for the boot time,
+    // and erases the volatile state: the clock tree falls back to the boot
+    // configuration (any pre-lock is gone — a pending one is a miss), and
+    // the governor either restores the last checkpoint (rung preference,
+    // miss EWMA, queued frames captured at or before it) or cold-boots
+    // (everything queued is dropped).
+    while (next_reset < resets.size() &&
+           resets[next_reset].at_s <= now_s) {
+      ++next_reset;
+      ++r.resets;
+      const double boot_uj = std::max(reboot.boot_uj, 0.0);
+      battery.drain_uj(boot_uj);
+      r.boot_uj += boot_uj;
+      down_until_s = std::max(down_until_s,
+                              now_s + std::max(reboot.boot_s, 0.0));
+      if (prelock_pending) {
+        ++r.prelock_misses;
+        prelock_pending = false;
+      }
+      predicted = -1;
+      wake = WakeState::at(sim.boot);
+      if (ckpt.valid()) {
+        while (!queue.empty() && queue.back() > ckpt.at_s) {
+          queue.pop_back();
+          ++r.frames_dropped;
+        }
+        cur = ckpt.rung;
+        miss_ewma = ckpt.miss_ewma;
+      } else {
+        r.frames_dropped += queue.size();
+        queue.clear();
+        cur = -1;
+        miss_ewma = 0.0;
+      }
+    }
+    const bool down = now_s < down_until_s;
+
+    // ---- Faults: periodic governor checkpoint — one flash write per due
+    // interval boundary (collapsed to one per slot when a slot spans
+    // several), skipped while the node is down rebooting (the cursor still
+    // advances: a dead node writes nothing).
+    if (ckpt_on) {
+      bool due = false;
+      while (next_ckpt_s <= now_s) {
+        due = true;
+        next_ckpt_s += reboot.checkpoint_interval_s;
+      }
+      if (due && !down) {
+        ckpt = GovernorCheckpoint{now_s, cur, miss_ewma};
+        const double ckpt_uj = std::max(reboot.checkpoint_uj, 0.0);
+        battery.drain_uj(ckpt_uj);
+        r.checkpoint_uj += ckpt_uj;
+        ++r.checkpoints;
+      }
+    }
+
     double period_s = spec.duty.period_s;
     for (const Burst& b : spec.bursts) {
       if (b.period_s > 0.0 && now_s >= b.start_s &&
@@ -182,8 +253,43 @@ MissionReport simulate_mission(const MissionSpec& spec,
     }
     const double deadline_us = t_base_us * (1.0 + active_slack);
 
+    // Every slot is a capture *opportunity* the duty cycle offers — the
+    // availability denominator. Slots the node reboots through are offered
+    // but never captured.
+    ++r.frames_offered;
+
+    // ---- Faults: reboot downtime. The node is off: nothing captures, no
+    // sleep draw (only battery self-discharge), but the sun still charges.
+    if (down) {
+      r.downtime_s += std::min(period_s, down_until_s - now_s);
+      battery.elapse(period_s, 0.0);
+      if (has_harvest && !battery.depleted()) {
+        r.harvested_mwh += battery.charge(
+            period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
+      }
+      now_s += period_s;
+      continue;
+    }
+
     // ---- Capture.
     ++r.frames_captured;
+
+    // ---- Faults: graceful degradation sheds this capture (bounded by the
+    // policy's skip factor): the frame is accounted, never enqueued, and
+    // the whole slot sleeps — trading declared QoS for survival.
+    if (shed_countdown > 0) {
+      --shed_countdown;
+      ++r.frames_shed;
+      r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * period_s * 1e3;
+      battery.elapse(period_s, spec.duty.sleep_mw);
+      if (has_harvest && !battery.depleted()) {
+        r.harvested_mwh += battery.charge(
+            period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
+      }
+      now_s += period_s;
+      continue;
+    }
+
     queue.push_back(now_s);
     if (queue.size() > queue_cap) {
       queue.pop_front();
@@ -245,7 +351,8 @@ MissionReport simulate_mission(const MissionSpec& spec,
       if (!first && serve_s + frame_us * 1e-6 > slot_end_s) break;
       queue.pop_front();
 
-      if (compute_us > ctx.deadline_us + 1e-9) {
+      const bool missed = compute_us > ctx.deadline_us + 1e-9;
+      if (missed) {
         ++r.deadline_misses;
         r.deadline_overrun_s += (compute_us - ctx.deadline_us) * 1e-6;
       }
@@ -267,11 +374,71 @@ MissionReport simulate_mission(const MissionSpec& spec,
       const double debt_s = serve_s - capture_s;
       r.backlog_latency_s += debt_s;
       r.max_latency_debt_s = std::max(r.max_latency_debt_s, debt_s);
+
+      // ---- Faults: lossy uplink with seeded-deterministic retry. A failed
+      // attempt (hard outage, or the per-attempt loss draw) is retried up
+      // to max_retries times, each after an exponential backoff (optionally
+      // jittered from the fault stream); every retry pays a full radio
+      // burst — PA ramp included — through the same RadioModel pricing as
+      // the first attempt, and the backoff + burst extend the frame's slot
+      // occupancy (latency debt for whatever queues behind it). The frame
+      // is abandoned as a tx failure when the budget is exhausted, when the
+      // next burst cannot finish inside the connectivity window, or when
+      // the battery dies mid-burst.
+      double uplink_us = radio_us;
+      if (lossy) {
+        double attempt_start_s = serve_s + compute_us * 1e-6;
+        bool fail = tx_attempt_fails(attempt_start_s);
+        std::uint32_t attempt = 0;
+        while (fail) {
+          if (attempt >= faults.radio.max_retries) {
+            ++r.tx_failures;
+            break;
+          }
+          const double unit = faults.radio.backoff_jitter > 0.0
+                                  ? fault_rng.next_unit()
+                                  : 0.5;
+          const double backoff_s = retry_backoff_s(faults.radio, attempt, unit);
+          const double next_start_s =
+              attempt_start_s + radio_us * 1e-6 + backoff_s;
+          if (link.gated() &&
+              next_start_s + radio_us * 1e-6 > link.window_end()) {
+            ++r.tx_failures;  // the backoff crossed the window boundary
+            break;
+          }
+          ++attempt;
+          ++r.retries;
+          uplink_us += backoff_s * 1e6 + radio_us;
+          battery.drain_uj(radio_uj);
+          r.retry_uj += radio_uj;
+          attempt_start_s = next_start_s;
+          if (battery.depleted()) {
+            ++r.tx_failures;  // died mid-retry-burst: delivery unconfirmed
+            break;
+          }
+          fail = tx_attempt_fails(attempt_start_s);
+        }
+      }
+
       cur = next;
       wake = WakeState::after(rung);
-      total_active_s += frame_us * 1e-6;
+      total_active_s += (compute_us + uplink_us) * 1e-6;
+
+      // ---- Faults: degraded-mode pressure input — the deadline-miss EWMA
+      // the policy's shedding ladder reads.
+      if (degraded_on) {
+        miss_ewma += degraded.miss_alpha * ((missed ? 1.0 : 0.0) - miss_ewma);
+      }
       first = false;
       if (battery.depleted()) break;
+    }
+
+    // ---- Faults: after serving, ask the policy's DegradedMode ladder how
+    // many upcoming captures to shed (0 from degradation-blind policies).
+    if (degraded_on && !first) {
+      const std::uint32_t skip =
+          policy.degraded_skip(battery.soc(), miss_ewma, degraded);
+      shed_countdown = skip < degraded.max_skip ? skip : degraded.max_skip;
     }
 
     // The slot occupies max(period, active time); the remainder sleeps.

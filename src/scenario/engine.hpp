@@ -23,6 +23,20 @@
 //   * a radio model prices every uplinked frame (PA ramp + payload at the
 //     link rate): the tx energy drains the battery and the tx time occupies
 //     the slot, throttling how fast a backlog drains through a window.
+//
+// Fault model (scenario/faults.hpp, docs/scenarios.md):
+//   * lossy uplink — per-attempt loss probability plus hard outage
+//     intervals; failed attempts retry with bounded exponential backoff
+//     (jitter from a dedicated seeded stream), each retry pricing a full
+//     radio burst and extending the frame's slot occupancy;
+//   * brownout/watchdog resets — boot energy/time is paid, the node misses
+//     offered captures while down, the clock tree falls back to the boot
+//     configuration (pre-locks invalidated), and the governor cold-boots or
+//     restores the last periodic GovernorCheckpoint (rung preference, miss
+//     EWMA, and queued frames captured at or before it);
+//   * graceful degradation — the policy's DegradedMode ladder sheds a
+//     bounded number of captures per served frame under miss pressure or
+//     critical SoC; every shed frame is accounted.
 // Specs that use none of these reproduce the v1 engine bit for bit.
 #pragma once
 

@@ -1,0 +1,44 @@
+#include "scenario/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace daedvfs::scenario {
+
+IntervalSet IntervalSet::from_spans(
+    const std::vector<std::pair<double, double>>& start_duration) {
+  IntervalSet set;
+  for (const auto& [start_s, duration_s] : start_duration) {
+    if (duration_s > 0.0) {
+      set.spans_.emplace_back(start_s, start_s + duration_s);
+    }
+  }
+  std::sort(set.spans_.begin(), set.spans_.end());
+  // Merge overlapping or touching spans in place.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < set.spans_.size(); ++i) {
+    if (out > 0 && set.spans_[i].first <= set.spans_[out - 1].second) {
+      set.spans_[out - 1].second =
+          std::max(set.spans_[out - 1].second, set.spans_[i].second);
+    } else {
+      set.spans_[out++] = set.spans_[i];
+    }
+  }
+  set.spans_.resize(out);
+  return set;
+}
+
+bool IntervalSet::contains(double t) {
+  while (idx_ < spans_.size() && spans_[idx_].second <= t) ++idx_;
+  return idx_ < spans_.size() && spans_[idx_].first <= t;
+}
+
+double retry_backoff_s(const RadioFaultSpec& spec, std::uint32_t attempt,
+                       double unit) {
+  const double base = std::max(spec.backoff_base_s, 0.0);
+  const double wait = base * std::ldexp(1.0, static_cast<int>(attempt));
+  const double jitter = std::max(spec.backoff_jitter, 0.0);
+  return std::max(0.0, wait * (1.0 + jitter * (2.0 * unit - 1.0)));
+}
+
+}  // namespace daedvfs::scenario

@@ -18,6 +18,7 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
   const std::string pad(static_cast<std::size_t>(indent), ' ');
   const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
   os << pad << "{\n"
+     << in << "\"schema_version\": " << kMissionReportSchemaVersion << ",\n"
      << in << "\"mission\": \"" << r.mission << "\",\n"
      << in << "\"policy\": \"" << r.policy << "\",\n"
      << in << "\"simulated_s\": " << r.simulated_s << ",\n"
@@ -49,6 +50,18 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
      << in << "\"prelock_uj\": " << r.prelock_uj << ",\n"
      << in << "\"radio_uj\": " << r.radio_uj << ",\n"
      << in << "\"harvested_mwh\": " << r.harvested_mwh << ",\n"
+     << in << "\"frames_offered\": " << r.frames_offered << ",\n"
+     << in << "\"frames_shed\": " << r.frames_shed << ",\n"
+     << in << "\"retries\": " << r.retries << ",\n"
+     << in << "\"tx_failures\": " << r.tx_failures << ",\n"
+     << in << "\"resets\": " << r.resets << ",\n"
+     << in << "\"checkpoints\": " << r.checkpoints << ",\n"
+     << in << "\"downtime_s\": " << r.downtime_s << ",\n"
+     << in << "\"retry_uj\": " << r.retry_uj << ",\n"
+     << in << "\"boot_uj\": " << r.boot_uj << ",\n"
+     << in << "\"checkpoint_uj\": " << r.checkpoint_uj << ",\n"
+     << in << "\"fault_uj\": " << r.fault_uj() << ",\n"
+     << in << "\"availability\": " << r.availability() << ",\n"
      << in << "\"frames_per_rung\": [";
   for (std::size_t i = 0; i < r.frames_per_rung.size(); ++i) {
     os << (i ? ", " : "") << r.frames_per_rung[i];
@@ -99,6 +112,60 @@ void write_pareto_json(std::ostream& os,
        << ", \"max_latency_debt_s\": " << p.max_latency_debt_s
        << ", \"mean_latency_debt_s\": " << p.mean_latency_debt_s
        << ", \"deadline_misses\": " << p.deadline_misses
+       << ", \"on_front\": " << (p.on_front ? "true" : "false") << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << pad << "]";
+}
+
+std::vector<AvailabilityParetoPoint> availability_pareto(
+    const std::vector<MissionReport>& reports) {
+  std::vector<AvailabilityParetoPoint> points;
+  points.reserve(reports.size());
+  for (const MissionReport& r : reports) {
+    AvailabilityParetoPoint p;
+    p.policy = r.policy;
+    p.total_uj = r.total_uj();
+    p.availability = r.availability();
+    p.fault_uj = r.fault_uj();
+    p.downtime_s = r.downtime_s;
+    p.resets = r.resets;
+    p.retries = r.retries;
+    p.tx_failures = r.tx_failures;
+    p.frames_shed = r.frames_shed;
+    points.push_back(std::move(p));
+  }
+  for (AvailabilityParetoPoint& p : points) {
+    p.on_front = true;
+    for (const AvailabilityParetoPoint& q : points) {
+      const bool no_worse =
+          q.total_uj <= p.total_uj && q.availability >= p.availability;
+      const bool strictly_better =
+          q.total_uj < p.total_uj || q.availability > p.availability;
+      if (no_worse && strictly_better) {
+        p.on_front = false;
+        break;
+      }
+    }
+  }
+  return points;
+}
+
+void write_availability_pareto_json(
+    std::ostream& os, const std::vector<AvailabilityParetoPoint>& points,
+    int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  os << pad << "[\n";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const AvailabilityParetoPoint& p = points[i];
+    os << in << "{\"policy\": \"" << p.policy << "\", \"total_uj\": "
+       << p.total_uj << ", \"availability\": " << p.availability
+       << ", \"fault_uj\": " << p.fault_uj
+       << ", \"downtime_s\": " << p.downtime_s << ", \"resets\": " << p.resets
+       << ", \"retries\": " << p.retries
+       << ", \"tx_failures\": " << p.tx_failures
+       << ", \"frames_shed\": " << p.frames_shed
        << ", \"on_front\": " << (p.on_front ? "true" : "false") << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }

@@ -4,12 +4,14 @@
 // temperature steps that derate the allowed clock and scale battery leakage,
 // connectivity windows that gate frame delivery behind a bounded backlog
 // queue, solar-harvest intake steps that charge the battery between frames,
-// and a radio model pricing every uplinked frame. The engine
-// (scenario/engine.hpp) simulates weeks of deployment against a
-// SchedulePolicy and emits a deterministic MissionReport. No wall-clock
-// randomness anywhere: the optional period jitter is driven by a seeded
-// xorshift generator, so a (spec, policy) pair always reproduces the same
-// report bit for bit (pinned by tests/test_scenario_fuzz.cpp).
+// a radio model pricing every uplinked frame, and a declarative fault model
+// (scenario/faults.hpp) injecting lossy uplinks, brownout/watchdog resets,
+// and graceful QoS degradation. The engine (scenario/engine.hpp) simulates
+// weeks of deployment against a SchedulePolicy and emits a deterministic
+// MissionReport. No wall-clock randomness anywhere: the optional period
+// jitter and the fault decisions are driven by independent seeded xorshift
+// streams, so a (spec, policy) pair always reproduces the same report bit
+// for bit (pinned by tests/test_scenario_fuzz.cpp).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +21,7 @@
 
 #include "power/battery.hpp"
 #include "power/radio_model.hpp"
+#include "scenario/faults.hpp"
 
 namespace daedvfs::scenario {
 
@@ -141,7 +144,26 @@ struct MissionSpec {
   /// `tx_us`). Default-disabled: missions without radio params serve frames
   /// for free (pre-v2 behavior, bit for bit).
   power::RadioParams radio;
+
+  // ---- Fault model (PR 6) ---------------------------------------------
+
+  /// Declarative faults: lossy radio with retry/backoff, brownout/watchdog
+  /// resets with optional governor checkpointing, and a graceful QoS
+  /// degradation ladder. Default-constructed = fault-free: the engine takes
+  /// none of the fault paths and reproduces the pre-fault simulation bit
+  /// for bit.
+  FaultSpec faults;
 };
+
+/// Version of the MissionReport JSON schema written by write_json. Bumped
+/// whenever fields are added or change meaning, and asserted by the golden
+/// test — so a schema-growing PR fails loudly instead of silently
+/// regenerating goldens.
+///   1: v1/v2 mission report (through PR 4)
+///   2: energy model v2 — radio_uj, harvested_mwh (PR 5)
+///   3: fault accounting — offered/shed/retries/resets/downtime/availability
+///      and the fault energy split (PR 6)
+inline constexpr int kMissionReportSchemaVersion = 3;
 
 struct MissionReport {
   std::string mission;
@@ -193,8 +215,40 @@ struct MissionReport {
   double radio_uj = 0.0;       ///< Uplink tx energy (ramp + payload bursts).
   double harvested_mwh = 0.0;  ///< Charge actually stored by the battery.
 
+  // ---- Fault & recovery accounting (all zero for fault-free specs).
+  /// Capture opportunities the duty cycle offered, including slots the node
+  /// was rebooting through (offered but never captured) — the availability
+  /// denominator.
+  std::uint64_t frames_offered = 0;
+  std::uint64_t frames_shed = 0;   ///< Captures shed by graceful degradation.
+  std::uint64_t retries = 0;       ///< Radio retransmission bursts paid.
+  std::uint64_t tx_failures = 0;   ///< Frames served but never delivered.
+  std::uint64_t resets = 0;        ///< Brownout/watchdog reboots taken.
+  std::uint64_t checkpoints = 0;   ///< Governor checkpoints persisted.
+  double downtime_s = 0.0;         ///< Time the node was off rebooting.
+  double retry_uj = 0.0;           ///< Energy of retransmission bursts.
+  double boot_uj = 0.0;            ///< Energy of reboots.
+  double checkpoint_uj = 0.0;      ///< Energy of checkpoint flash writes.
+
+  /// The energy-overhead-of-faults split: everything the mission paid that
+  /// a fault-free run would not have (retries + reboots + checkpoints).
+  [[nodiscard]] double fault_uj() const {
+    return retry_uj + boot_uj + checkpoint_uj;
+  }
+  /// Delivered / offered: the fraction of capture opportunities that ended
+  /// as a delivered frame. Served-but-lost uplinks (tx_failures), shed,
+  /// dropped, pending, and reboot-missed captures all count against it.
+  /// 1.0 for an empty mission (nothing offered, nothing missed).
+  [[nodiscard]] double availability() const {
+    if (frames_offered == 0) return 1.0;
+    const std::uint64_t lost = tx_failures < frames ? tx_failures : frames;
+    return static_cast<double>(frames - lost) /
+           static_cast<double>(frames_offered);
+  }
+
   [[nodiscard]] double total_uj() const {
-    return inference_uj + transition_uj + sleep_uj + prelock_uj + radio_uj;
+    return inference_uj + transition_uj + sleep_uj + prelock_uj + radio_uj +
+           fault_uj();
   }
   /// Average queueing delay per served frame.
   [[nodiscard]] double mean_latency_debt_s() const {
@@ -252,5 +306,35 @@ struct MissionParetoPoint {
 void write_pareto_json(std::ostream& os,
                        const std::vector<MissionParetoPoint>& points,
                        int indent = 0);
+
+/// One policy's position in the mission-level (energy, availability) plane
+/// of a fault mission. `on_front` marks Pareto optimality over total_uj
+/// (minimized) and availability (maximized) — the robustness analogue of
+/// MissionParetoPoint: a policy may only spend more energy if it buys
+/// strictly more delivered frames.
+struct AvailabilityParetoPoint {
+  std::string policy;
+  double total_uj = 0.0;
+  double availability = 0.0;        ///< Front axis (maximized).
+  double fault_uj = 0.0;            ///< Fault-overhead split (reported).
+  double downtime_s = 0.0;
+  std::uint64_t resets = 0;
+  std::uint64_t retries = 0;
+  std::uint64_t tx_failures = 0;
+  std::uint64_t frames_shed = 0;
+  bool on_front = false;
+};
+
+/// Reduces fault-mission reports to the (energy, availability) front: a
+/// point is on the front iff no other point is at most as expensive AND at
+/// least as available with one of the two strict. Deterministic, duplicates
+/// kept, input order preserved (same contract as mission_pareto).
+[[nodiscard]] std::vector<AvailabilityParetoPoint> availability_pareto(
+    const std::vector<MissionReport>& reports);
+
+/// Writes the availability-front points as a JSON array.
+void write_availability_pareto_json(
+    std::ostream& os, const std::vector<AvailabilityParetoPoint>& points,
+    int indent = 0);
 
 }  // namespace daedvfs::scenario

@@ -1,6 +1,7 @@
 #include "scenario/policy.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "clock/rcc.hpp"
@@ -166,6 +167,28 @@ std::optional<ThermalAnchor> find_thermal_anchor(
   anchor.hot_ambient_c =
       anchor.derate.start_c + (peak_max - anchor.cap_mhz) / anchor.derate.mhz_per_c;
   return anchor;
+}
+
+std::uint32_t LadderPolicy::degraded_skip(double battery_soc,
+                                          double miss_ewma,
+                                          const DegradedModeSpec& spec) const {
+  if (!spec.enabled()) return 0;
+  double severity = 0.0;
+  if (spec.critical_soc > 0.0 && battery_soc < spec.critical_soc) {
+    severity = (spec.critical_soc - battery_soc) / spec.critical_soc;
+  }
+  if (spec.miss_pressure > 0.0 && miss_ewma > spec.miss_pressure) {
+    const double span = 1.0 - spec.miss_pressure;
+    const double miss_sev =
+        span > 0.0 ? std::min(1.0, (miss_ewma - spec.miss_pressure) / span)
+                   : 1.0;
+    severity = std::max(severity, miss_sev);
+  }
+  if (severity <= 0.0) return 0;
+  const double scaled =
+      std::ceil(std::min(severity, 1.0) * static_cast<double>(spec.max_skip));
+  const auto skip = static_cast<std::uint32_t>(scaled);
+  return skip < spec.max_skip ? skip : spec.max_skip;
 }
 
 int LadderPolicy::predict_next(const FrameContext& ctx, int chosen) const {

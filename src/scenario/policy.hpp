@@ -53,17 +53,26 @@ struct WakeState {
   std::optional<clock::PllConfig> locked_pll;
   clock::VoltageScale scale = clock::VoltageScale::kScale3;
 
+  /// Clock-tree state after settling at `config`: PLL locked iff the config
+  /// runs on it, regulator at the config's requirement. Used both for the
+  /// sleep state after a frame (after()) and for the state a rebooted node
+  /// wakes into (the boot clock configuration — a brownout reset erases any
+  /// pre-lock, see scenario/faults.hpp).
+  [[nodiscard]] static WakeState at(const clock::ClockConfig& config) {
+    WakeState w;
+    w.config = config;
+    if (config.source == clock::ClockSource::kPll) {
+      w.locked_pll = config.pll;
+    }
+    w.scale = config.voltage_scale();
+    return w;
+  }
+
   /// Sleep state left behind by a frame executed on `rung` (the v1
   /// derivation: exit clock retained, PLL locked iff the exit runs on it,
   /// regulator at the exit requirement).
   [[nodiscard]] static WakeState after(const RungInfo& rung) {
-    WakeState w;
-    w.config = rung.exit_hfo;
-    if (rung.exit_hfo.source == clock::ClockSource::kPll) {
-      w.locked_pll = rung.exit_hfo.pll;
-    }
-    w.scale = rung.exit_hfo.voltage_scale();
-    return w;
+    return at(rung.exit_hfo);
   }
 };
 
@@ -113,6 +122,21 @@ class SchedulePolicy {
     (void)ctx;
     (void)chosen;
     return -1;
+  }
+  /// Graceful-degradation decision (DegradedMode ladder): after a served
+  /// frame, how many upcoming captures to shed given the battery state and
+  /// the engine-maintained deadline-miss EWMA. The engine clamps the answer
+  /// to `spec.max_skip` and accounts every shed frame
+  /// (MissionReport::frames_shed). Default: never shed — a degradation-
+  /// blind policy (StaticPolicy) rides its declared QoS into brownout,
+  /// which is exactly the baseline the fault benches compare against.
+  [[nodiscard]] virtual std::uint32_t degraded_skip(
+      double battery_soc, double miss_ewma,
+      const DegradedModeSpec& spec) const {
+    (void)battery_soc;
+    (void)miss_ewma;
+    (void)spec;
+    return 0;
   }
   [[nodiscard]] virtual std::string name() const = 0;
 };
@@ -175,6 +199,14 @@ class LadderPolicy : public SchedulePolicy {
                            int current_rung) const override;
   [[nodiscard]] int predict_next(const FrameContext& ctx,
                                  int chosen) const override;
+  /// DegradedMode ladder: shed severity is the worse of the SoC deficit
+  /// below `critical_soc` and the miss-EWMA excess above `miss_pressure`,
+  /// each normalized to [0, 1]; the skip factor is the severity-scaled
+  /// share of `max_skip` (rounded up, so any pressure sheds at least one
+  /// frame). Zero while both triggers are clear.
+  [[nodiscard]] std::uint32_t degraded_skip(
+      double battery_soc, double miss_ewma,
+      const DegradedModeSpec& spec) const override;
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] bool predictive() const { return predictive_; }
 

@@ -1,13 +1,16 @@
-// Shared support for the scenario v2 tests (test_scenario.cpp's edge cases
-// and the test_scenario_fuzz.cpp harness): one synthetic rung ladder, the
-// relock-window deadline anchor, and the MissionReport invariant checker —
-// so a new report field or invariant is added in exactly one place.
+// Shared support for the scenario tests (test_scenario.cpp's edge cases,
+// test_scenario_faults.cpp's fault edges, and the test_scenario_fuzz.cpp
+// harness): one synthetic rung ladder, the relock-window deadline anchor,
+// the seeded random-MissionSpec builder with feature toggles, and the
+// MissionReport invariant checker — so a new report field, invariant, or
+// fuzz dimension is added in exactly one place.
 #pragma once
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 
 #include "scenario/engine.hpp"
 #include "sim/mcu.hpp"
@@ -49,15 +52,159 @@ inline double mixed_rung_slack() {
   return d / kSyntheticTBase - 1.0;
 }
 
+/// Deterministic, implementation-independent generator for the fuzz specs
+/// (std::uniform_* distributions are not bit-portable across standard
+/// libraries; this xorshift64 is).
+class SpecRng {
+ public:
+  explicit SpecRng(std::uint64_t seed) : s_(seed ? seed : 1ULL) {}
+  double unit() {  // [0, 1)
+    s_ ^= s_ << 13;
+    s_ ^= s_ >> 7;
+    s_ ^= s_ << 17;
+    return static_cast<double>(s_ >> 11) * 0x1.0p-53;
+  }
+  double range(double lo, double hi) { return lo + (hi - lo) * unit(); }
+  int upto(int n) { return static_cast<int>(unit() * n); }  // [0, n)
+  bool coin() { return unit() < 0.5; }
+
+ private:
+  std::uint64_t s_;
+};
+
+/// Feature toggles of random_mission_spec: which spec dimensions a test
+/// wants fuzzed. Defaults reproduce the pre-fault fuzz corpus — the fault
+/// dimensions draw *after* every legacy dimension, so enabling them never
+/// perturbs the legacy part of a seed's spec.
+struct SpecFeatures {
+  bool faults = false;  ///< Resets/checkpoints, lossy radio, degradation.
+};
+
+/// The one seeded random-MissionSpec builder shared by the fuzz harness and
+/// the fault tests (no copy-pasted spec literals): bursts x QoS events x
+/// temperature derating x connectivity windows x harvest x radio x
+/// low-battery thresholds x period jitter, plus — behind
+/// SpecFeatures::faults — reset/checkpoint schedules, lossy-radio
+/// retry/backoff parameters, and the graceful-degradation ladder.
+inline MissionSpec random_mission_spec(std::uint64_t seed,
+                                       const SpecFeatures& features = {}) {
+  SpecRng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+  MissionSpec spec;
+  spec.name = "fuzz-" + std::to_string(seed);
+  spec.seed = seed;
+  spec.horizon_s = rng.range(0.1, 1.5) * 86400.0;
+  spec.duty.period_s = rng.range(2.0, 120.0);
+  spec.duty.sleep_mw = rng.range(0.0, 2.0);
+  spec.battery.capacity_mwh = rng.coin() ? rng.range(1.0, 30.0)   // may die
+                                         : rng.range(100.0, 3000.0);
+  spec.battery.self_discharge_mw = rng.range(0.0, 0.1);
+  spec.battery.leakage_doubling_c = rng.coin() ? 0.0 : rng.range(6.0, 15.0);
+  spec.base_qos_slack = rng.range(0.05, 1.0);
+
+  const int n_qos = rng.upto(6);
+  for (int i = 0; i < n_qos; ++i) {
+    spec.qos_events.push_back(
+        {rng.range(0.0, spec.horizon_s), rng.range(0.05, 1.0)});
+  }
+  const int n_bursts = rng.upto(4);
+  for (int i = 0; i < n_bursts; ++i) {
+    spec.bursts.push_back({rng.range(0.0, spec.horizon_s),
+                           rng.range(100.0, 20000.0), rng.range(0.5, 5.0)});
+  }
+  spec.base_ambient_c = rng.range(-20.0, 45.0);
+  const int n_temp = rng.upto(5);
+  for (int i = 0; i < n_temp; ++i) {
+    spec.temp_events.push_back(
+        {rng.range(0.0, spec.horizon_s), rng.range(-20.0, 90.0)});
+  }
+  if (rng.coin()) {
+    spec.derate.start_c = rng.range(40.0, 70.0);
+    spec.derate.mhz_per_c = rng.range(1.0, 8.0);
+  }
+  if (rng.coin()) {
+    const int n_win = 1 + rng.upto(6);
+    for (int i = 0; i < n_win; ++i) {
+      spec.connectivity.push_back({rng.range(0.0, spec.horizon_s),
+                                   rng.range(10.0, spec.horizon_s / 2)});
+    }
+    spec.uplink_queue_frames = static_cast<std::uint32_t>(1 + rng.upto(128));
+  }
+  if (rng.coin()) {
+    spec.base_harvest_mw = rng.coin() ? 0.0 : rng.range(0.0, 5.0);
+    const int n_harvest = rng.upto(5);
+    for (int i = 0; i < n_harvest; ++i) {
+      spec.harvest_events.push_back(
+          {rng.range(0.0, spec.horizon_s), rng.range(0.0, 10.0)});
+    }
+    spec.harvest_temp_coeff = rng.coin() ? 0.0 : rng.range(0.0, 0.01);
+    if (rng.coin()) spec.battery.charge_rate_cap_mw = rng.range(0.1, 3.0);
+  }
+  if (rng.coin()) {
+    spec.radio.link_kbps = rng.range(50.0, 1000.0);
+    spec.radio.payload_bytes = rng.range(32.0, 2048.0);
+    spec.radio.tx_mw = rng.range(20.0, 200.0);
+    spec.radio.ramp_us = rng.range(0.0, 3000.0);
+  }
+  if (rng.coin()) {
+    spec.low_battery_soc = rng.range(0.1, 0.9);
+    spec.low_battery_qos_slack = rng.range(0.3, 1.0);
+  }
+  if (rng.coin()) spec.period_jitter = rng.range(0.0, 0.3);
+
+  // ---- Fault dimensions (appended last: legacy draws are untouched).
+  if (features.faults) {
+    if (rng.coin()) {
+      const int n_resets = 1 + rng.upto(4);
+      for (int i = 0; i < n_resets; ++i) {
+        spec.faults.resets.push_back({rng.range(0.0, spec.horizon_s)});
+      }
+      spec.faults.reboot.boot_s = rng.range(0.5, 60.0);
+      spec.faults.reboot.boot_uj = rng.range(0.0, 50000.0);
+      if (rng.coin()) {
+        spec.faults.reboot.checkpoint_interval_s =
+            rng.range(60.0, spec.horizon_s / 2);
+        spec.faults.reboot.checkpoint_uj = rng.range(0.0, 5000.0);
+      }
+    }
+    if (rng.coin()) {
+      spec.faults.radio.loss_prob = rng.range(0.0, 0.5);
+      spec.faults.radio.max_retries = static_cast<std::uint32_t>(rng.upto(5));
+      spec.faults.radio.backoff_base_s = rng.range(0.01, 5.0);
+      spec.faults.radio.backoff_jitter = rng.coin() ? rng.range(0.0, 0.5) : 0.0;
+      const int n_outages = rng.upto(3);
+      for (int i = 0; i < n_outages; ++i) {
+        spec.faults.radio.outages.push_back(
+            {rng.range(0.0, spec.horizon_s),
+             rng.range(10.0, spec.horizon_s / 4)});
+      }
+    }
+    if (rng.coin()) {
+      spec.faults.degraded.critical_soc = rng.coin() ? rng.range(0.05, 0.6)
+                                                     : 0.0;
+      spec.faults.degraded.miss_pressure = rng.coin() ? rng.range(0.05, 0.5)
+                                                      : 0.0;
+      spec.faults.degraded.max_skip =
+          static_cast<std::uint32_t>(1 + rng.upto(8));
+    }
+  }
+  return spec;
+}
+
 /// The MissionReport invariants every scenario — fuzzed or hand-written —
-/// must satisfy: frame accounting closes, every QoS miss is accounted (in
-/// count AND overrun time), the backlog respects its bound, pre-lock
-/// bookkeeping balances, radio energy is non-negative and disabled radios
-/// serve for free, and the battery never exceeds its capacity while the
-/// charge drawn plus the charge harvested covers the reported energy split.
+/// must satisfy: frame accounting closes (served + shed + dropped + pending
+/// = captured <= offered), every QoS miss is accounted (in count AND
+/// overrun time), the backlog respects its bound, pre-lock bookkeeping
+/// balances, radio energy is non-negative and disabled radios serve for
+/// free, fault accounting is inert exactly when the matching fault is
+/// undeclared (downtime bounded by the mission span, availability a
+/// fraction), and the battery never exceeds its capacity while the charge
+/// drawn plus the charge harvested covers the reported energy split.
 inline void check_mission_invariants(const MissionSpec& spec,
                                      const MissionReport& r) {
-  EXPECT_EQ(r.frames_captured, r.frames + r.frames_dropped + r.frames_pending);
+  EXPECT_EQ(r.frames_captured,
+            r.frames + r.frames_shed + r.frames_dropped + r.frames_pending);
+  EXPECT_GE(r.frames_offered, r.frames_captured)
+      << "every capture needs an offered slot";
   std::uint64_t per_rung = 0;
   for (std::uint64_t n : r.frames_per_rung) per_rung += n;
   EXPECT_EQ(per_rung, r.frames);
@@ -97,6 +244,39 @@ inline void check_mission_invariants(const MissionSpec& spec,
   if (!power::RadioModel(spec.radio).enabled()) {
     EXPECT_EQ(r.radio_uj, 0.0) << "a disabled radio serves frames for free";
   }
+  // ---- Fault accounting: bounded, and inert exactly when the matching
+  // fault is undeclared.
+  EXPECT_LE(r.tx_failures, r.frames)
+      << "only served frames can fail to deliver";
+  EXPECT_LE(r.frames_shed, r.frames_captured);
+  EXPECT_GE(r.downtime_s, 0.0);
+  EXPECT_LE(r.downtime_s, r.simulated_s + 1e-9)
+      << "the node cannot be down longer than the mission ran";
+  EXPECT_GE(r.availability(), 0.0);
+  EXPECT_LE(r.availability(), 1.0);
+  EXPECT_GE(r.retry_uj, 0.0);
+  EXPECT_GE(r.boot_uj, 0.0);
+  EXPECT_GE(r.checkpoint_uj, 0.0);
+  if (spec.faults.resets.empty()) {
+    EXPECT_EQ(r.resets, 0u);
+    EXPECT_EQ(r.downtime_s, 0.0);
+    EXPECT_EQ(r.boot_uj, 0.0);
+    EXPECT_EQ(r.frames_offered, r.frames_captured)
+        << "only reboot downtime may leave offered slots uncaptured";
+  }
+  if (!spec.faults.reboot.checkpointed()) {
+    EXPECT_EQ(r.checkpoints, 0u);
+    EXPECT_EQ(r.checkpoint_uj, 0.0);
+  }
+  if (!(power::RadioModel(spec.radio).enabled() &&
+        spec.faults.radio.enabled())) {
+    EXPECT_EQ(r.retries, 0u);
+    EXPECT_EQ(r.tx_failures, 0u);
+    EXPECT_EQ(r.retry_uj, 0.0);
+  }
+  if (!spec.faults.degraded.enabled()) {
+    EXPECT_EQ(r.frames_shed, 0u);
+  }
   if (r.battery_depleted) {
     EXPECT_DOUBLE_EQ(r.battery_remaining_mwh, 0.0);
   } else {
@@ -111,10 +291,14 @@ inline void check_mission_invariants(const MissionSpec& spec,
   EXPECT_GE(r.transition_uj, 0.0);
   EXPECT_GE(r.sleep_uj, 0.0);
   EXPECT_GE(r.prelock_uj, 0.0);
-  EXPECT_NEAR(r.total_uj(),
-              r.inference_uj + r.transition_uj + r.sleep_uj + r.prelock_uj +
-                  r.radio_uj,
-              1e-9);
+  // Relative tolerance: total_uj() sums the same terms in a fixed order, but
+  // week-long missions reach ~1e8 uJ where a 1 ULP difference from the
+  // re-association here exceeds any absolute epsilon.
+  const double component_sum = r.inference_uj + r.transition_uj + r.sleep_uj +
+                               r.prelock_uj + r.radio_uj + r.retry_uj +
+                               r.boot_uj + r.checkpoint_uj;
+  EXPECT_NEAR(r.total_uj(), component_sum,
+              1e-12 * std::max(1.0, component_sum));
 }
 
 }  // namespace daedvfs::scenario

@@ -1,0 +1,363 @@
+// Fault-injection edge cases (scenario/faults.hpp + engine wiring), the
+// corners the fuzz harness is unlikely to hit precisely:
+//   * a brownout reset landing on a pre-locked sleep (the pending pre-lock
+//     must be accounted as a miss, the reboot as downtime + boot energy);
+//   * retry exhaustion inside a closing connectivity window vs a backoff
+//     that crosses the window boundary (budgeted retries vs immediate
+//     abandonment);
+//   * checkpointing as pure overhead (no reset ever redeems the flash
+//     writes — the degenerate end of the warm-vs-cold tradeoff);
+//   * battery depletion mid-retry-burst (terminal, delivery unconfirmed);
+//   * warm (checkpointed) vs cold reboots over a queued backlog;
+//   * the graceful-degradation ladder under miss pressure and critical SoC,
+//     including its QoS floor and that degradation-blind policies never
+//     shed;
+// plus unit coverage of the primitives (IntervalSet, retry_backoff_s,
+// LadderPolicy::degraded_skip) and the bit-for-bit guarantee that declared-
+// but-disabled fault members change nothing.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "scenario/engine.hpp"
+#include "scenario/faults.hpp"
+#include "scenario_test_support.hpp"
+#include "sim/mcu.hpp"
+
+namespace daedvfs::scenario {
+namespace {
+
+constexpr double kTBase = kSyntheticTBase;
+
+std::string report_json(const MissionReport& r) {
+  std::ostringstream os;
+  write_json(os, r, 0);
+  return os.str();
+}
+
+/// Minimal always-connected mission on the synthetic ladder: one capture
+/// every 10 s, a big battery, a 256 B uplink per frame. Fault tests carve
+/// their edge out of this.
+MissionSpec base_spec(double horizon_s) {
+  MissionSpec spec;
+  spec.name = "fault-edge";
+  spec.horizon_s = horizon_s;
+  spec.duty = {10.0, 0.5};
+  spec.battery.capacity_mwh = 2000.0;
+  spec.battery.self_discharge_mw = 0.0;
+  spec.base_qos_slack = 0.30;
+  spec.radio = {250.0, 256.0, 80.0, 1000.0};
+  return spec;
+}
+
+// ---- Primitives -------------------------------------------------------
+
+TEST(FaultPrimitives, IntervalSetMergesAndDropsDegenerateSpans) {
+  IntervalSet set = IntervalSet::from_spans(
+      {{12.0, 10.0}, {40.0, 0.0}, {10.0, 5.0}, {-5.0, 3.0}, {30.0, -2.0}});
+  ASSERT_FALSE(set.empty());
+  // Merged to [-5, -2) and [10, 22); zero/negative durations vanish.
+  EXPECT_TRUE(set.contains(-4.0));
+  EXPECT_FALSE(set.contains(-2.0));
+  EXPECT_FALSE(set.contains(5.0));
+  EXPECT_TRUE(set.contains(10.0));
+  EXPECT_DOUBLE_EQ(set.active_end(), 22.0);
+  EXPECT_TRUE(set.contains(21.999));
+  EXPECT_FALSE(set.contains(22.0));
+  EXPECT_FALSE(set.contains(40.0)) << "zero-duration span must not exist";
+
+  IntervalSet empty = IntervalSet::from_spans({{40.0, 0.0}});
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(FaultPrimitives, RetryBackoffDoublesAndJitterStaysBounded) {
+  RadioFaultSpec spec;
+  spec.backoff_base_s = 0.1;
+  spec.backoff_jitter = 0.0;
+  EXPECT_DOUBLE_EQ(retry_backoff_s(spec, 0, 0.5), 0.1);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(spec, 1, 0.5), 0.2);
+  EXPECT_DOUBLE_EQ(retry_backoff_s(spec, 3, 0.5), 0.8);
+
+  spec.backoff_jitter = 0.5;
+  for (double unit : {0.0, 0.25, 0.5, 0.999}) {
+    const double wait = retry_backoff_s(spec, 2, unit);
+    EXPECT_GE(wait, 0.4 * 0.5);
+    EXPECT_LE(wait, 0.4 * 1.5);
+  }
+}
+
+TEST(FaultPrimitives, DegradedSkipLadderScalesWithSeverity) {
+  const LadderPolicy ladder = make_synthetic_ladder(false);
+  DegradedModeSpec spec;
+  spec.critical_soc = 0.4;
+  spec.miss_pressure = 0.5;
+  spec.max_skip = 4;
+  // Both triggers clear.
+  EXPECT_EQ(ladder.degraded_skip(0.8, 0.1, spec), 0u);
+  // SoC severity 0.5 -> half the skip budget; SoC severity 1 -> all of it.
+  EXPECT_EQ(ladder.degraded_skip(0.2, 0.0, spec), 2u);
+  EXPECT_EQ(ladder.degraded_skip(0.0, 0.0, spec), 4u);
+  // Miss severity 0.5 via the EWMA excess above the threshold.
+  EXPECT_EQ(ladder.degraded_skip(1.0, 0.75, spec), 2u);
+  // The worse trigger wins.
+  EXPECT_EQ(ladder.degraded_skip(0.0, 0.75, spec), 4u);
+  // Disabled spec sheds nothing regardless of state.
+  EXPECT_EQ(ladder.degraded_skip(0.0, 1.0, DegradedModeSpec{}), 0u);
+  // Degradation-blind policies shed nothing by contract.
+  const StaticPolicy pinned(ladder.rungs().front());
+  EXPECT_EQ(pinned.degraded_skip(0.0, 1.0, spec), 0u);
+}
+
+// ---- Bit-for-bit gating ------------------------------------------------
+
+// Declared-but-disabled fault members (retry budget without loss, reboot
+// costs without resets, a degradation ladder with a zero skip budget) must
+// not change a single byte of the report — the fault paths key on the
+// enabling parameters, not on struct presence.
+TEST(ScenarioFaults, DisabledFaultMembersAreByteInert) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  const MissionSpec plain = random_mission_spec(7);
+
+  MissionSpec decorated = plain;
+  decorated.faults.radio.max_retries = 5;
+  decorated.faults.radio.backoff_base_s = 9.0;
+  decorated.faults.radio.backoff_jitter = 0.4;
+  decorated.faults.reboot.boot_s = 99.0;
+  decorated.faults.reboot.boot_uj = 1e6;
+  decorated.faults.degraded.critical_soc = 0.9;  // max_skip 0: disabled
+  EXPECT_FALSE(decorated.faults.any());
+
+  const MissionReport a = simulate_mission(plain, gov, kTBase, sim);
+  const MissionReport b = simulate_mission(decorated, gov, kTBase, sim);
+  EXPECT_EQ(report_json(a), report_json(b));
+}
+
+// ---- Reset edges -------------------------------------------------------
+
+// A reset landing on a pre-locked sleep: the pending pre-lock is voided (a
+// miss, not a dangling entry), the reboot pays boot energy and downtime,
+// and exactly one offered slot goes uncaptured.
+TEST(ScenarioFaults, ResetDuringPrelockedSleepVoidsThePrelock) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec spec = base_spec(100.0);
+  // Deadline halfway into the relock window above the mixed rung: the
+  // steady state holds the mixed rung via pre-locks, so every sleep carries
+  // a pending pre-lock for the reset to land on.
+  spec.base_qos_slack = mixed_rung_slack();
+
+  const MissionReport baseline = simulate_mission(spec, gov, kTBase, sim);
+  ASSERT_GT(baseline.prelocks, 0u) << "edge needs pre-locked sleeps";
+  EXPECT_EQ(baseline.prelock_misses, 0u);
+
+  spec.faults.resets = {{45.0}};
+  spec.faults.reboot.boot_s = 5.0;
+  spec.faults.reboot.boot_uj = 20000.0;
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_mission_invariants(spec, r);
+  EXPECT_EQ(r.resets, 1u);
+  EXPECT_DOUBLE_EQ(r.boot_uj, 20000.0);
+  EXPECT_DOUBLE_EQ(r.downtime_s, 5.0);
+  EXPECT_GE(r.prelock_misses, 1u)
+      << "the pre-lock pending across the reset must be voided as a miss";
+  EXPECT_EQ(r.frames_offered, r.frames_captured + 1)
+      << "exactly the reboot slot is offered but never captured";
+  EXPECT_LT(r.availability(), baseline.availability());
+}
+
+// ---- Lossy-radio edges -------------------------------------------------
+
+// Retry exhaustion inside a closing window: an outage covers the last two
+// in-window serves; short backoffs keep every retry inside the window, so
+// the full budget is spent before each frame is abandoned.
+TEST(ScenarioFaults, RetryExhaustionInsideClosingWindow) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec spec = base_spec(50.0);
+  spec.connectivity = {{0.0, 50.0}};
+  spec.faults.radio.outages = {{30.0, 70.0}};
+  spec.faults.radio.max_retries = 3;
+  spec.faults.radio.backoff_base_s = 0.1;
+
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_mission_invariants(spec, r);
+  EXPECT_EQ(r.frames, 5u);
+  EXPECT_EQ(r.tx_failures, 2u) << "the two serves inside the outage fail";
+  EXPECT_EQ(r.retries, 6u) << "each spends its full 3-retry budget";
+  const power::RadioModel radio(spec.radio);
+  EXPECT_NEAR(r.retry_uj, 6.0 * radio.tx_uj(), 1e-9)
+      << "every retry prices a full burst through the RadioModel";
+  EXPECT_GT(r.fault_uj(), 0.0);
+}
+
+// A backoff crossing the connectivity-window boundary: the next burst could
+// not finish before the link gates, so the frame is abandoned immediately —
+// no retry energy is wasted on a transmission that cannot complete.
+TEST(ScenarioFaults, BackoffCrossingWindowBoundaryAbandonsWithoutRetry) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec spec = base_spec(50.0);
+  spec.connectivity = {{0.0, 50.0}};
+  spec.faults.radio.outages = {{35.0, 65.0}};
+  spec.faults.radio.max_retries = 3;
+  spec.faults.radio.backoff_base_s = 15.0;  // first retry lands past t=50
+
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_mission_invariants(spec, r);
+  EXPECT_EQ(r.frames, 5u);
+  EXPECT_EQ(r.tx_failures, 1u) << "only the serve inside the outage fails";
+  EXPECT_EQ(r.retries, 0u)
+      << "the backoff crossed the window: abandon, don't burn a retry";
+  EXPECT_DOUBLE_EQ(r.retry_uj, 0.0);
+}
+
+// Battery death mid-retry-burst: the node browns out while hammering a dead
+// channel. Depletion stays terminal, the frame counts as a tx failure
+// (delivery unconfirmed), and the retry counter shows the burst was cut
+// short of its budget.
+TEST(ScenarioFaults, DepletionMidRetryBurstIsTerminal) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec spec = base_spec(200.0);
+  // An expensive radio (long ramp, high draw) and a battery that holds
+  // roughly three bursts: the first frame's retry burst drains it dead.
+  spec.radio = {250.0, 256.0, 5000.0, 100000.0};
+  spec.battery.capacity_mwh = 0.55;
+  spec.faults.radio.loss_prob = 1.0;  // the channel never delivers
+  spec.faults.radio.max_retries = 10;
+  spec.faults.radio.backoff_base_s = 0.01;
+
+  const MissionReport r = simulate_mission(spec, gov, kTBase, sim);
+  check_mission_invariants(spec, r);
+  EXPECT_TRUE(r.battery_depleted);
+  EXPECT_EQ(r.frames, 1u);
+  EXPECT_EQ(r.tx_failures, 1u);
+  EXPECT_GE(r.retries, 1u);
+  EXPECT_LT(r.retries, 10u)
+      << "depletion must cut the burst short of its retry budget";
+  EXPECT_DOUBLE_EQ(r.availability(), 0.0) << "nothing was ever delivered";
+}
+
+// ---- Checkpoint edges --------------------------------------------------
+
+// The degenerate end of the warm-vs-cold tradeoff: checkpointing with no
+// reset ever redeeming it is pure overhead — identical service, identical
+// availability, strictly more energy, by exactly the flash-write total.
+TEST(ScenarioFaults, CheckpointWithoutResetsIsPureOverhead) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec plain = base_spec(101.0);
+  MissionSpec insured = plain;
+  insured.faults.reboot.checkpoint_interval_s = 25.0;
+  insured.faults.reboot.checkpoint_uj = 3000.0;
+
+  const MissionReport a = simulate_mission(plain, gov, kTBase, sim);
+  const MissionReport b = simulate_mission(insured, gov, kTBase, sim);
+  check_mission_invariants(insured, b);
+  EXPECT_EQ(b.checkpoints, 4u);
+  EXPECT_DOUBLE_EQ(b.checkpoint_uj, 4.0 * 3000.0);
+  EXPECT_EQ(a.frames, b.frames);
+  EXPECT_DOUBLE_EQ(a.availability(), b.availability());
+  EXPECT_GT(b.total_uj(), a.total_uj());
+  EXPECT_NEAR(b.total_uj() - a.total_uj(), b.checkpoint_uj, 1e-6)
+      << "insurance that is never claimed costs exactly its premiums";
+}
+
+// Warm (checkpointed) vs cold reboot over a queued blackout backlog: the
+// checkpoint preserves every frame captured at or before it, the cold boot
+// drops the whole queue — same reset, same downtime, different delivery.
+TEST(ScenarioFaults, CheckpointedRebootPreservesBacklogColdBootDropsIt) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec cold = base_spec(300.0);
+  cold.connectivity = {{0.0, 100.0}, {200.0, 100.0}};
+  cold.faults.resets = {{185.0}};
+  cold.faults.reboot.boot_s = 2.0;
+  cold.faults.reboot.boot_uj = 10000.0;
+
+  MissionSpec warm = cold;
+  warm.faults.reboot.checkpoint_interval_s = 30.0;
+  warm.faults.reboot.checkpoint_uj = 50.0;
+
+  const MissionReport rc = simulate_mission(cold, gov, kTBase, sim);
+  const MissionReport rw = simulate_mission(warm, gov, kTBase, sim);
+  check_mission_invariants(cold, rc);
+  check_mission_invariants(warm, rw);
+
+  EXPECT_EQ(rc.resets, 1u);
+  EXPECT_EQ(rw.resets, 1u);
+  EXPECT_DOUBLE_EQ(rc.downtime_s, rw.downtime_s);
+  // Blackout captures at 100..180 sit in the queue when the reset fires at
+  // the t=190 slot; the last checkpoint (t=180) covers all nine.
+  EXPECT_EQ(rc.frames_dropped, 9u);
+  EXPECT_EQ(rw.frames_dropped, 0u);
+  EXPECT_EQ(rw.frames, rc.frames + 9);
+  EXPECT_GT(rw.availability(), rc.availability());
+  EXPECT_GT(rw.checkpoints, 0u);
+}
+
+// ---- Graceful degradation ----------------------------------------------
+
+// Sustained miss pressure (a deadline below the whole ladder) pushes the
+// miss EWMA over the threshold; the policy sheds its bounded skip factor —
+// serve one, shed up to max_skip — never dropping below the QoS floor, and
+// the shed slots spend sleep-level energy instead of inference.
+TEST(ScenarioFaults, MissPressureShedsBoundedAndSavesEnergy) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec plain = base_spec(1000.0);
+  plain.radio = {};              // isolate compute energy
+  plain.base_qos_slack = 0.0;    // 40 ms deadline: every rung misses
+
+  MissionSpec degraded = plain;
+  degraded.faults.degraded.miss_pressure = 0.3;
+  degraded.faults.degraded.max_skip = 3;
+
+  const MissionReport rp = simulate_mission(plain, gov, kTBase, sim);
+  const MissionReport rd = simulate_mission(degraded, gov, kTBase, sim);
+  check_mission_invariants(plain, rp);
+  check_mission_invariants(degraded, rd);
+
+  EXPECT_EQ(rp.frames_shed, 0u);
+  EXPECT_GT(rd.frames_shed, 0u);
+  EXPECT_LE(rd.frames_shed, 3 * rd.frames)
+      << "at most max_skip captures shed per served frame";
+  EXPECT_GE(rd.frames + 1, rd.frames_captured / 4)
+      << "QoS floor: effective rate never drops below 1/(max_skip+1)";
+  EXPECT_LT(rd.total_uj(), rp.total_uj())
+      << "shed slots sleep instead of inferring";
+  // The ladder kicks in only after the EWMA crosses the threshold, so the
+  // mission starts serving every frame and degrades later.
+  EXPECT_LT(rd.frames, rp.frames);
+}
+
+// Critical SoC: a battery too small for the declared duty cycle. The
+// degradation ladder starts shedding below the critical state of charge and
+// stretches the mission strictly past the brownout of the degradation-blind
+// run.
+TEST(ScenarioFaults, CriticalSocDegradationOutlivesBrownout) {
+  const sim::SimParams sim;
+  const LadderPolicy gov = make_synthetic_ladder(true);
+  MissionSpec plain = base_spec(86400.0);
+  plain.radio = {};
+  plain.battery.capacity_mwh = 2.0;  // dies mid-mission at full service
+
+  MissionSpec degraded = plain;
+  degraded.faults.degraded.critical_soc = 0.5;
+  degraded.faults.degraded.max_skip = 3;
+
+  const MissionReport rp = simulate_mission(plain, gov, kTBase, sim);
+  const MissionReport rd = simulate_mission(degraded, gov, kTBase, sim);
+  check_mission_invariants(plain, rp);
+  check_mission_invariants(degraded, rd);
+
+  ASSERT_TRUE(rp.battery_depleted) << "edge needs an undersized battery";
+  EXPECT_GT(rd.frames_shed, 0u);
+  EXPECT_GT(rd.simulated_s, rp.simulated_s)
+      << "shedding declared QoS must outlive browning out";
+}
+
+}  // namespace
+}  // namespace daedvfs::scenario

@@ -1,18 +1,22 @@
 // Scenario-fuzz harness: the determinism contract of the mission state
 // machine (docs/scenarios.md). Seeded random MissionSpecs — bursts x QoS
 // events x temperature derating x connectivity windows x low-battery
-// thresholds x period jitter — run against the shared LadderPolicy decision
-// rule (reactive and predictive), asserting for every seed that
+// thresholds x period jitter x the fault model (resets/checkpoints, lossy
+// radio retry/backoff, graceful degradation) — run against the shared
+// LadderPolicy decision rule (reactive and predictive), asserting for every
+// seed that
 //
 //   (a) the same seed reproduces a byte-identical MissionReport JSON across
 //       two runs (and, in GoldenMissionReport / BackendsAgree below, across
 //       schema revisions and kernel backends), and
 //   (b) the report's physical invariants hold: the battery only ever
 //       discharges and the external energy split never exceeds the charge
-//       drawn, frame accounting closes (captured = served + dropped +
-//       pending, per-rung counts sum to served), every QoS miss is
-//       accounted (misses <= served), the backlog respects its bound, and
-//       pre-lock bookkeeping balances.
+//       drawn, frame accounting closes (captured = served + shed + dropped
+//       + pending <= offered, per-rung counts sum to served), every QoS
+//       miss is accounted (misses <= served), the backlog respects its
+//       bound, pre-lock bookkeeping balances, downtime never exceeds the
+//       mission span, availability stays a fraction, and undeclared faults
+//       leave every fault counter at zero.
 //
 // Seed count: 200 by default; the ASan+UBSan CI job reduces it via the
 // DAEDVFS_FUZZ_SEEDS environment variable.
@@ -41,25 +45,6 @@ namespace {
 
 constexpr double kTBase = kSyntheticTBase;
 
-/// Implementation-independent generator (std::uniform_* distributions are
-/// not bit-portable across standard libraries; this is).
-class Rng {
- public:
-  explicit Rng(std::uint64_t seed) : s_(seed ? seed : 1ULL) {}
-  double unit() {  // [0, 1)
-    s_ ^= s_ << 13;
-    s_ ^= s_ >> 7;
-    s_ ^= s_ << 17;
-    return static_cast<double>(s_ >> 11) * 0x1.0p-53;
-  }
-  double range(double lo, double hi) { return lo + (hi - lo) * unit(); }
-  int upto(int n) { return static_cast<int>(unit() * n); }  // [0, n)
-  bool coin() { return unit() < 0.5; }
-
- private:
-  std::uint64_t s_;
-};
-
 /// The shared synthetic ladder plus its deep-eco rung: both PLL families, a
 /// mixed entry/exit rung (wrap-around relocks — the predictive pre-lock's
 /// home turf) and a 96 MHz clock for thermal-derating diversity.
@@ -67,70 +52,13 @@ LadderPolicy fuzz_ladder(bool predictive) {
   return make_synthetic_ladder(predictive, /*with_eco=*/true);
 }
 
+/// The shared seeded builder (tests/scenario_test_support.hpp) with the
+/// fault dimensions switched on — each fault family is itself coin-gated
+/// per seed, so the corpus spans fault-free through fully faulted specs.
 MissionSpec random_spec(std::uint64_t seed) {
-  Rng rng(seed * 0x9e3779b97f4a7c15ULL + 1);
-  MissionSpec spec;
-  spec.name = "fuzz-" + std::to_string(seed);
-  spec.seed = seed;
-  spec.horizon_s = rng.range(0.1, 1.5) * 86400.0;
-  spec.duty.period_s = rng.range(2.0, 120.0);
-  spec.duty.sleep_mw = rng.range(0.0, 2.0);
-  spec.battery.capacity_mwh = rng.coin() ? rng.range(1.0, 30.0)   // may die
-                                         : rng.range(100.0, 3000.0);
-  spec.battery.self_discharge_mw = rng.range(0.0, 0.1);
-  spec.battery.leakage_doubling_c = rng.coin() ? 0.0 : rng.range(6.0, 15.0);
-  spec.base_qos_slack = rng.range(0.05, 1.0);
-
-  const int n_qos = rng.upto(6);
-  for (int i = 0; i < n_qos; ++i) {
-    spec.qos_events.push_back(
-        {rng.range(0.0, spec.horizon_s), rng.range(0.05, 1.0)});
-  }
-  const int n_bursts = rng.upto(4);
-  for (int i = 0; i < n_bursts; ++i) {
-    spec.bursts.push_back({rng.range(0.0, spec.horizon_s),
-                           rng.range(100.0, 20000.0), rng.range(0.5, 5.0)});
-  }
-  spec.base_ambient_c = rng.range(-20.0, 45.0);
-  const int n_temp = rng.upto(5);
-  for (int i = 0; i < n_temp; ++i) {
-    spec.temp_events.push_back(
-        {rng.range(0.0, spec.horizon_s), rng.range(-20.0, 90.0)});
-  }
-  if (rng.coin()) {
-    spec.derate.start_c = rng.range(40.0, 70.0);
-    spec.derate.mhz_per_c = rng.range(1.0, 8.0);
-  }
-  if (rng.coin()) {
-    const int n_win = 1 + rng.upto(6);
-    for (int i = 0; i < n_win; ++i) {
-      spec.connectivity.push_back({rng.range(0.0, spec.horizon_s),
-                                   rng.range(10.0, spec.horizon_s / 2)});
-    }
-    spec.uplink_queue_frames = static_cast<std::uint32_t>(1 + rng.upto(128));
-  }
-  if (rng.coin()) {
-    spec.base_harvest_mw = rng.coin() ? 0.0 : rng.range(0.0, 5.0);
-    const int n_harvest = rng.upto(5);
-    for (int i = 0; i < n_harvest; ++i) {
-      spec.harvest_events.push_back(
-          {rng.range(0.0, spec.horizon_s), rng.range(0.0, 10.0)});
-    }
-    spec.harvest_temp_coeff = rng.coin() ? 0.0 : rng.range(0.0, 0.01);
-    if (rng.coin()) spec.battery.charge_rate_cap_mw = rng.range(0.1, 3.0);
-  }
-  if (rng.coin()) {
-    spec.radio.link_kbps = rng.range(50.0, 1000.0);
-    spec.radio.payload_bytes = rng.range(32.0, 2048.0);
-    spec.radio.tx_mw = rng.range(20.0, 200.0);
-    spec.radio.ramp_us = rng.range(0.0, 3000.0);
-  }
-  if (rng.coin()) {
-    spec.low_battery_soc = rng.range(0.1, 0.9);
-    spec.low_battery_qos_slack = rng.range(0.3, 1.0);
-  }
-  if (rng.coin()) spec.period_jitter = rng.range(0.0, 0.3);
-  return spec;
+  SpecFeatures features;
+  features.faults = true;
+  return random_mission_spec(seed, features);
 }
 
 std::string report_json(const MissionReport& r) {
@@ -174,7 +102,7 @@ TEST(ScenarioFuzz, ChargingMonotoneBetweenHarvestIntervals) {
   const sim::SimParams sim;
   const LadderPolicy gov = fuzz_ladder(true);
   for (int seed = 0; seed < 12; ++seed) {
-    Rng rng(static_cast<std::uint64_t>(seed) * 77 + 3);
+    SpecRng rng(static_cast<std::uint64_t>(seed) * 77 + 3);
     MissionSpec spec;
     spec.name = "charge-monotone-" + std::to_string(seed);
     spec.duty.period_s = 10.0;
@@ -332,6 +260,15 @@ TEST(ScenarioFuzz, GoldenMissionReport) {
   check_mission_invariants(golden_spec(), r);
   const std::string got = report_json(r) + "\n";
 
+  // The schema version is pinned here on top of the byte comparison below:
+  // a PR that grows the report schema must bump kMissionReportSchemaVersion
+  // and regenerate — this makes forgetting either half a loud failure
+  // instead of a silent golden churn.
+  const std::string version_field =
+      "\"schema_version\": " + std::to_string(kMissionReportSchemaVersion);
+  EXPECT_NE(got.find(version_field), std::string::npos)
+      << "report JSON must carry the current schema version";
+
   const std::string path =
       std::string(DAEDVFS_TEST_DATA_DIR) + "/mission_report_golden.json";
   if (std::getenv("DAEDVFS_REGEN_GOLDEN") != nullptr) {
@@ -343,6 +280,9 @@ TEST(ScenarioFuzz, GoldenMissionReport) {
   ASSERT_TRUE(is.good()) << "missing golden file " << path;
   std::ostringstream want;
   want << is.rdbuf();
+  EXPECT_NE(want.str().find(version_field), std::string::npos)
+      << "golden file pins schema version " << kMissionReportSchemaVersion
+      << " — bump the constant and regenerate together";
   EXPECT_EQ(want.str(), got)
       << "MissionReport JSON drifted from the golden schema. If the change "
          "is intentional, regenerate with DAEDVFS_REGEN_GOLDEN=1 (see file "
