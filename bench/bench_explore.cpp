@@ -19,6 +19,9 @@
 #include "dse/explorer.hpp"
 #include "graph/zoo.hpp"
 #include "mckp/mckp.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "util/json_writer.hpp"
 
 using namespace daedvfs;
 
@@ -103,6 +106,10 @@ int main(int argc, char** argv) {
   fast.prefilter = true;
   fast.freq_replay = true;
   fast.num_threads = threads;
+  obs::MetricsRegistry metrics;
+  obs::Sink sink;
+  sink.metrics = &metrics;
+  fast.sink = &sink;
 
   std::cout << "exploring " << model.name() << " (" << model.num_layers()
             << " layers), serial baseline...\n";
@@ -117,6 +124,25 @@ int main(int argc, char** argv) {
   const std::vector<int> sched_fast = solve_schedule(opt.sets, ws);
   const bool sched_ok = !sched_base.empty() && sched_base == sched_fast;
 
+  // The registry's explore.* counters must agree with the ExploreStats the
+  // call returned — the observability layer may never tell a different
+  // story than the first-class accounting (gate re-derived by
+  // scripts/check_bench_gates.py).
+  const auto counter_is = [&](const char* name, std::int64_t want) {
+    return metrics.counter(name).value() == static_cast<std::uint64_t>(want);
+  };
+  const bool metrics_ok =
+      counter_is("explore.total_candidates", opt.stats.total_candidates) &&
+      counter_is("explore.pruned", opt.stats.pruned) &&
+      counter_is("explore.profiled", opt.stats.profiled) &&
+      counter_is("explore.cache_hits", opt.stats.cache_hits) &&
+      counter_is("explore.replayed", opt.stats.replayed) &&
+      // Fresh per-run cache: every surviving candidate probes it once and
+      // misses; hits only happen when a cache is shared across calls.
+      counter_is("profile_cache.misses",
+                 opt.stats.total_candidates - opt.stats.pruned) &&
+      counter_is("profile_cache.hits", 0);
+
   const double speedup = base.wall_ms > 0.0 ? base.wall_ms / opt.wall_ms : 0.0;
   const auto cands_per_sec = [](const RunResult& r) {
     return r.wall_ms > 0.0
@@ -129,7 +155,7 @@ int main(int argc, char** argv) {
   std::ofstream os(out_path);
   os.precision(6);
   os << "{\n"
-     << "  \"model\": \"" << model.name() << "\",\n"
+     << "  \"model\": " << util::json_quoted(model.name()) << ",\n"
      << "  \"layers\": " << model.num_layers() << ",\n"
      << "  \"total_candidates\": " << base.stats.total_candidates << ",\n"
      << "  \"serial\": {\n"
@@ -149,9 +175,14 @@ int main(int argc, char** argv) {
      << "  },\n"
      << "  \"speedup\": " << speedup << ",\n"
      << "  \"max_front_rel_err\": " << max_rel_err << ",\n"
-     << "  \"pareto_fronts_identical\": " << (fronts_ok ? "true" : "false")
+     << "  \"metrics\":\n";
+  metrics.write_json(os, 2);
+  os << ",\n"
+     << "  \"pareto_fronts_identical\": " << util::json_bool(fronts_ok)
      << ",\n"
-     << "  \"mckp_schedules_identical\": " << (sched_ok ? "true" : "false")
+     << "  \"mckp_schedules_identical\": " << util::json_bool(sched_ok)
+     << ",\n"
+     << "  \"metrics_match_stats\": " << util::json_bool(metrics_ok)
      << "\n}\n";
   os.close();
 

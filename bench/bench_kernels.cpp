@@ -28,6 +28,7 @@
 #include "runtime/engine.hpp"
 #include "sim/mcu.hpp"
 #include "tensor/tensor.hpp"
+#include "util/json_writer.hpp"
 
 using namespace daedvfs;
 
@@ -338,30 +339,28 @@ int main(int argc, char** argv) {
   os.precision(5);
   os << "{\n  \"simd_backend\": "
      << (simd != nullptr ? "\"" + std::string(simd->name) + "\"" : "null")
-     << ",\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"smoke\": " << util::json_bool(smoke)
      << ",\n  \"kernels\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const CaseResult& r = results[i];
-    os << "    {\"kernel\": \"" << r.kernel << "\", \"shape\": \"" << r.shape
-       << "\", \"macs\": " << r.macs << ",\n     ";
+    os << "    {\"kernel\": " << util::json_quoted(r.kernel) << ", \"shape\": " << util::json_quoted(r.shape) << ", \"macs\": " << r.macs << ",\n     ";
     for (const auto& t : r.timings) {
       os << "\"" << t.name << "_ms\": " << t.wall_ms << ", \"" << t.name
          << "_mmacs\": " << t.mmacs << ", ";
     }
     os << "\"speedup\": " << r.speedup
-       << ", \"bit_exact\": " << (r.bit_exact ? "true" : "false") << "}"
+       << ", \"bit_exact\": " << util::json_bool(r.bit_exact) << "}"
        << (i + 1 < results.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"conv_family_min_speedup\": "
      << (min_speedup < 0.0 ? 1.0 : min_speedup)
-     << ",\n  \"e2e\": {\"model\": \"" << e2e.model
-     << "\", \"mode\": \"full\", \"scalar_ms\": " << e2e.scalar_ms
+     << ",\n  \"e2e\": {\"model\": " << util::json_quoted(e2e.model) << ", \"mode\": \"full\", \"scalar_ms\": " << e2e.scalar_ms
      << ", \"simd_ms\": " << e2e.simd_ms
      << ", \"timing_mode_ms\": " << e2e.timing_mode_ms
      << ", \"speedup\": " << e2e.speedup << ",\n          \"outputs_identical\": "
-     << (e2e.outputs_identical ? "true" : "false")
-     << ", \"costs_identical\": " << (e2e.costs_identical ? "true" : "false")
-     << "},\n  \"all_bit_exact\": " << (all_exact ? "true" : "false")
+     << util::json_bool(e2e.outputs_identical)
+     << ", \"costs_identical\": " << util::json_bool(e2e.costs_identical)
+     << "},\n  \"all_bit_exact\": " << util::json_bool(all_exact)
      << "\n}\n";
   os.close();
 

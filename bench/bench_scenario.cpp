@@ -56,6 +56,7 @@
 #include "governor/governor.hpp"
 #include "graph/zoo.hpp"
 #include "scenario/engine.hpp"
+#include "util/json_writer.hpp"
 
 using namespace daedvfs;
 
@@ -466,12 +467,12 @@ int main(int argc, char** argv) {
   // ---- Emit BENCH_scenario.json.
   std::ofstream os(out_path);
   os.precision(6);
-  os << "{\n  \"model\": \"" << model.name() << "\",\n"
+  os << "{\n  \"model\": " << util::json_quoted(model.name()) << ",\n"
      << "  \"t_base_us\": " << gov.t_base_us() << ",\n"
      << "  \"ladder_build_ms\": " << ladder_ms << ",\n"
      << "  \"ladder\": [\n";
   for (std::size_t i = 0; i < rungs.size(); ++i) {
-    os << "    {\"name\": \"" << rungs[i].name << "\", \"qos_slack\": "
+    os << "    {\"name\": " << util::json_quoted(rungs[i].name) << ", \"qos_slack\": "
        << rungs[i].qos_slack << ", \"t_us\": " << rungs[i].t_us
        << ", \"e_uj\": " << rungs[i].e_uj << "}"
        << (i + 1 < rungs.size() ? "," : "") << "\n";
@@ -488,13 +489,13 @@ int main(int argc, char** argv) {
   }
   os << "\n  ],\n"
      << "  \"governor_zero_misses\": "
-     << (governor_zero_miss ? "true" : "false") << ",\n"
+     << util::json_bool(governor_zero_miss) << ",\n"
      << "  \"best_zero_miss_static\": \""
      << (have_static ? best_static : "none") << "\",\n"
      << "  \"best_zero_miss_static_uj\": " << best_static_uj << ",\n"
      << "  \"governor_total_uj\": " << gov_report.total_uj() << ",\n"
      << "  \"governor_beats_best_static\": "
-     << (governor_wins ? "true" : "false") << ",\n"
+     << util::json_bool(governor_wins) << ",\n"
      << "  \"repair\": {\n"
      << "    \"qos_slack\": " << repair_slack << ",\n"
      << "    \"swaps\": " << replay.built.repair_iterations << ",\n"
@@ -513,18 +514,18 @@ int main(int argc, char** argv) {
      << ", \"layer_rerecords\": " << pipe_res.repair_layer_recordings
      << "},\n"
      << "    \"zero_resimulations\": "
-     << (zero_resimulations ? "true" : "false") << ",\n"
+     << util::json_bool(zero_resimulations) << ",\n"
      << "    \"repair_speedup\": " << repair_speedup << ",\n"
      << "    \"build_speedup\": " << build_speedup << ",\n"
      << "    \"schedules_identical\": "
-     << (schedules_identical ? "true" : "false") << "\n"
+     << util::json_bool(schedules_identical) << "\n"
      << "  },\n"
      << "  \"mission_v2\": {\n"
-     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"model\": " << util::json_quoted(v2_model.name()) << ",\n"
      << "    \"horizon_s\": " << v2.horizon_s << ",\n"
      << "    \"tight_qos_slack\": " << v2_tight << ",\n"
      << "    \"prelock_structure\": "
-     << (prelock_structure ? "true" : "false") << ",\n"
+     << util::json_bool(prelock_structure) << ",\n"
      << "    \"mixed_rung\": \""
      << (prelock_structure
              ? v2_rungs[static_cast<std::size_t>(anchor->mixed)].name
@@ -551,15 +552,15 @@ int main(int argc, char** argv) {
      << "    \"best_zero_miss_static_uj\": " << v2_best_static_uj << ",\n"
      << "    \"predictive_total_uj\": " << rp.total_uj() << ",\n"
      << "    \"reactive_total_uj\": " << rr.total_uj() << ",\n"
-     << "    \"predictive_clean\": " << (v2_pred_clean ? "true" : "false")
+     << "    \"predictive_clean\": " << util::json_bool(v2_pred_clean)
      << ",\n"
      << "    \"predictive_beats_reactive\": "
-     << (v2_beats_reactive ? "true" : "false") << ",\n"
+     << util::json_bool(v2_beats_reactive) << ",\n"
      << "    \"predictive_beats_best_static\": "
-     << (v2_beats_static ? "true" : "false") << "\n"
+     << util::json_bool(v2_beats_static) << "\n"
      << "  },\n"
      << "  \"mission_v3\": {\n"
-     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"model\": " << util::json_quoted(v2_model.name()) << ",\n"
      << "    \"horizon_s\": " << v3.horizon_s << ",\n"
      << "    \"radio\": {\"link_kbps\": " << v3.radio.link_kbps
      << ", \"payload_bytes\": " << v3.radio.payload_bytes
@@ -582,7 +583,7 @@ int main(int argc, char** argv) {
     bool first_front = true;
     for (const scenario::MissionParetoPoint& p : pareto) {
       if (!p.on_front) continue;
-      os << (first_front ? "" : ", ") << "\"" << p.policy << "\"";
+      os << (first_front ? "" : ", ") << util::json_quoted(p.policy);
       first_front = false;
     }
   }
@@ -592,10 +593,10 @@ int main(int argc, char** argv) {
      << ",\n"
      << "    \"predictive_radio_uj\": " << v3_pred.radio_uj << ",\n"
      << "    \"predictive_on_front\": "
-     << (predictive_on_front ? "true" : "false") << "\n"
+     << util::json_bool(predictive_on_front) << "\n"
      << "  },\n"
      << "  \"mission_v4\": {\n"
-     << "    \"model\": \"" << v2_model.name() << "\",\n"
+     << "    \"model\": " << util::json_quoted(v2_model.name()) << ",\n"
      << "    \"horizon_s\": " << v4.horizon_s << ",\n"
      << "    \"faults\": {\"loss_prob\": " << v4.faults.radio.loss_prob
      << ", \"max_retries\": " << v4.faults.radio.max_retries
@@ -625,12 +626,12 @@ int main(int argc, char** argv) {
      << ",\n"
      << "    \"cold_reactive_availability\": " << v4_cold_reac.availability()
      << ",\n"
-     << "    \"faults_exercised\": " << (v4_exercised ? "true" : "false")
+     << "    \"faults_exercised\": " << util::json_bool(v4_exercised)
      << ",\n"
      << "    \"ckpt_predictive_on_front\": "
-     << (v4_warm_on_front ? "true" : "false") << ",\n"
+     << util::json_bool(v4_warm_on_front) << ",\n"
      << "    \"ckpt_predictive_dominates_cold_reactive\": "
-     << (v4_warm_dominates ? "true" : "false") << "\n"
+     << util::json_bool(v4_warm_dominates) << "\n"
      << "  }\n}\n";
   os.close();
   std::cout << "-> " << out_path << "\n";

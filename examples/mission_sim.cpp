@@ -9,20 +9,52 @@
 //
 //   $ ./build/mission_sim            # VWW
 //   $ ./build/mission_sim pd 0.2     # Person Detection, low-battery SoC 0.2
+//   $ ./build/mission_sim --days 2 --trace out.json --metrics metrics.json
+//
+// --trace records the v4 checkpointed-predictive mission as Chrome
+// trace-event JSON (open in Perfetto / chrome://tracing; schema in
+// docs/observability.md). Only sim-time-stamped events are recorded, so the
+// file is byte-identical across runs and kernel backends. --metrics dumps
+// the run's counter registry (engine totals + governor decision mix) as
+// JSON to the given path, or to stdout when no path follows.
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "governor/governor.hpp"
 #include "graph/zoo.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "scenario/engine.hpp"
 
 int main(int argc, char** argv) {
   using namespace daedvfs;
 
-  std::string which = argc > 1 ? argv[1] : "vww";
-  const double low_soc = argc > 2 ? std::atof(argv[2]) : 0.20;
+  std::string trace_path;
+  std::string metrics_path;
+  bool want_metrics = false;
+  int days = 14;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
+    } else if (arg == "--metrics") {
+      want_metrics = true;
+      if (i + 1 < argc && argv[i + 1][0] != '-') metrics_path = argv[++i];
+    } else if (arg == "--days" && i + 1 < argc) {
+      days = std::atoi(argv[++i]);
+      if (days < 1) days = 1;
+    } else {
+      pos.push_back(arg);
+    }
+  }
+  std::string which = !pos.empty() ? pos[0] : "vww";
+  const double low_soc = pos.size() > 1 ? std::atof(pos[1].c_str()) : 0.20;
   graph::Model model = [&] {
     if (which == "pd") return graph::zoo::make_person_detection();
     if (which == "mbv2") return graph::zoo::make_mbv2();
@@ -53,13 +85,13 @@ int main(int argc, char** argv) {
 
   scenario::MissionSpec spec;
   spec.name = "sentry-2w";
-  spec.horizon_s = 14.0 * 86400.0;
+  spec.horizon_s = days * 86400.0;
   spec.battery.capacity_mwh = 2400.0;
   spec.duty.period_s = 10.0;
   spec.duty.sleep_mw = 0.8;
   spec.base_qos_slack = gov.rungs().back().qos_slack + 0.10;
   const double tight = gov.rungs().front().qos_slack + 0.01;
-  for (int day = 0; day < 14; ++day) {
+  for (int day = 0; day < days; ++day) {
     const double base_s = day * 86400.0;
     spec.qos_events.push_back({base_s + 20000.0, tight});
     spec.qos_events.push_back({base_s + 24000.0, spec.base_qos_slack});
@@ -111,7 +143,7 @@ int main(int argc, char** argv) {
   if (const auto anchor = scenario::find_prelock_anchor(
           gov.rungs(), gov.t_base_us(), sim.switching, pm)) {
     v2.qos_events.clear();
-    for (int day = 0; day < 14; ++day) {
+    for (int day = 0; day < days; ++day) {
       const double base_s = day * 86400.0;
       v2.qos_events.push_back({base_s + 20000.0, anchor->tight_slack});
       v2.qos_events.push_back({base_s + 24000.0, v2.base_qos_slack});
@@ -121,20 +153,20 @@ int main(int argc, char** argv) {
   }
   if (const auto thermal = scenario::find_thermal_anchor(gov.rungs())) {
     v2.derate = thermal->derate;
-    for (int day = 0; day < 14; ++day) {
+    for (int day = 0; day < days; ++day) {
       v2.temp_events.push_back({day * 86400.0 + 80000.0,
                                 thermal->hot_ambient_c});
       v2.temp_events.push_back({day * 86400.0 + 84000.0, 25.0});
     }
   }
   v2.uplink_queue_frames = 256;
-  for (int day = 0; day < 14; ++day) {
+  for (int day = 0; day < days; ++day) {
     v2.connectivity.push_back({day * 86400.0, 40000.0});
     v2.connectivity.push_back({day * 86400.0 + 50000.0, 36400.0});
   }
 
-  const scenario::LadderPolicy pred(gov.rungs(), sim.switching, sim.power,
-                                    "governor+prelock", true);
+  scenario::LadderPolicy pred(gov.rungs(), sim.switching, sim.power,
+                              "governor+prelock", true);
   std::cout << "\n=== v2: heat soaks + nightly uplink blackout ===\n"
             << "policy              frames   misses  switches  energy(J)  "
                "battery life\n";
@@ -164,7 +196,7 @@ int main(int argc, char** argv) {
   v3.name = "sentry-2w-v3";
   v3.battery.charge_rate_cap_mw = 5.0;
   v3.radio = {250.0, 512.0, 80.0, 1500.0};
-  for (int day = 0; day < 14; ++day) {
+  for (int day = 0; day < days; ++day) {
     const double base_s = day * 86400.0;
     v3.harvest_events.push_back({base_s + 21600.0, 2.5});
     v3.harvest_events.push_back({base_s + 28800.0, 6.0});
@@ -225,7 +257,7 @@ int main(int argc, char** argv) {
   scenario::MissionSpec v4 = v3;
   v4.name = "sentry-2w-v4";
   v4.connectivity.clear();
-  for (int day = 0; day < 14; ++day) {
+  for (int day = 0; day < days; ++day) {
     const double base_s = day * 86400.0;
     v4.connectivity.push_back({base_s, 8000.0});
     v4.connectivity.push_back({base_s + 8200.0, 7800.0});
@@ -247,8 +279,21 @@ int main(int argc, char** argv) {
   v4_ckpt.faults.reboot.checkpoint_interval_s = 60.0;
   v4_ckpt.faults.reboot.checkpoint_uj = 50.0;
 
+  // The observed mission: the richest walkthrough (faults + checkpoints +
+  // harvest + radio) under the predictive governor. The sink is attached to
+  // this one simulate_mission only, so a --trace file carries nothing but
+  // sim-time-stamped events and is byte-identical across runs and backends.
+  obs::TraceRecorder trace;
+  obs::MetricsRegistry metrics;
+  obs::Sink sink;
+  if (!trace_path.empty()) sink.trace = &trace;
+  if (want_metrics) sink.metrics = &metrics;
+  obs::Sink* const mission_sink =
+      sink.trace != nullptr || sink.metrics != nullptr ? &sink : nullptr;
+  pred.set_sink(mission_sink);
   scenario::MissionReport warm =
-      simulate_mission(v4_ckpt, pred, gov.t_base_us(), sim);
+      simulate_mission(v4_ckpt, pred, gov.t_base_us(), sim, mission_sink);
+  pred.set_sink(nullptr);
   warm.policy += "+ckpt";
   const scenario::MissionReport cold =
       simulate_mission(v4, pred, gov.t_base_us(), sim);
@@ -277,5 +322,32 @@ int main(int argc, char** argv) {
             << warm.checkpoints << " checkpoints ("
             << std::setprecision(1) << warm.downtime_s
             << " s down either way).\n";
+
+  if (!trace_path.empty()) {
+    std::ofstream tf(trace_path, std::ios::binary);
+    if (!tf) {
+      std::cerr << "cannot open " << trace_path << " for writing\n";
+      return 1;
+    }
+    trace.write_chrome_json(tf);
+    std::cout << "\ntrace: " << trace.size() << " events ("
+              << trace.dropped() << " dropped) -> " << trace_path << "\n";
+  }
+  if (want_metrics) {
+    if (metrics_path.empty()) {
+      std::cout << "\n";
+      metrics.write_json(std::cout);
+      std::cout << "\n";
+    } else {
+      std::ofstream mf(metrics_path, std::ios::binary);
+      if (!mf) {
+        std::cerr << "cannot open " << metrics_path << " for writing\n";
+        return 1;
+      }
+      metrics.write_json(mf);
+      mf << "\n";
+      std::cout << "metrics -> " << metrics_path << "\n";
+    }
+  }
   return 0;
 }

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace-event JSON file emitted by obs::TraceRecorder.
+
+Checks (docs/observability.md § "Trace schema"):
+  * the file parses as JSON with a "traceEvents" array;
+  * every event carries the required keys for its phase;
+  * per track (tid), timestamps are non-decreasing in emission order —
+    the recorder stamps mission events with sim time as the engine
+    advances, so any regression here means an emission-site bug;
+  * B/E spans are balanced per track (every E closes an open B of the
+    same name), unless the ring dropped events ("dropped_events" > 0 in
+    the metadata), in which case the oldest B may be gone;
+  * counter events carry their value in args.
+
+Exits nonzero with a diagnostic on the first violation.
+
+Usage: python3 scripts/check_trace.py TRACE.json
+"""
+import json
+import sys
+
+
+def fail(msg):
+    print(f"check_trace: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, "rb") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail(f"{path}: not parseable JSON: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail('"traceEvents" missing or not an array')
+    dropped = doc.get("metadata", {}).get("dropped_events", 0)
+
+    last_ts = {}       # tid -> last timestamp seen
+    open_spans = {}    # tid -> stack of open B names
+    counts = {"X": 0, "B": 0, "E": 0, "i": 0, "C": 0, "M": 0}
+    for n, e in enumerate(events):
+        ph = e.get("ph")
+        if ph not in counts:
+            fail(f"event {n}: unknown phase {ph!r}")
+        counts[ph] += 1
+        if ph == "M":
+            continue
+        for key in ("name", "ts", "tid"):
+            if key not in e:
+                fail(f"event {n}: missing {key!r}")
+        tid, ts = e["tid"], e["ts"]
+        if not isinstance(ts, (int, float)):
+            fail(f"event {n}: non-numeric ts {ts!r}")
+        if tid in last_ts and ts < last_ts[tid]:
+            fail(
+                f"event {n} ({e['name']!r}): ts {ts} < previous {last_ts[tid]}"
+                f" on tid {tid} — per-track timestamps must be non-decreasing"
+            )
+        last_ts[tid] = ts
+        if ph == "X" and "dur" not in e:
+            fail(f"event {n}: complete span without dur")
+        if ph == "C" and e["name"] not in e.get("args", {}):
+            fail(f"event {n}: counter without its value in args")
+        if ph == "B":
+            open_spans.setdefault(tid, []).append(e["name"])
+        if ph == "E":
+            stack = open_spans.get(tid, [])
+            if not stack:
+                if dropped == 0:
+                    fail(
+                        f"event {n}: E {e['name']!r} on tid {tid} with no "
+                        f"open B and no dropped events"
+                    )
+            elif stack[-1] != e["name"]:
+                fail(
+                    f"event {n}: E {e['name']!r} closes B {stack[-1]!r} "
+                    f"on tid {tid}"
+                )
+            else:
+                stack.pop()
+
+    unclosed = {t: s for t, s in open_spans.items() if s}
+    if unclosed:
+        fail(f"unclosed B spans at end of trace: {unclosed}")
+
+    total = sum(counts.values())
+    print(
+        f"check_trace: OK: {total} events "
+        f"({counts['X']} spans, {counts['B']}/{counts['E']} B/E, "
+        f"{counts['i']} instants, {counts['C']} counter samples, "
+        f"{dropped} dropped)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Summarize a mission trace emitted by mission_sim --trace.
+
+Prints:
+  * rung residency — per-rung frame counts, total compute time and energy
+    (from the frames track's spans and their e_uj args);
+  * energy by category — frame compute vs radio (tx + retries) vs fault
+    spans, from the span args where recorded;
+  * event totals per track, the battery state-of-charge range, and the
+    backlog high-water mark.
+
+A worked example lives in docs/observability.md.
+
+Usage: python3 scripts/trace_stats.py TRACE.json
+"""
+import json
+import sys
+from collections import defaultdict
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    with open(sys.argv[1], "rb") as f:
+        doc = json.load(f)
+    events = doc.get("traceEvents", [])
+
+    track_names = {
+        e["tid"]: e["args"]["name"] for e in events if e.get("ph") == "M"
+    }
+    by_track = defaultdict(int)
+    rungs = defaultdict(lambda: {"frames": 0, "us": 0.0, "uj": 0.0})
+    instants = defaultdict(int)
+    radio_us = 0.0
+    radio_spans = 0
+    soc_min, soc_max = None, None
+    backlog_max = 0.0
+    horizon_us = 0.0
+
+    for e in events:
+        ph = e.get("ph")
+        if ph == "M":
+            continue
+        track = track_names.get(e.get("tid"), str(e.get("tid")))
+        by_track[track] += 1
+        if ph in ("X", "i", "C"):
+            horizon_us = max(horizon_us, e["ts"] + e.get("dur", 0.0))
+        if track == "frames" and ph == "X":
+            r = rungs[e["name"]]
+            r["frames"] += 1
+            r["us"] += e.get("dur", 0.0)
+            r["uj"] += e.get("args", {}).get("e_uj", 0.0)
+        elif track == "radio" and ph == "X":
+            radio_us += e.get("dur", 0.0)
+            radio_spans += 1
+        elif ph == "i":
+            instants[f"{track}.{e['name']}"] += 1
+        elif ph == "C" and track == "battery":
+            v = e["args"][e["name"]]
+            soc_min = v if soc_min is None else min(soc_min, v)
+            soc_max = v if soc_max is None else max(soc_max, v)
+        elif ph == "C" and track == "backlog":
+            backlog_max = max(backlog_max, e["args"][e["name"]])
+
+    print(f"trace: {sum(by_track.values())} events over "
+          f"{horizon_us / 86400e6:.2f} mission days")
+    print("\nrung residency:")
+    print(f"  {'rung':<12}{'frames':>8}{'compute_s':>12}{'energy_j':>10}")
+    for name in sorted(rungs, key=lambda n: -rungs[n]["frames"]):
+        r = rungs[name]
+        print(f"  {name:<12}{r['frames']:>8}{r['us'] / 1e6:>12.1f}"
+              f"{r['uj'] / 1e6:>10.2f}")
+
+    frame_uj = sum(r["uj"] for r in rungs.values())
+    print("\nenergy / airtime by category:")
+    print(f"  frame compute: {frame_uj / 1e6:.2f} J "
+          f"(energy from per-span e_uj args)")
+    print(f"  radio:         {radio_spans} bursts, "
+          f"{radio_us / 1e6:.1f} s of airtime")
+
+    if instants:
+        print("\ninstant events:")
+        for k in sorted(instants):
+            print(f"  {k:<24}{instants[k]:>8}")
+    if soc_min is not None:
+        print(f"\nbattery SoC: {soc_min:.0f}..{soc_max:.0f} mWh")
+    print(f"backlog high-water mark: {backlog_max:.0f} frames")
+    print("\nevents per track:")
+    for k in sorted(by_track):
+        print(f"  {k:<14}{by_track[k]:>8}")
+
+
+if __name__ == "__main__":
+    main()

@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "dse/freq_replay.hpp"
+#include "obs/trace.hpp"
 #include "runtime/baseline.hpp"
 
 namespace daedvfs::core {
@@ -38,7 +39,14 @@ BuiltSchedule ScheduleBuilder::build(
     mckp::DpWorkspace& ws) const {
   mckp::Instance inst = make_instance(dse);
   inst.capacity = mckp_capacity(qos_us);
+  obs::TraceRecorder* const tr =
+      cfg_.explore.sink != nullptr ? cfg_.explore.sink->trace : nullptr;
+  const double mckp_start_us = tr != nullptr ? obs::host_now_us() : 0.0;
   const mckp::Solution sol = mckp::solve_dp(inst, cfg_.mckp_ticks, ws);
+  if (tr != nullptr) {
+    tr->complete(obs::Track::kHost, "mckp", mckp_start_us,
+                 obs::host_now_us() - mckp_start_us);
+  }
   return build_from_solution(dse, qos_us, sol);
 }
 
@@ -120,6 +128,9 @@ void ScheduleBuilder::smooth(const std::vector<dse::LayerSolutionSet>& dse,
 void ScheduleBuilder::repair(const std::vector<dse::LayerSolutionSet>& dse,
                              double qos_us, BuiltSchedule& bs) const {
   if (cfg_.max_repair_iterations <= 0) return;  // unmeasured, like the seed
+  obs::TraceRecorder* const tr =
+      cfg_.explore.sink != nullptr ? cfg_.explore.sink->trace : nullptr;
+  const double repair_start_us = tr != nullptr ? obs::host_now_us() : 0.0;
   const sim::SimParams& sim = cfg_.explore.sim;
   dse::ScheduleLedger ledger =
       dse::record_schedule(engine_, bs.schedule, sim);
@@ -173,6 +184,12 @@ void ScheduleBuilder::repair(const std::vector<dse::LayerSolutionSet>& dse,
   }
   bs.measured_t_us = t;
   bs.measured_e_uj = e;
+  if (tr != nullptr) {
+    tr->complete(obs::Track::kHost, "repair", repair_start_us,
+                 obs::host_now_us() - repair_start_us, "iterations",
+                 static_cast<double>(bs.repair_iterations), "simulations",
+                 static_cast<double>(bs.repair_simulations));
+  }
 }
 
 double tinyengine_baseline_us(const runtime::InferenceEngine& engine,

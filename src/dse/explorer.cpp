@@ -10,6 +10,8 @@
 #include "dse/profile_cache.hpp"
 #include "kernels/depthwise.hpp"
 #include "kernels/pointwise.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "tensor/arena.hpp"
 #include "util/thread_pool.hpp"
 
@@ -124,6 +126,9 @@ std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
                                             const ExploreOptions& opts,
                                             ExploreStats* stats) {
   ExploreStats st;
+  const double wall_start_us =
+      opts.sink != nullptr && opts.sink->trace != nullptr ? obs::host_now_us()
+                                                          : 0.0;
   const bool replay = opts.freq_replay && opts.memoize;
   // Replayed entries are accurate to FP-reassociation error, not bitwise —
   // key them apart so a shared cache never serves them to an exact-mode
@@ -132,6 +137,7 @@ std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
       sim_fingerprint(opts.sim) ^ (replay ? 0x9e3779b97f4a7c15ull : 0);
   ProfileCache local_cache;
   ProfileCache* cache = opts.cache != nullptr ? opts.cache : &local_cache;
+  const ProfileCache::Stats cache_before = cache->stats();
 
   // A slot is one entry of one layer's `all` vector; a job is one simulation
   // to run plus the candidates it covers. With memoization several slots
@@ -276,6 +282,7 @@ std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
   // simulated with a work ledger attached and the remaining members are
   // evaluated from it in closed form.
   std::vector<std::vector<ProfileEntry>> results(jobs.size());
+  util::ThreadPool::Stats pool_stats;
   {
     const int threads = util::ThreadPool::resolve(opts.num_threads);
     util::ThreadPool pool(std::max(threads - 1, 0));
@@ -295,6 +302,7 @@ std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
                                     job.members[k].hfo, opts.sim);
           }
         });
+    pool_stats = pool.stats();
   }
   st.profiled = static_cast<std::int64_t>(jobs.size());
   for (const Job& job : jobs) {
@@ -325,6 +333,41 @@ std::vector<LayerSolutionSet> explore_model(const graph::Model& model,
         [](const LayerSolution& s) { return s.energy_uj; });
   }
   if (stats != nullptr) *stats = st;
+
+  // Observability (docs/observability.md): counters for this call's work
+  // mix, the profile cache's delta over the call, and the pool's execution
+  // stats — plus a wall-clock span on the host track. Purely observational.
+  if (opts.sink != nullptr) {
+    if (obs::MetricsRegistry* mx = opts.sink->metrics) {
+      mx->counter("explore.total_candidates")
+          .add(static_cast<std::uint64_t>(st.total_candidates));
+      mx->counter("explore.pruned").add(static_cast<std::uint64_t>(st.pruned));
+      mx->counter("explore.profiled")
+          .add(static_cast<std::uint64_t>(st.profiled));
+      mx->counter("explore.cache_hits")
+          .add(static_cast<std::uint64_t>(st.cache_hits));
+      mx->counter("explore.replayed")
+          .add(static_cast<std::uint64_t>(st.replayed));
+      const ProfileCache::Stats& cs = cache->stats();
+      mx->counter("profile_cache.hits").add(cs.hits - cache_before.hits);
+      mx->counter("profile_cache.misses").add(cs.misses - cache_before.misses);
+      mx->counter("profile_cache.evictions")
+          .add(cs.evictions - cache_before.evictions);
+      mx->gauge("profile_cache.entries")
+          .set(static_cast<double>(cache->size()));
+      mx->counter("thread_pool.tasks").add(pool_stats.tasks);
+      mx->counter("thread_pool.busy_us").add(pool_stats.busy_us);
+      const double depth = static_cast<double>(pool_stats.max_queue_depth);
+      obs::Gauge& qd = mx->gauge("thread_pool.max_queue_depth");
+      if (depth > qd.value()) qd.set(depth);
+    }
+    if (obs::TraceRecorder* tr = opts.sink->trace) {
+      tr->complete(obs::Track::kHost, "explore_model", wall_start_us,
+                   obs::host_now_us() - wall_start_us, "profiled",
+                   static_cast<double>(st.profiled), "candidates",
+                   static_cast<double>(st.total_candidates));
+    }
+  }
   return sets;
 }
 

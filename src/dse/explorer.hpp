@@ -20,6 +20,7 @@
 
 #include "dse/design_space.hpp"
 #include "graph/model.hpp"
+#include "obs/sink.hpp"
 #include "runtime/engine.hpp"
 #include "sim/mcu.hpp"
 
@@ -88,6 +89,12 @@ struct ExploreOptions {
   /// preservation; bench_explore re-verifies it on every run).
   bool prefilter = false;
   double prefilter_margin = 0.10;
+  /// Observability sink (docs/observability.md). When non-null, the
+  /// explorer publishes explore.* / profile_cache.* / thread_pool.*
+  /// counters to sink->metrics and a wall-clock "explore_model" span on the
+  /// host track of sink->trace. Purely observational: results are
+  /// bit-identical with and without a sink.
+  obs::Sink* sink = nullptr;
 };
 
 /// Exploration accounting, for benchmarking and regression tracking.

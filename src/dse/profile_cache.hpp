@@ -80,6 +80,7 @@ class ProfileCache {
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
     [[nodiscard]] double hit_rate() const {
       const std::uint64_t total = hits + misses;
       return total ? static_cast<double>(hits) / static_cast<double>(total)
@@ -101,8 +102,21 @@ class ProfileCache {
 
   void store(std::uint64_t sig, std::uint64_t cand, std::uint64_t sim_fp,
              const ProfileEntry& e) {
-    map_[key_of(sig, cand, sim_fp)] = e;
+    const std::uint64_t key = key_of(sig, cand, sim_fp);
+    if (capacity_ > 0 && map_.size() >= capacity_ &&
+        map_.find(key) == map_.end()) {
+      map_.erase(map_.begin());
+      ++stats_.evictions;
+    }
+    map_[key] = e;
   }
+
+  /// Bounds the table to `capacity` entries; 0 (the default) means
+  /// unbounded. When full, store() of a new key evicts an arbitrary
+  /// resident entry — correctness is unaffected (a cache miss just
+  /// re-profiles), only the hit rate.
+  void set_capacity(std::size_t capacity) { capacity_ = capacity; }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
@@ -120,6 +134,7 @@ class ProfileCache {
 
   std::unordered_map<std::uint64_t, ProfileEntry> map_;
   Stats stats_;
+  std::size_t capacity_ = 0;
 };
 
 }  // namespace daedvfs::dse

@@ -1,0 +1,65 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <ostream>
+
+#include "util/json_writer.hpp"
+
+namespace daedvfs::obs {
+namespace {
+
+void write_g(std::ostream& os, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  os << buf;
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& os, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
+  const std::string in2(static_cast<std::size_t>(indent) + 4, ' ');
+
+  os << pad << "{\n" << in << "\"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << in2;
+    util::write_json_string(os, name);
+    os << ": " << c.value();
+    first = false;
+  }
+  os << (first ? "},\n" : "\n" + in + "},\n");
+
+  os << in << "\"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << in2;
+    util::write_json_string(os, name);
+    os << ": ";
+    write_g(os, g.value());
+    first = false;
+  }
+  os << (first ? "},\n" : "\n" + in + "},\n");
+
+  os << in << "\"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << in2;
+    util::write_json_string(os, name);
+    os << ": {\"count\": " << h.count() << ", \"sum\": ";
+    write_g(os, h.sum());
+    os << ", \"min\": ";
+    write_g(os, h.min());
+    os << ", \"max\": ";
+    write_g(os, h.max());
+    os << ", \"mean\": ";
+    write_g(os, h.mean());
+    os << "}";
+    first = false;
+  }
+  os << (first ? "}\n" : "\n" + in + "}\n");
+  os << pad << "}";
+}
+
+}  // namespace daedvfs::obs

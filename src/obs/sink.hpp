@@ -1,0 +1,19 @@
+// The observability sink threaded through the engine/explorer plumbing: a
+// pair of optional destinations. Every instrumented component takes an
+// `obs::Sink*` (defaulted to nullptr), checks each member before emitting,
+// and never lets the sink feed back into its arithmetic — the hard
+// determinism contract (docs/observability.md): a null sink costs one
+// pointer test per site and a non-null sink changes no computed result.
+#pragma once
+
+namespace daedvfs::obs {
+
+class TraceRecorder;
+class MetricsRegistry;
+
+struct Sink {
+  TraceRecorder* trace = nullptr;
+  MetricsRegistry* metrics = nullptr;
+};
+
+}  // namespace daedvfs::obs

@@ -1,0 +1,161 @@
+#include "obs/trace.hpp"
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+
+#include "util/json_writer.hpp"
+
+namespace daedvfs::obs {
+namespace {
+
+constexpr char phase_char(Phase p) {
+  switch (p) {
+    case Phase::kComplete:
+      return 'X';
+    case Phase::kBegin:
+      return 'B';
+    case Phase::kEnd:
+      return 'E';
+    case Phase::kInstant:
+      return 'i';
+    case Phase::kCounter:
+      return 'C';
+  }
+  return 'i';
+}
+
+/// Locale-independent fixed formatting: timestamps/durations at 0.001 us,
+/// arg values at full float precision. snprintf with "%." formats never
+/// consults the global locale for %f/%g the way ostream does — the byte
+/// stream is the same everywhere.
+void append_fixed(std::string& out, const char* fmt, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+void append_arg(std::string& out, const char* key, double v, bool* first) {
+  if (!*first) out += ", ";
+  *first = false;
+  out += '"';
+  util::append_json_escaped(out, key);
+  out += "\": ";
+  append_fixed(out, "%.9g", v);
+}
+
+}  // namespace
+
+const char* track_name(Track t) {
+  switch (t) {
+    case Track::kFrames:
+      return "frames";
+    case Track::kRadio:
+      return "radio";
+    case Track::kGovernor:
+      return "governor";
+    case Track::kFaults:
+      return "faults";
+    case Track::kLink:
+      return "link";
+    case Track::kBattery:
+      return "battery";
+    case Track::kBacklog:
+      return "backlog";
+    case Track::kEnv:
+      return "environment";
+    case Track::kHost:
+      return "host";
+  }
+  return "unknown";
+}
+
+double host_now_us() {
+  static const auto epoch = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+const char* TraceRecorder::intern(std::string_view s) {
+  const auto it = intern_index_.find(std::string(s));
+  if (it != intern_index_.end()) return it->second;
+  interned_.emplace_back(s);
+  const char* stable = interned_.back().c_str();
+  intern_index_.emplace(interned_.back(), stable);
+  return stable;
+}
+
+std::vector<TraceEvent> TraceRecorder::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void TraceRecorder::write_chrome_json(std::ostream& os) const {
+  const std::vector<TraceEvent> evs = events();
+
+  os << "{\n\"traceEvents\": [";
+  bool first_line = true;
+  auto emit = [&](const std::string& line) {
+    os << (first_line ? "\n" : ",\n") << line;
+    first_line = false;
+  };
+
+  // Track-name metadata, for the tracks that actually carry events, in
+  // track-id order (fixed regardless of recording order).
+  std::array<bool, 16> used{};
+  for (const TraceEvent& e : evs) {
+    used[static_cast<std::size_t>(e.track)] = true;
+  }
+  for (std::size_t t = 0; t < used.size(); ++t) {
+    if (!used[t]) continue;
+    std::string line = "{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": "
+                       "0, \"tid\": ";
+    line += std::to_string(t);
+    line += ", \"args\": {\"name\": \"";
+    util::append_json_escaped(line, track_name(static_cast<Track>(t)));
+    line += "\"}}";
+    emit(line);
+  }
+
+  for (const TraceEvent& e : evs) {
+    std::string line = "{\"name\": \"";
+    util::append_json_escaped(line, e.name);
+    line += "\", \"ph\": \"";
+    line += phase_char(e.phase);
+    line += "\", \"pid\": 0, \"tid\": ";
+    line += std::to_string(static_cast<unsigned>(e.track));
+    line += ", \"ts\": ";
+    append_fixed(line, "%.3f", e.ts_us);
+    if (e.phase == Phase::kComplete) {
+      line += ", \"dur\": ";
+      append_fixed(line, "%.3f", e.dur_us);
+    }
+    if (e.phase == Phase::kInstant) line += ", \"s\": \"t\"";
+    bool first_arg = true;
+    std::string args;
+    if (e.phase == Phase::kCounter) {
+      append_arg(args, e.name, e.value, &first_arg);
+    }
+    if (e.arg1_key != nullptr) append_arg(args, e.arg1_key, e.arg1, &first_arg);
+    if (e.arg2_key != nullptr) append_arg(args, e.arg2_key, e.arg2, &first_arg);
+    if (!args.empty()) {
+      line += ", \"args\": {";
+      line += args;
+      line += '}';
+    }
+    line += '}';
+    emit(line);
+  }
+
+  os << "\n],\n\"displayTimeUnit\": \"ms\",\n\"metadata\": {"
+     << "\"recorded_events\": " << recorded_
+     << ", \"dropped_events\": " << dropped() << "}\n}\n";
+}
+
+}  // namespace daedvfs::obs

@@ -12,8 +12,42 @@ void EnergyMeter::record(double t_begin_us, double t_end_us, double power_mw,
   total_uj_ += uj;
   by_tag_[tag] += uj;
   if (keep_trace_) {
-    trace_.push_back({t_begin_us, t_end_us, power_mw, tag});
+    if (trace_.size() < trace_cap_) {
+      trace_.push_back({t_begin_us, t_end_us, power_mw, tag});
+    } else {
+      trace_[trace_head_] = {t_begin_us, t_end_us, power_mw, tag};
+      trace_head_ = (trace_head_ + 1) % trace_cap_;
+      ++trace_dropped_;
+    }
   }
+}
+
+void EnergyMeter::set_trace_capacity(std::size_t capacity) {
+  if (capacity < 1) capacity = 1;
+  if (capacity == trace_cap_) {
+    return;
+  }
+  // Re-linearize so the vector starts at the oldest retained segment, then
+  // trim from the front (oldest) if the new bound is smaller.
+  std::vector<PowerSegment> flat = trace();
+  if (flat.size() > capacity) {
+    trace_dropped_ += flat.size() - capacity;
+    flat.erase(flat.begin(),
+               flat.begin() + static_cast<std::ptrdiff_t>(flat.size() -
+                                                          capacity));
+  }
+  trace_ = std::move(flat);
+  trace_head_ = 0;
+  trace_cap_ = capacity;
+}
+
+std::vector<PowerSegment> EnergyMeter::trace() const {
+  std::vector<PowerSegment> out;
+  out.reserve(trace_.size());
+  for (std::size_t i = 0; i < trace_.size(); ++i) {
+    out.push_back(trace_[(trace_head_ + i) % trace_.size()]);
+  }
+  return out;
 }
 
 double EnergyMeter::tag_uj(const std::string& tag) const {
@@ -25,6 +59,8 @@ void EnergyMeter::reset() {
   total_uj_ = 0.0;
   by_tag_.clear();
   trace_.clear();
+  trace_head_ = 0;
+  trace_dropped_ = 0;
 }
 
 double Ina219Sampler::sampled_energy_uj(

@@ -5,6 +5,7 @@
 // used by tests to show the measurement error the paper's rig would add.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -36,11 +37,22 @@ class EnergyMeter {
     return by_tag_;
   }
   /// Raw trace (only retained when enabled; off by default to keep long
-  /// simulations cheap).
+  /// simulations cheap). Retention is bounded: once the ring holds
+  /// `trace_capacity()` segments the oldest are overwritten
+  /// (trace_dropped() counts them), so keep_trace(true) on an arbitrarily
+  /// long simulation uses constant memory.
   void keep_trace(bool on) { keep_trace_ = on; }
-  [[nodiscard]] const std::vector<PowerSegment>& trace() const {
-    return trace_;
-  }
+  /// Default trace bound: ~1M segments (tens of MB worst case).
+  static constexpr std::size_t kDefaultTraceCapacity = 1u << 20;
+  /// Sets the trace ring bound (clamped to >= 1). Existing retained
+  /// segments are preserved newest-first if the new bound is smaller.
+  void set_trace_capacity(std::size_t capacity);
+  [[nodiscard]] std::size_t trace_capacity() const { return trace_cap_; }
+  /// Segments overwritten by the bounded ring.
+  [[nodiscard]] std::uint64_t trace_dropped() const { return trace_dropped_; }
+  /// Retained segments in chronological order. Returns by value: the ring's
+  /// storage wraps, so a flattened copy is materialized per call.
+  [[nodiscard]] std::vector<PowerSegment> trace() const;
 
   /// Average power over [t0, t1] computed from the totals.
   [[nodiscard]] double average_power_mw(double t0_us, double t1_us) const {
@@ -54,6 +66,9 @@ class EnergyMeter {
   std::map<std::string, double> by_tag_;
   bool keep_trace_ = false;
   std::vector<PowerSegment> trace_;
+  std::size_t trace_cap_ = kDefaultTraceCapacity;
+  std::size_t trace_head_ = 0;  ///< Oldest retained segment once wrapped.
+  std::uint64_t trace_dropped_ = 0;
 };
 
 /// INA219-style fixed-rate sampler: integrates a retained trace the way the

@@ -6,6 +6,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "scenario/faults.hpp"
 
 namespace daedvfs::scenario {
@@ -75,7 +77,8 @@ std::vector<Event> sorted_by_time(const std::vector<Event>& events) {
 
 MissionReport simulate_mission(const MissionSpec& spec,
                                const SchedulePolicy& policy,
-                               double t_base_us, const sim::SimParams& sim) {
+                               double t_base_us, const sim::SimParams& sim,
+                               obs::Sink* sink) {
   MissionReport r;
   r.mission = spec.name;
   r.policy = policy.name();
@@ -84,6 +87,21 @@ MissionReport simulate_mission(const MissionSpec& spec,
   if (rungs.empty() || t_base_us <= 0.0 || spec.duty.period_s <= 0.0) {
     return r;
   }
+
+  // ---- Observability (obs/). Emission only: every site below is gated on
+  // the recorder pointer and reads engine state without feeding back — the
+  // report is bit-identical whether or not a sink is attached. Mission
+  // events are stamped in sim time (microseconds of mission time), so an
+  // enabled trace is byte-reproducible across runs and backends.
+  obs::TraceRecorder* const tr = sink != nullptr ? sink->trace : nullptr;
+  std::vector<const char*> rung_names;
+  if (tr != nullptr) {
+    rung_names.reserve(rungs.size());
+    for (const RungInfo& rung : rungs) {
+      rung_names.push_back(tr->intern(rung.name));
+    }
+  }
+  int link_traced = -1;  ///< Connectivity span state: -1 unknown, 0/1 down/up.
 
   const power::PowerModel pm(sim.power);
   power::Battery battery(spec.battery);
@@ -152,6 +170,22 @@ MissionReport simulate_mission(const MissionSpec& spec,
   int predicted = -1;             ///< Pre-locked rung awaiting its wake.
   bool prelock_pending = false;
 
+  if (tr != nullptr) {
+    tr->counter(obs::Track::kEnv, "qos_slack", 0.0, slack);
+    tr->counter(obs::Track::kEnv, "ambient_c", 0.0, ambient_c);
+    if (has_harvest) tr->counter(obs::Track::kEnv, "harvest_mw", 0.0, harvest_mw);
+  }
+  /// Battery SoC + backlog depth counter samples at a slot boundary.
+  const auto trace_slot_counters = [&](double end_s) {
+    if (tr == nullptr) return;
+    tr->counter(obs::Track::kBattery, "soc_mwh", end_s * 1e6,
+                battery.remaining_mwh());
+    if (link.gated()) {
+      tr->counter(obs::Track::kBacklog, "queue_depth", end_s * 1e6,
+                  static_cast<double>(queue.size()));
+    }
+  };
+
   // One frame is *captured* per duty-cycle slot. While the uplink is gated
   // and down, captures queue as latency debt; while it is up, the engine
   // serves the queue front (the live capture, when the queue was empty)
@@ -161,9 +195,11 @@ MissionReport simulate_mission(const MissionSpec& spec,
       r.truncated = true;
       break;
     }
+    bool slack_changed = false;
     while (next_event < qos_events.size() &&
            qos_events[next_event].at_s <= now_s) {
       slack = qos_events[next_event++].qos_slack;
+      slack_changed = true;
     }
     bool ambient_changed = false;
     while (next_temp < temp_events.size() &&
@@ -172,9 +208,22 @@ MissionReport simulate_mission(const MissionSpec& spec,
       ambient_changed = true;
     }
     if (ambient_changed) battery.set_ambient_c(ambient_c);
+    bool harvest_changed = false;
     while (next_harvest < harvest_events.size() &&
            harvest_events[next_harvest].at_s <= now_s) {
       harvest_mw = std::max(harvest_events[next_harvest++].intake_mw, 0.0);
+      harvest_changed = true;
+    }
+    if (tr != nullptr) {
+      if (slack_changed) {
+        tr->counter(obs::Track::kEnv, "qos_slack", now_s * 1e6, slack);
+      }
+      if (ambient_changed) {
+        tr->counter(obs::Track::kEnv, "ambient_c", now_s * 1e6, ambient_c);
+      }
+      if (harvest_changed) {
+        tr->counter(obs::Track::kEnv, "harvest_mw", now_s * 1e6, harvest_mw);
+      }
     }
     const double cap_mhz = spec.derate.max_sysclk_mhz(ambient_c);
 
@@ -189,6 +238,10 @@ MissionReport simulate_mission(const MissionSpec& spec,
            resets[next_reset].at_s <= now_s) {
       ++next_reset;
       ++r.resets;
+      if (tr != nullptr) {
+        tr->complete(obs::Track::kFaults, "reboot", now_s * 1e6,
+                     std::max(reboot.boot_s, 0.0) * 1e6);
+      }
       const double boot_uj = std::max(reboot.boot_uj, 0.0);
       battery.drain_uj(boot_uj);
       r.boot_uj += boot_uj;
@@ -197,6 +250,9 @@ MissionReport simulate_mission(const MissionSpec& spec,
       if (prelock_pending) {
         ++r.prelock_misses;
         prelock_pending = false;
+        if (tr != nullptr) {
+          tr->instant(obs::Track::kGovernor, "prelock_miss", now_s * 1e6);
+        }
       }
       predicted = -1;
       wake = WakeState::at(sim.boot);
@@ -232,6 +288,9 @@ MissionReport simulate_mission(const MissionSpec& spec,
         battery.drain_uj(ckpt_uj);
         r.checkpoint_uj += ckpt_uj;
         ++r.checkpoints;
+        if (tr != nullptr) {
+          tr->instant(obs::Track::kFaults, "checkpoint", now_s * 1e6);
+        }
       }
     }
 
@@ -267,12 +326,16 @@ MissionReport simulate_mission(const MissionSpec& spec,
         r.harvested_mwh += battery.charge(
             period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
       }
+      trace_slot_counters(now_s + period_s);
       now_s += period_s;
       continue;
     }
 
     // ---- Capture.
     ++r.frames_captured;
+    if (tr != nullptr) {
+      tr->instant(obs::Track::kFrames, "capture", now_s * 1e6);
+    }
 
     // ---- Faults: graceful degradation sheds this capture (bounded by the
     // policy's skip factor): the frame is accounted, never enqueued, and
@@ -280,12 +343,16 @@ MissionReport simulate_mission(const MissionSpec& spec,
     if (shed_countdown > 0) {
       --shed_countdown;
       ++r.frames_shed;
+      if (tr != nullptr) {
+        tr->instant(obs::Track::kFaults, "shed", now_s * 1e6);
+      }
       r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * period_s * 1e3;
       battery.elapse(period_s, spec.duty.sleep_mw);
       if (has_harvest && !battery.depleted()) {
         r.harvested_mwh += battery.charge(
             period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
       }
+      trace_slot_counters(now_s + period_s);
       now_s += period_s;
       continue;
     }
@@ -300,6 +367,10 @@ MissionReport simulate_mission(const MissionSpec& spec,
     }
 
     if (!link.connected(now_s)) {
+      if (tr != nullptr && link_traced == 1) {
+        tr->end(obs::Track::kLink, "window", now_s * 1e6);
+      }
+      link_traced = 0;
       // Down: the whole slot sleeps on the retained clock state. The sun
       // does not care about the uplink — harvest still charges the slot.
       r.sleep_uj += std::max(spec.duty.sleep_mw, 0.0) * period_s * 1e3;
@@ -308,8 +379,13 @@ MissionReport simulate_mission(const MissionSpec& spec,
         r.harvested_mwh += battery.charge(
             period_s, effective_intake_mw(spec, harvest_mw, ambient_c));
       }
+      trace_slot_counters(now_s + period_s);
       now_s += period_s;
       continue;
+    }
+    if (tr != nullptr && link.gated() && link_traced != 1) {
+      tr->begin(obs::Track::kLink, "window", now_s * 1e6);
+      link_traced = 1;
     }
 
     // ---- Serve: queue front first (== the live capture when no backlog),
@@ -363,6 +439,11 @@ MissionReport simulate_mission(const MissionSpec& spec,
       }
       if (prelock_pending) {
         next == predicted ? ++r.prelock_hits : ++r.prelock_misses;
+        if (tr != nullptr) {
+          tr->instant(obs::Track::kGovernor,
+                      next == predicted ? "prelock_hit" : "prelock_miss",
+                      serve_s * 1e6);
+        }
         prelock_pending = false;
       }
       battery.drain_uj(rung.e_uj + trans.uj + radio_uj);
@@ -374,6 +455,19 @@ MissionReport simulate_mission(const MissionSpec& spec,
       const double debt_s = serve_s - capture_s;
       r.backlog_latency_s += debt_s;
       r.max_latency_debt_s = std::max(r.max_latency_debt_s, debt_s);
+      if (tr != nullptr) {
+        tr->complete(obs::Track::kFrames,
+                     rung_names[static_cast<std::size_t>(next)],
+                     serve_s * 1e6, compute_us, "e_uj", rung.e_uj + trans.uj,
+                     "debt_s", debt_s);
+        if (missed) {
+          tr->instant(obs::Track::kFrames, "deadline_miss", serve_s * 1e6);
+        }
+        if (radio_us > 0.0) {
+          tr->complete(obs::Track::kRadio, "tx", serve_s * 1e6 + compute_us,
+                       radio_us);
+        }
+      }
 
       // ---- Faults: lossy uplink with seeded-deterministic retry. A failed
       // attempt (hard outage, or the per-attempt loss draw) is retried up
@@ -408,6 +502,10 @@ MissionReport simulate_mission(const MissionSpec& spec,
           }
           ++attempt;
           ++r.retries;
+          if (tr != nullptr) {
+            tr->complete(obs::Track::kRadio, "retry", next_start_s * 1e6,
+                         radio_us);
+          }
           uplink_us += backoff_s * 1e6 + radio_us;
           battery.drain_uj(radio_uj);
           r.retry_uj += radio_uj;
@@ -473,6 +571,11 @@ MissionReport simulate_mission(const MissionSpec& spec,
           battery.drain_uj(uj);
           r.prelock_uj += uj;
           ++r.prelocks;
+          if (tr != nullptr) {
+            tr->complete(obs::Track::kGovernor, "prelock",
+                         (now_s + total_active_s) * 1e6, cost.total_us,
+                         "rung", static_cast<double>(pred));
+          }
           predicted = pred;
           prelock_pending = true;
           wake = repositioned;
@@ -490,6 +593,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
       r.harvested_mwh += battery.charge(
           step_s, effective_intake_mw(spec, harvest_mw, ambient_c));
     }
+    trace_slot_counters(now_s + step_s);
     now_s += step_s;
   }
 
@@ -497,6 +601,32 @@ MissionReport simulate_mission(const MissionSpec& spec,
   r.battery_depleted = battery.depleted();
   r.battery_remaining_mwh = battery.remaining_mwh();
   r.frames_pending = queue.size();
+
+  if (tr != nullptr && link_traced == 1) {
+    // Balance the open connectivity span at mission end.
+    tr->end(obs::Track::kLink, "window", now_s * 1e6);
+  }
+  if (sink != nullptr && sink->metrics != nullptr) {
+    obs::MetricsRegistry& mx = *sink->metrics;
+    mx.counter("scenario.frames_offered").add(r.frames_offered);
+    mx.counter("scenario.frames_captured").add(r.frames_captured);
+    mx.counter("scenario.frames_served").add(r.frames);
+    mx.counter("scenario.frames_dropped").add(r.frames_dropped);
+    mx.counter("scenario.frames_shed").add(r.frames_shed);
+    mx.counter("scenario.deadline_misses").add(r.deadline_misses);
+    mx.counter("scenario.rung_switches").add(r.rung_switches);
+    mx.counter("scenario.prelocks").add(r.prelocks);
+    mx.counter("scenario.prelock_hits").add(r.prelock_hits);
+    mx.counter("scenario.prelock_misses").add(r.prelock_misses);
+    mx.counter("scenario.retries").add(r.retries);
+    mx.counter("scenario.tx_failures").add(r.tx_failures);
+    mx.counter("scenario.resets").add(r.resets);
+    mx.counter("scenario.checkpoints").add(r.checkpoints);
+    mx.gauge("scenario.battery_remaining_mwh").set(r.battery_remaining_mwh);
+    mx.gauge("scenario.availability").set(r.availability());
+    mx.histogram("scenario.slot_backlog").observe(
+        static_cast<double>(r.max_backlog));
+  }
   return r;
 }
 

@@ -40,6 +40,7 @@
 // Specs that use none of these reproduce the v1 engine bit for bit.
 #pragma once
 
+#include "obs/sink.hpp"
 #include "scenario/mission.hpp"
 #include "scenario/policy.hpp"
 #include "sim/mcu.hpp"
@@ -51,9 +52,16 @@ namespace daedvfs::scenario {
 /// (deadline = t_base * (1 + slack)); `sim` supplies the switch-cost and
 /// power parameters pricing rung transitions. Deterministic: equal inputs
 /// produce bitwise-equal reports.
+///
+/// `sink` (optional) receives the mission timeline — sim-time-stamped spans
+/// and counter tracks (obs::TraceRecorder) plus end-of-run counters
+/// (obs::MetricsRegistry). Recording is purely observational: the report is
+/// bit-identical with and without a sink, and an enabled trace is itself
+/// byte-identical across runs and kernel backends (fuzz-harness pinned).
 [[nodiscard]] MissionReport simulate_mission(const MissionSpec& spec,
                                              const SchedulePolicy& policy,
                                              double t_base_us,
-                                             const sim::SimParams& sim);
+                                             const sim::SimParams& sim,
+                                             obs::Sink* sink = nullptr);
 
 }  // namespace daedvfs::scenario

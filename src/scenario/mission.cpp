@@ -3,7 +3,11 @@
 #include <algorithm>
 #include <ostream>
 
+#include "util/json_writer.hpp"
+
 namespace daedvfs::scenario {
+
+using util::json_bool;
 
 double MissionReport::lifetime_days(
     const power::BatteryParams& battery) const {
@@ -19,8 +23,11 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
   const std::string in(static_cast<std::size_t>(indent) + 2, ' ');
   os << pad << "{\n"
      << in << "\"schema_version\": " << kMissionReportSchemaVersion << ",\n"
-     << in << "\"mission\": \"" << r.mission << "\",\n"
-     << in << "\"policy\": \"" << r.policy << "\",\n"
+     << in << "\"mission\": ";
+  util::write_json_string(os, r.mission);
+  os << ",\n" << in << "\"policy\": ";
+  util::write_json_string(os, r.policy);
+  os << ",\n"
      << in << "\"simulated_s\": " << r.simulated_s << ",\n"
      << in << "\"frames\": " << r.frames << ",\n"
      << in << "\"deadline_misses\": " << r.deadline_misses << ",\n"
@@ -30,9 +37,9 @@ void write_json(std::ostream& os, const MissionReport& r, int indent) {
      << in << "\"sleep_uj\": " << r.sleep_uj << ",\n"
      << in << "\"total_uj\": " << r.total_uj() << ",\n"
      << in << "\"avg_mw\": " << r.avg_mw() << ",\n"
-     << in << "\"battery_depleted\": "
-     << (r.battery_depleted ? "true" : "false") << ",\n"
-     << in << "\"truncated\": " << (r.truncated ? "true" : "false") << ",\n"
+     << in << "\"battery_depleted\": " << json_bool(r.battery_depleted)
+     << ",\n"
+     << in << "\"truncated\": " << json_bool(r.truncated) << ",\n"
      << in << "\"battery_remaining_mwh\": " << r.battery_remaining_mwh
      << ",\n"
      << in << "\"frames_captured\": " << r.frames_captured << ",\n"
@@ -107,12 +114,14 @@ void write_pareto_json(std::ostream& os,
   os << pad << "[\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const MissionParetoPoint& p = points[i];
-    os << in << "{\"policy\": \"" << p.policy << "\", \"total_uj\": "
+    os << in << "{\"policy\": ";
+    util::write_json_string(os, p.policy);
+    os << ", \"total_uj\": "
        << p.total_uj << ", \"mean_lateness_s\": " << p.mean_lateness_s
        << ", \"max_latency_debt_s\": " << p.max_latency_debt_s
        << ", \"mean_latency_debt_s\": " << p.mean_latency_debt_s
        << ", \"deadline_misses\": " << p.deadline_misses
-       << ", \"on_front\": " << (p.on_front ? "true" : "false") << "}"
+       << ", \"on_front\": " << json_bool(p.on_front) << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << pad << "]";
@@ -159,14 +168,16 @@ void write_availability_pareto_json(
   os << pad << "[\n";
   for (std::size_t i = 0; i < points.size(); ++i) {
     const AvailabilityParetoPoint& p = points[i];
-    os << in << "{\"policy\": \"" << p.policy << "\", \"total_uj\": "
+    os << in << "{\"policy\": ";
+    util::write_json_string(os, p.policy);
+    os << ", \"total_uj\": "
        << p.total_uj << ", \"availability\": " << p.availability
        << ", \"fault_uj\": " << p.fault_uj
        << ", \"downtime_s\": " << p.downtime_s << ", \"resets\": " << p.resets
        << ", \"retries\": " << p.retries
        << ", \"tx_failures\": " << p.tx_failures
        << ", \"frames_shed\": " << p.frames_shed
-       << ", \"on_front\": " << (p.on_front ? "true" : "false") << "}"
+       << ", \"on_front\": " << json_bool(p.on_front) << "}"
        << (i + 1 < points.size() ? "," : "") << "\n";
   }
   os << pad << "]";

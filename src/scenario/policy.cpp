@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "clock/rcc.hpp"
+#include "obs/metrics.hpp"
 
 namespace daedvfs::scenario {
 
@@ -48,13 +49,27 @@ LadderPolicy::LadderPolicy(clock::SwitchCostParams switching,
 
 namespace {
 
+/// Which tier of the tiered-fallback ladder resolved a pick — the decision
+/// mix the governor metrics expose (governor.tier_* counters).
+enum Tier : int {
+  kTierBudget = 0,    ///< Met the backlog catch-up budget.
+  kTierDeclared = 1,  ///< Budget dropped; met the declared deadline.
+  kTierFastest = 2,   ///< Nothing met the deadline; fastest reachable rung.
+  kTierCoolest = 3,   ///< Thermal cap excluded everything; coolest rung.
+};
+
+struct Pick {
+  int rung = -1;
+  Tier tier = kTierBudget;
+};
+
 /// Shared selection loop of choose() and predict_next(). `free_wake` prices
 /// every transition as the bare mux toggle (what a pre-lock establishes);
 /// otherwise transitions run the full switch policy from `wake`.
-int pick_rung(const std::vector<RungInfo>& rungs,
-              const clock::SwitchCostParams& switching,
-              const power::PowerModel& pm, const FrameContext& ctx,
-              const std::optional<WakeState>& wake, bool free_wake) {
+Pick pick_rung(const std::vector<RungInfo>& rungs,
+               const clock::SwitchCostParams& switching,
+               const power::PowerModel& pm, const FrameContext& ctx,
+               const std::optional<WakeState>& wake, bool free_wake) {
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // Catch-up budget: with a backlog and a closing window, aim to serve the
   // queue plus this frame before the window ends. Each frame's share of the
@@ -106,17 +121,33 @@ int pick_rung(const std::vector<RungInfo>& rungs,
       best_budget = static_cast<int>(i);
     }
   }
-  if (best_budget >= 0) return best_budget;
-  if (best_deadline >= 0) return best_deadline;
+  if (best_budget >= 0) return {best_budget, kTierBudget};
+  if (best_deadline >= 0) return {best_deadline, kTierDeclared};
   // No rung fits the deadline: run the fastest reachable one (the miss is
   // the scenario engine's to count).
-  if (fastest >= 0) return fastest;
+  if (fastest >= 0) return {fastest, kTierFastest};
   // The thermal cap excluded everything: run the coolest rung (the engine
   // counts the violation).
-  return coolest;
+  return {coolest, kTierCoolest};
 }
 
 }  // namespace
+
+void LadderPolicy::set_sink(obs::Sink* sink) {
+  obs::MetricsRegistry* mx = sink != nullptr ? sink->metrics : nullptr;
+  if (mx == nullptr) {
+    choose_calls_ = nullptr;
+    predict_calls_ = nullptr;
+    for (auto& c : tier_counters_) c = nullptr;
+    return;
+  }
+  choose_calls_ = &mx->counter("governor.choose_calls");
+  predict_calls_ = &mx->counter("governor.predict_calls");
+  tier_counters_[kTierBudget] = &mx->counter("governor.tier_budget");
+  tier_counters_[kTierDeclared] = &mx->counter("governor.tier_declared");
+  tier_counters_[kTierFastest] = &mx->counter("governor.tier_fastest");
+  tier_counters_[kTierCoolest] = &mx->counter("governor.tier_coolest");
+}
 
 int LadderPolicy::choose(const FrameContext& ctx, int current_rung) const {
   if (rungs_.empty()) return -1;
@@ -124,7 +155,13 @@ int LadderPolicy::choose(const FrameContext& ctx, int current_rung) const {
   if (!wake && current_rung >= 0) {
     wake = WakeState::after(rungs_[static_cast<std::size_t>(current_rung)]);
   }
-  return pick_rung(rungs_, switching_, pm_, ctx, wake, /*free_wake=*/false);
+  const Pick pick =
+      pick_rung(rungs_, switching_, pm_, ctx, wake, /*free_wake=*/false);
+  if (choose_calls_ != nullptr) {
+    choose_calls_->add();
+    tier_counters_[pick.tier]->add();
+  }
+  return pick.rung;
 }
 
 std::optional<PrelockAnchor> find_prelock_anchor(
@@ -194,11 +231,13 @@ std::uint32_t LadderPolicy::degraded_skip(double battery_soc,
 int LadderPolicy::predict_next(const FrameContext& ctx, int chosen) const {
   (void)chosen;
   if (!predictive_ || rungs_.empty()) return -1;
+  if (predict_calls_ != nullptr) predict_calls_->add();
   // Steady-duty-cycle assumption: the next frame looks like this one. Pick
   // the rung the policy would run if waking were free — pre-locking its
   // entry PLL during the coming sleep is exactly what makes that true.
   return pick_rung(rungs_, switching_, pm_, ctx, std::nullopt,
-                   /*free_wake=*/true);
+                   /*free_wake=*/true)
+      .rung;
 }
 
 }  // namespace daedvfs::scenario

@@ -15,8 +15,13 @@
 
 #include "clock/clock_config.hpp"
 #include "clock/switch_model.hpp"
+#include "obs/sink.hpp"
 #include "power/power_model.hpp"
 #include "scenario/mission.hpp"
+
+namespace daedvfs::obs {
+class Counter;
+}
 
 namespace daedvfs::scenario {
 
@@ -210,6 +215,14 @@ class LadderPolicy : public SchedulePolicy {
   [[nodiscard]] std::string name() const override { return name_; }
   [[nodiscard]] bool predictive() const { return predictive_; }
 
+  /// Attaches a metrics sink: choose()/predict_next() then count their
+  /// calls and which fallback tier of the decision rule resolved each frame
+  /// (governor.tier_* counters, docs/observability.md). Purely
+  /// observational — decisions are unchanged; nullptr detaches. Counter
+  /// references are hoisted here once so the per-frame cost is one pointer
+  /// test + increment.
+  void set_sink(obs::Sink* sink);
+
  protected:
   /// For subclasses (the governor) that build the ladder after base-class
   /// construction.
@@ -221,6 +234,14 @@ class LadderPolicy : public SchedulePolicy {
   power::PowerModel pm_;
   std::string name_ = "ladder";
   bool predictive_ = false;
+
+ private:
+  /// Hoisted metrics instruments (owned by the attached registry). The
+  /// pointees are bumped from the const decision methods — observational
+  /// state, not decision state.
+  obs::Counter* choose_calls_ = nullptr;
+  obs::Counter* predict_calls_ = nullptr;
+  obs::Counter* tier_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
 };
 
 /// The ladder structure the predictive pre-lock exploits, found by

@@ -1,0 +1,33 @@
+// Shared hand-rolled-JSON emission helpers. Every writer in the repo —
+// MissionReport/Pareto JSON, the BENCH_*.json bench artifacts, and the
+// obs trace/metrics exporters — emits JSON by streaming to an ostream; this
+// header owns the two pieces that must not drift between them: string
+// escaping and boolean literals. Number formatting deliberately stays with
+// the callers (`os <<` under the ambient stream precision, or an explicit
+// snprintf format) because each artifact pins its own numeric byte format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+namespace daedvfs::util {
+
+/// Appends the JSON escape of `s` (no surrounding quotes) to `out`.
+void append_json_escaped(std::string& out, std::string_view s);
+
+/// JSON escape of `s`, without surrounding quotes.
+[[nodiscard]] std::string json_escaped(std::string_view s);
+
+/// Writes `s` as a JSON string literal, quotes included.
+void write_json_string(std::ostream& os, std::string_view s);
+
+/// JSON string literal of `s`, quotes included — for streaming mid-chain.
+[[nodiscard]] std::string json_quoted(std::string_view s);
+
+/// JSON boolean literal.
+[[nodiscard]] inline const char* json_bool(bool b) {
+  return b ? "true" : "false";
+}
+
+}  // namespace daedvfs::util

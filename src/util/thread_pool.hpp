@@ -7,6 +7,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdlib>
@@ -45,16 +46,38 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(workers_.size()); }
 
+  /// Lifetime execution counters, readable at any quiescent point (between
+  /// wait_idle() and the next submit()). `busy_us` is wall-clock time spent
+  /// inside task bodies summed over workers — host-side observability only,
+  /// never an input to anything deterministic.
+  struct Stats {
+    std::uint64_t tasks = 0;
+    std::uint64_t max_queue_depth = 0;
+    std::uint64_t busy_us = 0;
+  };
+
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.tasks = tasks_.load(std::memory_order_relaxed);
+    s.max_queue_depth = max_queue_depth_.load(std::memory_order_relaxed);
+    s.busy_us = busy_us_.load(std::memory_order_relaxed);
+    return s;
+  }
+
   /// Enqueues one task. Runs inline when the pool has no workers.
   void submit(std::function<void()> fn) {
     if (workers_.empty()) {
-      fn();
+      run_timed(fn);
       return;
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++pending_;
       queue_.push(std::move(fn));
+      const auto depth = static_cast<std::uint64_t>(queue_.size());
+      if (depth > max_queue_depth_.load(std::memory_order_relaxed)) {
+        max_queue_depth_.store(depth, std::memory_order_relaxed);
+      }
     }
     cv_.notify_one();
   }
@@ -107,6 +130,17 @@ class ThreadPool {
   }
 
  private:
+  void run_timed(const std::function<void()>& fn) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    tasks_.fetch_add(1, std::memory_order_relaxed);
+    busy_us_.fetch_add(static_cast<std::uint64_t>(us),
+                       std::memory_order_relaxed);
+  }
+
   void worker() {
     for (;;) {
       std::function<void()> fn;
@@ -117,7 +151,7 @@ class ThreadPool {
         fn = std::move(queue_.front());
         queue_.pop();
       }
-      fn();
+      run_timed(fn);
       {
         std::lock_guard<std::mutex> lock(mu_);
         if (--pending_ == 0) idle_cv_.notify_all();
@@ -132,6 +166,9 @@ class ThreadPool {
   std::condition_variable idle_cv_;
   std::int64_t pending_ = 0;
   bool stop_ = false;
+  std::atomic<std::uint64_t> tasks_{0};
+  std::atomic<std::uint64_t> max_queue_depth_{0};
+  std::atomic<std::uint64_t> busy_us_{0};
 };
 
 }  // namespace daedvfs::util

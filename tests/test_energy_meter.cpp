@@ -40,6 +40,47 @@ TEST(EnergyMeter, TraceOnlyWhenEnabled) {
   EXPECT_DOUBLE_EQ(m.trace()[0].t_begin_us, 1.0);
 }
 
+TEST(EnergyMeter, TraceRingDropsOldestAtCapacity) {
+  EnergyMeter m;
+  m.keep_trace(true);
+  m.set_trace_capacity(3);
+  EXPECT_EQ(m.trace_capacity(), 3u);
+  for (int i = 0; i < 8; ++i) {
+    const double t = i * 10.0;
+    m.record(t, t + 10.0, 5.0, "x");
+  }
+  EXPECT_EQ(m.trace_dropped(), 5u);
+  const auto tr = m.trace();
+  ASSERT_EQ(tr.size(), 3u);
+  // Oldest segments dropped: [50,60), [60,70), [70,80) retained, in order.
+  EXPECT_DOUBLE_EQ(tr[0].t_begin_us, 50.0);
+  EXPECT_DOUBLE_EQ(tr[1].t_begin_us, 60.0);
+  EXPECT_DOUBLE_EQ(tr[2].t_begin_us, 70.0);
+  // Energy totals are unaffected by trace retention.
+  EXPECT_DOUBLE_EQ(m.total_uj(), 8 * 10.0 * 5.0 / 1000.0);
+}
+
+TEST(EnergyMeter, ShrinkingCapacityKeepsNewestSegments) {
+  EnergyMeter m;
+  m.keep_trace(true);
+  for (int i = 0; i < 6; ++i) {
+    const double t = i * 10.0;
+    m.record(t, t + 10.0, 5.0, "x");
+  }
+  m.set_trace_capacity(2);
+  const auto tr = m.trace();
+  ASSERT_EQ(tr.size(), 2u);
+  EXPECT_DOUBLE_EQ(tr[0].t_begin_us, 40.0);
+  EXPECT_DOUBLE_EQ(tr[1].t_begin_us, 50.0);
+  EXPECT_EQ(m.trace_dropped(), 4u);
+  EXPECT_EQ(m.trace_capacity(), 2u);
+  // Clamped to at least one retained segment.
+  m.set_trace_capacity(0);
+  EXPECT_EQ(m.trace_capacity(), 1u);
+  ASSERT_EQ(m.trace().size(), 1u);
+  EXPECT_DOUBLE_EQ(m.trace()[0].t_begin_us, 50.0);
+}
+
 TEST(EnergyMeter, ResetClearsEverything) {
   EnergyMeter m;
   m.keep_trace(true);

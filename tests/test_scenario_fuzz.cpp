@@ -27,6 +27,8 @@
 //   DAEDVFS_REGEN_GOLDEN=1 ./build/daedvfs_tests --gtest_filter='*Golden*'
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdlib>
 #include <fstream>
 #include <set>
@@ -35,6 +37,9 @@
 
 #include "graph/builder.hpp"
 #include "kernels/backend.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sink.hpp"
+#include "obs/trace.hpp"
 #include "runtime/engine.hpp"
 #include "scenario/engine.hpp"
 #include "scenario_test_support.hpp"
@@ -73,6 +78,18 @@ int fuzz_seed_count() {
     if (n > 0) return n;
   }
   return 200;
+}
+
+std::string trace_json(const obs::TraceRecorder& tr) {
+  std::ostringstream os;
+  tr.write_chrome_json(os);
+  return os.str();
+}
+
+std::string metrics_json(const obs::MetricsRegistry& mx) {
+  std::ostringstream os;
+  mx.write_json(os);
+  return os.str();
 }
 
 TEST(ScenarioFuzz, SameSeedSameBytesAndInvariantsHold) {
@@ -139,6 +156,55 @@ TEST(ScenarioFuzz, ChargingMonotoneBetweenHarvestIntervals) {
   }
 }
 
+// ---- Observability determinism contract (docs/observability.md) --------
+//
+// Attaching an obs::Sink must not change a single byte of the report
+// (tracing is purely observational), and an enabled trace must itself be
+// byte-identical run to run — the two halves of the contract the trace
+// layer ships under. 25+ seeds across the full fault-model corpus, both
+// policy variants.
+TEST(ScenarioFuzz, TracedRunsAreObservationallyPure) {
+  const sim::SimParams sim;
+  const LadderPolicy predictive = fuzz_ladder(true);
+  const LadderPolicy reactive = fuzz_ladder(false);
+  const int seeds = std::max(25, fuzz_seed_count() / 8);
+  for (int seed = 0; seed < seeds; ++seed) {
+    const MissionSpec spec = random_spec(static_cast<std::uint64_t>(seed));
+    const LadderPolicy& policy = seed % 2 == 0 ? predictive : reactive;
+
+    const MissionReport plain = simulate_mission(spec, policy, kTBase, sim);
+    obs::TraceRecorder tr1;
+    obs::MetricsRegistry mx1;
+    obs::Sink s1{&tr1, &mx1};
+    const MissionReport traced =
+        simulate_mission(spec, policy, kTBase, sim, &s1);
+    ASSERT_EQ(report_json(plain), report_json(traced))
+        << "seed " << seed << ": attaching a sink changed the report";
+
+    obs::TraceRecorder tr2;
+    obs::MetricsRegistry mx2;
+    obs::Sink s2{&tr2, &mx2};
+    (void)simulate_mission(spec, policy, kTBase, sim, &s2);
+    ASSERT_EQ(trace_json(tr1), trace_json(tr2))
+        << "seed " << seed << ": trace is not run-to-run byte-identical";
+    ASSERT_EQ(metrics_json(mx1), metrics_json(mx2))
+        << "seed " << seed << ": metrics dump is not byte-identical";
+
+    // The registry must tell the same story as the report.
+    EXPECT_EQ(mx1.counter("scenario.frames_served").value(),
+              static_cast<std::uint64_t>(traced.frames));
+    EXPECT_EQ(mx1.counter("scenario.deadline_misses").value(),
+              static_cast<std::uint64_t>(traced.deadline_misses));
+    EXPECT_EQ(mx1.counter("scenario.resets").value(),
+              static_cast<std::uint64_t>(traced.resets));
+    EXPECT_EQ(mx1.counter("scenario.retries").value(),
+              static_cast<std::uint64_t>(traced.retries));
+    if (::testing::Test::HasFailure()) {
+      FAIL() << "metrics/report divergence at seed " << seed;
+    }
+  }
+}
+
 // Different seeds must actually explore different timelines (a generator
 // collapse would quietly gut the harness).
 TEST(ScenarioFuzz, SeedsDiversify) {
@@ -176,6 +242,7 @@ TEST(ScenarioFuzz, BackendsAgreeOnMissionReports) {
   const clock::ClockConfig mid = clock::ClockConfig::pll_hse(50.0, 25, 168, 2);
 
   std::vector<std::string> reports;
+  std::vector<std::string> traces;
   for (const kernels::Backend* backend : kernels::available_backends()) {
     runtime::InferenceEngine engine(model);
     engine.set_backend(backend);
@@ -203,15 +270,22 @@ TEST(ScenarioFuzz, BackendsAgreeOnMissionReports) {
 
     MissionSpec spec = random_spec(424242);
     spec.name = "xbackend";
+    obs::TraceRecorder tr;
+    obs::Sink sink{&tr, nullptr};
     const MissionReport r =
-        simulate_mission(spec, gov, rungs.front().t_us, sim);
+        simulate_mission(spec, gov, rungs.front().t_us, sim, &sink);
     reports.push_back(report_json(r));
+    traces.push_back(trace_json(tr));
   }
   ASSERT_GE(reports.size(), 1u);
   for (std::size_t i = 1; i < reports.size(); ++i) {
     EXPECT_EQ(reports[0], reports[i])
         << "backend " << kernels::available_backends()[i]->name
         << " diverged from "
+        << kernels::available_backends()[0]->name;
+    EXPECT_EQ(traces[0], traces[i])
+        << "backend " << kernels::available_backends()[i]->name
+        << " emitted a different mission trace than "
         << kernels::available_backends()[0]->name;
   }
 }
