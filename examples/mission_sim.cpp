@@ -10,6 +10,13 @@
 //   $ ./build/mission_sim            # VWW
 //   $ ./build/mission_sim pd 0.2     # Person Detection, low-battery SoC 0.2
 //   $ ./build/mission_sim --days 2 --trace out.json --metrics metrics.json
+//   $ ./build/mission_sim pd --days 2 --fleet 500   # v5 fleet walkthrough
+//
+// --fleet N adds a fifth walkthrough: the v4 checkpointed mission expanded
+// into an N-node fleet (seeded per-node battery aging, panel spread, link
+// quality, microclimate — scenario/fleet.hpp), fanned out across the thread
+// pool on the SoA batch engine, reported as percentile distributions, a
+// survival curve and fleet availability.
 //
 // --trace records the v4 checkpointed-predictive mission as Chrome
 // trace-event JSON (open in Perfetto / chrome://tracing; schema in
@@ -30,6 +37,7 @@
 #include "obs/sink.hpp"
 #include "obs/trace.hpp"
 #include "scenario/engine.hpp"
+#include "scenario/fleet.hpp"
 
 int main(int argc, char** argv) {
   using namespace daedvfs;
@@ -38,6 +46,7 @@ int main(int argc, char** argv) {
   std::string metrics_path;
   bool want_metrics = false;
   int days = 14;
+  int fleet_nodes = 0;
   std::vector<std::string> pos;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -49,6 +58,9 @@ int main(int argc, char** argv) {
     } else if (arg == "--days" && i + 1 < argc) {
       days = std::atoi(argv[++i]);
       if (days < 1) days = 1;
+    } else if (arg == "--fleet" && i + 1 < argc) {
+      fleet_nodes = std::atoi(argv[++i]);
+      if (fleet_nodes < 0) fleet_nodes = 0;
     } else {
       pos.push_back(arg);
     }
@@ -322,6 +334,61 @@ int main(int argc, char** argv) {
             << warm.checkpoints << " checkpoints ("
             << std::setprecision(1) << warm.downtime_s
             << " s down either way).\n";
+
+  // ---- v5 (--fleet N): the checkpointed v4 node, N of them. Every node
+  // draws its own battery age, panel orientation, link quality and
+  // microclimate from a stream seeded with (fleet seed ^ node id)
+  // (scenario/fleet.hpp), all reading the one predictive ladder, fanned out
+  // across the thread pool on the SoA batch engine. The aggregate is
+  // byte-identical for any thread count (docs/scenarios.md).
+  if (fleet_nodes > 0) {
+    scenario::FleetSpec fl;
+    fl.name = model.name() + "-fleet";
+    fl.seed = 0x5e17f1ee7ULL;
+    scenario::DeviceClass cls;
+    cls.name = "sentry";
+    cls.nodes = static_cast<std::uint32_t>(fleet_nodes);
+    cls.base = v4_ckpt;
+    cls.variation = {0.4, 0.5, 0.3, 8.0};
+    cls.policy = &pred;
+    cls.t_base_us = gov.t_base_us();
+    cls.sim = sim;
+    fl.classes.push_back(cls);
+
+    const scenario::FleetReport fr = scenario::simulate_fleet(fl);
+    std::cout << "\n=== v5: fleet of " << fr.nodes
+              << " — seeded node spread, shared ladder, SoA fan-out ===\n"
+              << "fleet availability " << std::setprecision(4)
+              << fr.fleet_availability() << ", " << fr.depleted << "/"
+              << fr.nodes << " nodes depleted, " << std::setprecision(1)
+              << fr.total_energy_uj / 1e6 << " J total ("
+              << fr.total_harvested_mwh << " mWh harvested)\n\n"
+              << "per-node spread       p10       p50       p90       p99\n";
+    const auto dist_row = [](const char* label,
+                             const scenario::Distribution& d, double scale,
+                             int prec) {
+      std::cout << std::left << std::setw(17) << label << std::right
+                << std::setprecision(prec) << std::setw(10) << d.p10 * scale
+                << std::setw(10) << d.p50 * scale << std::setw(10)
+                << d.p90 * scale << std::setw(10) << d.p99 * scale << "\n";
+    };
+    dist_row("energy (J)", fr.energy_uj, 1e-6, 1);
+    dist_row("lateness (s)", fr.lateness_s, 1.0, 3);
+    dist_row("availability", fr.availability, 1.0, 4);
+    std::cout << "\nsurvival (fraction of nodes not battery-depleted):\n";
+    const std::size_t stride =
+        fr.survival.size() > 6 ? fr.survival.size() / 6 : 1;
+    for (std::size_t i = stride - 1; i < fr.survival.size(); i += stride) {
+      const scenario::FleetSurvivalPoint& p = fr.survival[i];
+      std::cout << "  t=" << std::setprecision(1) << std::setw(9)
+                << p.t_s / 3600.0 << " h   " << std::setprecision(3)
+                << p.fraction << "\n";
+    }
+    std::cout << "\nReading: one ladder serves every node; the weak tail "
+                 "(aged cells, shaded\npanels) sets the p99 energy and the "
+                 "survival knee. The same aggregate is\nbyte-identical at "
+                 "any thread count (DAEDVFS_THREADS).\n";
+  }
 
   if (!trace_path.empty()) {
     std::ofstream tf(trace_path, std::ios::binary);

@@ -17,6 +17,13 @@ A boolean is a gate unless it is descriptive state rather than a verdict:
   * those same three key names anywhere, for safety.
 Everything else must be true.
 
+For BENCH_fleet.json the script additionally re-derives the hardware-scaled
+speedup requirement from the recorded core count (the same formula
+bench_fleet.cpp applies: 4x when >= 8 effective threads, otherwise
+max(0.85, 0.45 * effective)) and recomputes speedup_ok /
+soa_no_regression from the raw numbers, so a hand-edited verdict cannot
+disagree with the measurements it claims to summarize.
+
 Usage: python3 scripts/check_bench_gates.py [repo_root]
 """
 import glob
@@ -25,7 +32,35 @@ import os
 import sys
 
 SKIP_KEYS = {"smoke", "on_front", "battery_depleted", "truncated"}
-SKIP_ARRAYS = {"policies", "pareto", "availability_pareto"}
+SKIP_ARRAYS = {"policies", "pareto", "availability_pareto", "fleet_pareto"}
+
+SOA_MAX_RATIO = 1.25  # mirrored from bench_fleet.cpp
+
+
+def fleet_required_speedup(effective_threads):
+    if effective_threads >= 8:
+        return 4.0
+    return max(0.85, 0.45 * effective_threads)
+
+
+def check_fleet_derivations(doc):
+    """Re-derives BENCH_fleet.json's scaled verdicts; yields error strings."""
+    try:
+        effective = min(int(doc["threads_requested"]),
+                        int(doc["hardware_concurrency"]))
+        required = fleet_required_speedup(effective)
+        if abs(doc["required_speedup"] - required) > 1e-9:
+            yield (f"required_speedup {doc['required_speedup']} != "
+                   f"{required} derived from {effective} effective threads")
+        if doc["speedup_ok"] != (doc["speedup"] >= doc["required_speedup"]):
+            yield (f"speedup_ok inconsistent with speedup "
+                   f"{doc['speedup']} vs required {doc['required_speedup']}")
+        if doc["soa_no_regression"] != (
+                doc["soa_per_mission_ratio"] <= SOA_MAX_RATIO):
+            yield (f"soa_no_regression inconsistent with ratio "
+                   f"{doc['soa_per_mission_ratio']} (max {SOA_MAX_RATIO})")
+    except (KeyError, TypeError, ValueError) as err:
+        yield f"fleet derivation fields missing/malformed ({err!r})"
 
 
 def gates(node, path="", in_skipped_array=False):
@@ -72,6 +107,10 @@ def main():
             if not value:
                 print(f"{name}: gate {path} = false", file=sys.stderr)
                 failed.append(f"{name}{path}")
+        if name == "BENCH_fleet.json":
+            for err in check_fleet_derivations(doc):
+                print(f"{name}: {err}", file=sys.stderr)
+                failed.append(f"{name}: derivation")
     if failed:
         print(f"{len(failed)} gate(s) failed across "
               f"{len(artifacts)} artifact(s)", file=sys.stderr)

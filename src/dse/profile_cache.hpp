@@ -19,6 +19,7 @@
 // clocking configuration and the simulator parameterization fingerprint.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <unordered_map>
@@ -72,11 +73,19 @@ struct ProfileEntry {
 };
 
 /// Memo table keyed by (layer signature, candidate, sim fingerprint).
-/// Not internally synchronized: explore_model fills it from the coordinating
-/// thread only; share one instance across explore calls via
-/// ExploreOptions::cache to reuse profiles between models/QoS sweeps.
+/// The map itself is not internally synchronized: explore_model fills it
+/// from the coordinating thread only; share one instance across explore
+/// calls via ExploreOptions::cache to reuse profiles between models/QoS
+/// sweeps. Once filled, concurrent *readers* are safe — lookup() on a
+/// quiescent map is a const hash-table find, and the hit/miss/eviction
+/// counters are atomics (relaxed: they are observability, never an input
+/// to anything deterministic) — which is what lets the fleet layer share
+/// one warm per-class cache across worker threads. Mixing store() with
+/// concurrent lookup() remains a data race on the map.
 class ProfileCache {
  public:
+  /// Counter snapshot. stats() returns this by value: a coherent-enough
+  /// copy taken with relaxed loads, safe to take while readers run.
   struct Stats {
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
@@ -90,13 +99,13 @@ class ProfileCache {
 
   [[nodiscard]] std::optional<ProfileEntry> lookup(std::uint64_t sig,
                                                    std::uint64_t cand,
-                                                   std::uint64_t sim_fp) {
+                                                   std::uint64_t sim_fp) const {
     const auto it = map_.find(key_of(sig, cand, sim_fp));
     if (it == map_.end()) {
-      ++stats_.misses;
+      misses_.fetch_add(1, std::memory_order_relaxed);
       return std::nullopt;
     }
-    ++stats_.hits;
+    hits_.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
 
@@ -106,7 +115,7 @@ class ProfileCache {
     if (capacity_ > 0 && map_.size() >= capacity_ &&
         map_.find(key) == map_.end()) {
       map_.erase(map_.begin());
-      ++stats_.evictions;
+      evictions_.fetch_add(1, std::memory_order_relaxed);
     }
     map_[key] = e;
   }
@@ -118,7 +127,13 @@ class ProfileCache {
   void set_capacity(std::size_t capacity) { capacity_ = capacity; }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }
 
-  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] Stats stats() const {
+    Stats s;
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    s.evictions = evictions_.load(std::memory_order_relaxed);
+    return s;
+  }
   [[nodiscard]] std::size_t size() const { return map_.size(); }
   void clear() { map_.clear(); }
 
@@ -133,7 +148,9 @@ class ProfileCache {
   }
 
   std::unordered_map<std::uint64_t, ProfileEntry> map_;
-  Stats stats_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
   std::size_t capacity_ = 0;
 };
 

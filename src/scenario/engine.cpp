@@ -1,7 +1,7 @@
 #include "scenario/engine.hpp"
 
 #include <algorithm>
-#include <deque>
+#include <cassert>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -53,6 +53,40 @@ class Connectivity {
   IntervalSet set_;
 };
 
+/// Deque-shaped view of one node's backlog ring inside the batch's shared
+/// slab. Capacity is the uplink queue bound + 1 (a capture is pushed before
+/// the overflow check evicts the oldest), so the ring never wraps onto live
+/// entries; values and service order are exactly the old std::deque's.
+class BacklogRing {
+ public:
+  BacklogRing(double* buf, std::uint32_t cap, std::uint32_t& head,
+              std::uint32_t& len)
+      : buf_(buf), cap_(cap), head_(head), len_(len) {}
+
+  [[nodiscard]] bool empty() const { return len_ == 0; }
+  [[nodiscard]] std::uint32_t size() const { return len_; }
+  [[nodiscard]] double front() const { return buf_[head_]; }
+  [[nodiscard]] double back() const {
+    return buf_[(head_ + len_ - 1) % cap_];
+  }
+  void push_back(double v) {
+    buf_[(head_ + len_) % cap_] = v;
+    ++len_;
+  }
+  void pop_front() {
+    head_ = (head_ + 1) % cap_;
+    --len_;
+  }
+  void pop_back() { --len_; }
+  void clear() { len_ = 0; }
+
+ private:
+  double* buf_;
+  std::uint32_t cap_;
+  std::uint32_t& head_;
+  std::uint32_t& len_;
+};
+
 /// Harvest intake effective at `ambient_c`: the active step scaled by the
 /// panel thermal-derating coefficient, clamped at zero.
 double effective_intake_mw(const MissionSpec& spec, double harvest_mw,
@@ -75,18 +109,155 @@ std::vector<Event> sorted_by_time(const std::vector<Event>& events) {
 
 }  // namespace
 
-MissionReport simulate_mission(const MissionSpec& spec,
-                               const SchedulePolicy& policy,
-                               double t_base_us, const sim::SimParams& sim,
-                               obs::Sink* sink) {
+/// The structure-of-arrays state block: every per-node quantity the slot
+/// loop touches is a flat vector indexed by node, and variable-length
+/// per-node timelines (sorted event copies, backlog rings) are packed into
+/// shared arenas with per-node [begin, begin+count) ranges. add() fills a
+/// node's slots; run() binds references into them and executes the loop —
+/// distinct nodes touch disjoint slots, which is what makes concurrent
+/// run() calls on different nodes safe.
+struct MissionBatch::Block {
+  const SchedulePolicy& policy;
+  const double t_base_us;
+  const sim::SimParams sim;  ///< Copied: the batch outlives the caller's ref.
+  const power::PowerModel pm;
+  double max_peak_mhz = 0.0;
+
+  // ---- Per-node arrays (index = node id within the batch) --------------
+  std::vector<const MissionSpec*> spec;
+
+  // Sorted mission-event timelines, flattened into shared arenas.
+  std::vector<QosEvent> qos_arena;
+  std::vector<std::uint32_t> qos_begin, qos_count;
+  std::vector<TempEvent> temp_arena;
+  std::vector<std::uint32_t> temp_begin, temp_count;
+  std::vector<HarvestEvent> harvest_arena;
+  std::vector<std::uint32_t> harvest_begin, harvest_count;
+  std::vector<ResetEvent> reset_arena;
+  std::vector<std::uint32_t> reset_begin, reset_count;
+
+  std::vector<Connectivity> link;
+  std::vector<IntervalSet> outages;
+  std::vector<double> radio_us, radio_uj;
+  std::vector<std::uint8_t> radio_enabled;
+
+  // Backlog rings: one shared slab, node i owns [off[i], off[i] + cap[i]).
+  std::vector<double> queue_slab;
+  std::vector<std::size_t> queue_off;
+  std::vector<std::uint32_t> queue_cap, queue_head, queue_len;
+
+  std::vector<power::Battery> battery;
+  std::vector<Xorshift64> rng, fault_rng;  ///< Jitter + fault streams.
+
+  std::vector<double> now_s, slack, ambient_c, harvest_mw;
+  std::vector<double> down_until_s, next_ckpt_s, miss_ewma;
+  std::vector<int> cur, predicted;
+  std::vector<WakeState> wake;
+  std::vector<std::uint8_t> wake_set, prelock_pending, ran;
+  std::vector<std::uint32_t> next_event, next_temp, next_harvest, next_reset;
+  std::vector<GovernorCheckpoint> ckpt;
+  std::vector<std::uint32_t> shed_countdown;
+
+  Block(const SchedulePolicy& p, double tb, const sim::SimParams& s)
+      : policy(p), t_base_us(tb), sim(s), pm(s.power) {
+    for (const RungInfo& rung : p.rungs()) {
+      max_peak_mhz = std::max(max_peak_mhz, rung.peak_mhz());
+    }
+  }
+};
+
+MissionBatch::MissionBatch(const SchedulePolicy& policy, double t_base_us,
+                           const sim::SimParams& sim)
+    : b_(std::make_unique<Block>(policy, t_base_us, sim)) {}
+
+MissionBatch::~MissionBatch() = default;
+
+std::size_t MissionBatch::size() const { return b_->spec.size(); }
+
+std::size_t MissionBatch::add(const MissionSpec& s) {
+  Block& b = *b_;
+  const std::size_t i = b.spec.size();
+  b.spec.push_back(&s);
+
+  const auto append = [](auto& arena, auto& begin, auto& count,
+                         const auto& sorted) {
+    begin.push_back(static_cast<std::uint32_t>(arena.size()));
+    count.push_back(static_cast<std::uint32_t>(sorted.size()));
+    arena.insert(arena.end(), sorted.begin(), sorted.end());
+  };
+  append(b.qos_arena, b.qos_begin, b.qos_count, sorted_by_time(s.qos_events));
+  append(b.temp_arena, b.temp_begin, b.temp_count,
+         sorted_by_time(s.temp_events));
+  append(b.harvest_arena, b.harvest_begin, b.harvest_count,
+         sorted_by_time(s.harvest_events));
+  append(b.reset_arena, b.reset_begin, b.reset_count,
+         sorted_by_time(s.faults.resets));
+
+  b.link.emplace_back(s.connectivity);
+  std::vector<std::pair<double, double>> outage_spans;
+  outage_spans.reserve(s.faults.radio.outages.size());
+  for (const Outage& o : s.faults.radio.outages) {
+    outage_spans.emplace_back(o.start_s, o.duration_s);
+  }
+  b.outages.push_back(IntervalSet::from_spans(outage_spans));
+  const power::RadioModel radio(s.radio);
+  b.radio_us.push_back(radio.tx_us());
+  b.radio_uj.push_back(radio.tx_uj());
+  b.radio_enabled.push_back(radio.enabled() ? 1 : 0);
+
+  // Ring region: queue bound + 1 (push-then-evict never wraps onto live
+  // entries).
+  const std::uint32_t cap = std::max<std::uint32_t>(s.uplink_queue_frames, 1);
+  b.queue_off.push_back(b.queue_slab.size());
+  b.queue_cap.push_back(cap + 1);
+  b.queue_slab.resize(b.queue_slab.size() + cap + 1);
+  b.queue_head.push_back(0);
+  b.queue_len.push_back(0);
+
+  b.battery.emplace_back(s.battery);
+  b.rng.emplace_back(s.seed);
+  b.fault_rng.emplace_back(s.seed ^ kFaultStreamSalt);
+
+  b.now_s.push_back(0.0);
+  b.slack.push_back(s.base_qos_slack);
+  b.ambient_c.push_back(s.base_ambient_c);
+  if (s.base_ambient_c != 25.0) {
+    b.battery.back().set_ambient_c(s.base_ambient_c);
+  }
+  b.harvest_mw.push_back(std::max(s.base_harvest_mw, 0.0));
+  b.down_until_s.push_back(0.0);
+  b.next_ckpt_s.push_back(s.faults.reboot.checkpoint_interval_s);
+  b.miss_ewma.push_back(0.0);
+  b.cur.push_back(-1);
+  b.predicted.push_back(-1);
+  b.wake.emplace_back();
+  b.wake_set.push_back(0);
+  b.prelock_pending.push_back(0);
+  b.ran.push_back(0);
+  b.next_event.push_back(0);
+  b.next_temp.push_back(0);
+  b.next_harvest.push_back(0);
+  b.next_reset.push_back(0);
+  b.ckpt.emplace_back();
+  b.shed_countdown.push_back(0);
+  return i;
+}
+
+MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
+  Block& b = *b_;
+  const MissionSpec& spec = *b.spec.at(node);
+  const SchedulePolicy& policy = b.policy;
+
   MissionReport r;
   r.mission = spec.name;
   r.policy = policy.name();
   const std::vector<RungInfo>& rungs = policy.rungs();
   r.frames_per_rung.assign(rungs.size(), 0);
-  if (rungs.empty() || t_base_us <= 0.0 || spec.duty.period_s <= 0.0) {
+  if (rungs.empty() || b.t_base_us <= 0.0 || spec.duty.period_s <= 0.0) {
     return r;
   }
+  assert(!b.ran[node] && "MissionBatch::run consumes a node's state");
+  b.ran[node] = 1;
 
   // ---- Observability (obs/). Emission only: every site below is gated on
   // the recorder pointer and reads engine state without feeding back — the
@@ -103,21 +274,23 @@ MissionReport simulate_mission(const MissionSpec& spec,
   }
   int link_traced = -1;  ///< Connectivity span state: -1 unknown, 0/1 down/up.
 
-  const power::PowerModel pm(sim.power);
-  power::Battery battery(spec.battery);
-  const std::vector<QosEvent> qos_events = sorted_by_time(spec.qos_events);
-  const std::vector<TempEvent> temp_events = sorted_by_time(spec.temp_events);
-  const std::vector<HarvestEvent> harvest_events =
-      sorted_by_time(spec.harvest_events);
-  const power::RadioModel radio(spec.radio);
-  const double radio_us = radio.tx_us();
-  const double radio_uj = radio.tx_uj();
-  Connectivity link(spec.connectivity);
-  Xorshift64 rng(spec.seed);
-  double max_peak_mhz = 0.0;
-  for (const RungInfo& rung : rungs) {
-    max_peak_mhz = std::max(max_peak_mhz, rung.peak_mhz());
-  }
+  // ---- Bind node `node`'s state slots. Everything below reads and writes
+  // the SoA block; the loop body is the pre-batch scalar engine verbatim,
+  // which is what keeps batched reports bit-identical to standalone ones.
+  const power::PowerModel& pm = b.pm;
+  power::Battery& battery = b.battery[node];
+  const QosEvent* const qos_events = b.qos_arena.data() + b.qos_begin[node];
+  const std::uint32_t qos_count = b.qos_count[node];
+  const TempEvent* const temp_events = b.temp_arena.data() + b.temp_begin[node];
+  const std::uint32_t temp_count = b.temp_count[node];
+  const HarvestEvent* const harvest_events =
+      b.harvest_arena.data() + b.harvest_begin[node];
+  const std::uint32_t harvest_count = b.harvest_count[node];
+  const double radio_us = b.radio_us[node];
+  const double radio_uj = b.radio_uj[node];
+  Connectivity& link = b.link[node];
+  Xorshift64& rng = b.rng[node];
+  const double max_peak_mhz = b.max_peak_mhz;
 
   // ---- Fault machinery (scenario/faults.hpp). Every fault path below is
   // gated on its spec being declared, and fault decisions draw from a
@@ -125,14 +298,9 @@ MissionReport simulate_mission(const MissionSpec& spec,
   // branches, consumes no fault draws, and reproduces the fault-free engine
   // bit for bit (pinned by the golden report).
   const FaultSpec& faults = spec.faults;
-  const bool lossy = radio.enabled() && faults.radio.enabled();
-  std::vector<std::pair<double, double>> outage_spans;
-  outage_spans.reserve(faults.radio.outages.size());
-  for (const Outage& o : faults.radio.outages) {
-    outage_spans.emplace_back(o.start_s, o.duration_s);
-  }
-  IntervalSet outages = IntervalSet::from_spans(outage_spans);
-  Xorshift64 fault_rng(spec.seed ^ kFaultStreamSalt);
+  const bool lossy = b.radio_enabled[node] != 0 && faults.radio.enabled();
+  IntervalSet& outages = b.outages[node];
+  Xorshift64& fault_rng = b.fault_rng[node];
   // An attempt fails inside a hard outage unconditionally (no draw), else
   // by the per-attempt loss probability. Attempt times are non-decreasing
   // across the mission, matching the IntervalSet query contract.
@@ -141,34 +309,37 @@ MissionReport simulate_mission(const MissionSpec& spec,
     return faults.radio.loss_prob > 0.0 &&
            fault_rng.next_unit() < faults.radio.loss_prob;
   };
-  const std::vector<ResetEvent> resets = sorted_by_time(faults.resets);
-  std::size_t next_reset = 0;
-  double down_until_s = 0.0;  ///< Rebooting (node off) until this time.
+  const ResetEvent* const resets = b.reset_arena.data() + b.reset_begin[node];
+  const std::uint32_t reset_count = b.reset_count[node];
+  std::uint32_t& next_reset = b.next_reset[node];
+  double& down_until_s = b.down_until_s[node];
   const RebootSpec& reboot = faults.reboot;
   const bool ckpt_on = reboot.checkpointed();
-  double next_ckpt_s = reboot.checkpoint_interval_s;
-  GovernorCheckpoint ckpt;
+  double& next_ckpt_s = b.next_ckpt_s[node];
+  GovernorCheckpoint& ckpt = b.ckpt[node];
   const DegradedModeSpec& degraded = faults.degraded;
   const bool degraded_on = degraded.enabled();
-  double miss_ewma = 0.0;          ///< Deadline-miss pressure (served frames).
-  std::uint32_t shed_countdown = 0;  ///< Captures left to shed (degradation).
+  double& miss_ewma = b.miss_ewma[node];  ///< Miss pressure (served frames).
+  std::uint32_t& shed_countdown = b.shed_countdown[node];
 
-  double now_s = 0.0;
-  double slack = spec.base_qos_slack;
-  double ambient_c = spec.base_ambient_c;
-  if (ambient_c != 25.0) battery.set_ambient_c(ambient_c);
-  double harvest_mw = std::max(spec.base_harvest_mw, 0.0);
-  const bool has_harvest = harvest_mw > 0.0 || !harvest_events.empty();
-  std::size_t next_event = 0;
-  std::size_t next_temp = 0;
-  std::size_t next_harvest = 0;
-  int cur = -1;
-  std::optional<WakeState> wake;  ///< Clock tree state across sleeps.
-  std::deque<double> queue;       ///< Capture times awaiting service.
+  double& now_s = b.now_s[node];
+  double& slack = b.slack[node];
+  double& ambient_c = b.ambient_c[node];
+  double& harvest_mw = b.harvest_mw[node];
+  const bool has_harvest = harvest_mw > 0.0 || harvest_count > 0;
+  std::uint32_t& next_event = b.next_event[node];
+  std::uint32_t& next_temp = b.next_temp[node];
+  std::uint32_t& next_harvest = b.next_harvest[node];
+  int& cur = b.cur[node];
+  WakeState& wake = b.wake[node];  ///< Clock tree state across sleeps.
+  std::uint8_t& wake_set = b.wake_set[node];
+  BacklogRing queue(b.queue_slab.data() + b.queue_off[node],
+                    b.queue_cap[node], b.queue_head[node],
+                    b.queue_len[node]);  ///< Capture times awaiting service.
   const std::size_t queue_cap =
       std::max<std::uint32_t>(spec.uplink_queue_frames, 1);
-  int predicted = -1;             ///< Pre-locked rung awaiting its wake.
-  bool prelock_pending = false;
+  int& predicted = b.predicted[node];  ///< Pre-locked rung awaiting its wake.
+  std::uint8_t& prelock_pending = b.prelock_pending[node];
 
   if (tr != nullptr) {
     tr->counter(obs::Track::kEnv, "qos_slack", 0.0, slack);
@@ -196,20 +367,20 @@ MissionReport simulate_mission(const MissionSpec& spec,
       break;
     }
     bool slack_changed = false;
-    while (next_event < qos_events.size() &&
+    while (next_event < qos_count &&
            qos_events[next_event].at_s <= now_s) {
       slack = qos_events[next_event++].qos_slack;
       slack_changed = true;
     }
     bool ambient_changed = false;
-    while (next_temp < temp_events.size() &&
+    while (next_temp < temp_count &&
            temp_events[next_temp].at_s <= now_s) {
       ambient_c = temp_events[next_temp++].ambient_c;
       ambient_changed = true;
     }
     if (ambient_changed) battery.set_ambient_c(ambient_c);
     bool harvest_changed = false;
-    while (next_harvest < harvest_events.size() &&
+    while (next_harvest < harvest_count &&
            harvest_events[next_harvest].at_s <= now_s) {
       harvest_mw = std::max(harvest_events[next_harvest++].intake_mw, 0.0);
       harvest_changed = true;
@@ -234,7 +405,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
     // the governor either restores the last checkpoint (rung preference,
     // miss EWMA, queued frames captured at or before it) or cold-boots
     // (everything queued is dropped).
-    while (next_reset < resets.size() &&
+    while (next_reset < reset_count &&
            resets[next_reset].at_s <= now_s) {
       ++next_reset;
       ++r.resets;
@@ -255,7 +426,8 @@ MissionReport simulate_mission(const MissionSpec& spec,
         }
       }
       predicted = -1;
-      wake = WakeState::at(sim.boot);
+      wake = WakeState::at(b.sim.boot);
+      wake_set = 1;
       if (ckpt.valid()) {
         while (!queue.empty() && queue.back() > ckpt.at_s) {
           queue.pop_back();
@@ -295,10 +467,10 @@ MissionReport simulate_mission(const MissionSpec& spec,
     }
 
     double period_s = spec.duty.period_s;
-    for (const Burst& b : spec.bursts) {
-      if (b.period_s > 0.0 && now_s >= b.start_s &&
-          now_s < b.start_s + b.duration_s) {
-        period_s = std::min(period_s, b.period_s);
+    for (const Burst& b2 : spec.bursts) {
+      if (b2.period_s > 0.0 && now_s >= b2.start_s &&
+          now_s < b2.start_s + b2.duration_s) {
+        period_s = std::min(period_s, b2.period_s);
       }
     }
     if (spec.period_jitter > 0.0) {
@@ -310,7 +482,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
         battery.soc() < spec.low_battery_soc) {
       active_slack = std::max(active_slack, spec.low_battery_qos_slack);
     }
-    const double deadline_us = t_base_us * (1.0 + active_slack);
+    const double deadline_us = b.t_base_us * (1.0 + active_slack);
 
     // Every slot is a capture *opportunity* the duty cycle offers — the
     // availability denominator. Slots the node reboots through are offered
@@ -412,13 +584,13 @@ MissionReport simulate_mission(const MissionSpec& spec,
       ctx.window_remaining_s =
           link.gated() ? link.window_end() - serve_s : -1.0;
       ctx.radio_us = radio_us;
-      ctx.wake = wake;
+      if (wake_set) ctx.wake = wake;
 
       const int next = policy.choose(ctx, cur);
       const RungInfo& rung = rungs.at(static_cast<std::size_t>(next));
       const TransitionCost trans =
-          wake ? wake_transition(*wake, rung, sim.switching, pm)
-               : TransitionCost{};
+          wake_set ? wake_transition(wake, rung, b.sim.switching, pm)
+                   : TransitionCost{};
       // The QoS deadline bounds the compute path (transition + inference);
       // the uplink burst extends the frame's slot occupancy instead — its
       // delay surfaces as backlog latency debt, not as a deadline miss.
@@ -520,6 +692,7 @@ MissionReport simulate_mission(const MissionSpec& spec,
 
       cur = next;
       wake = WakeState::after(rung);
+      wake_set = 1;
       total_active_s += (compute_us + uplink_us) * 1e-6;
 
       // ---- Faults: degraded-mode pressure input — the deadline-miss EWMA
@@ -551,12 +724,12 @@ MissionReport simulate_mission(const MissionSpec& spec,
     // ---- Predictive pre-lock: reposition the PLL/regulator for the rung
     // the policy expects next, paid during the sleep just charged (off the
     // wake critical path). Only when the sleep actually fits the relock.
-    if (wake && !first) {
+    if (wake_set && !first) {
       const int pred = policy.predict_next(ctx, cur);
       if (pred >= 0 && sleep_s * 1e6 > 0.0) {
-        WakeState repositioned = *wake;
+        WakeState repositioned = wake;
         const clock::SwitchCost cost = clock::background_reposition_cost(
-            sim.switching,
+            b.sim.switching,
             rungs[static_cast<std::size_t>(pred)].entry_hfo,
             repositioned.config, repositioned.locked_pll,
             repositioned.scale);
@@ -628,6 +801,15 @@ MissionReport simulate_mission(const MissionSpec& spec,
         static_cast<double>(r.max_backlog));
   }
   return r;
+}
+
+MissionReport simulate_mission(const MissionSpec& spec,
+                               const SchedulePolicy& policy,
+                               double t_base_us, const sim::SimParams& sim,
+                               obs::Sink* sink) {
+  MissionBatch batch(policy, t_base_us, sim);
+  batch.add(spec);
+  return batch.run(0, sink);
 }
 
 }  // namespace daedvfs::scenario

@@ -88,19 +88,26 @@ class ThreadPool {
     idle_cv_.wait(lock, [this] { return pending_ == 0; });
   }
 
-  /// Runs fn(i) for every i in [0, n), sharded over the pool via an atomic
-  /// cursor; the calling thread participates. Blocks until all iterations
-  /// complete. The first exception thrown by any iteration is rethrown.
+  /// Runs fn(begin, end) over [0, n) split into deterministic chunks of
+  /// `chunk` indices (the last chunk may be short): chunk c always covers
+  /// [c*chunk, min(n, (c+1)*chunk)) regardless of thread count — only the
+  /// assignment of chunks to threads varies, which is why callers writing
+  /// into preassigned per-index slots get thread-count-invariant output.
+  /// Chunks are claimed from an atomic cursor; the calling thread
+  /// participates. Blocks until all chunks complete. The first exception
+  /// thrown by any chunk is rethrown.
   template <class Fn>
-  void parallel_for(std::int64_t n, Fn&& fn) {
+  void parallel_for(std::int64_t n, std::int64_t chunk, Fn&& fn) {
     if (n <= 0) return;
+    chunk = std::max<std::int64_t>(chunk, 1);
+    const std::int64_t chunks = (n + chunk - 1) / chunk;
     std::atomic<std::int64_t> next{0};
     std::exception_ptr first_error;
     std::mutex error_mu;
-    auto drain = [&] {
-      for (std::int64_t i; (i = next.fetch_add(1)) < n;) {
+    auto drain = [&, n, chunk] {
+      for (std::int64_t c; (c = next.fetch_add(1)) < chunks;) {
         try {
-          fn(i);
+          fn(c * chunk, std::min(n, (c + 1) * chunk));
         } catch (...) {
           std::lock_guard<std::mutex> lock(error_mu);
           if (!first_error) first_error = std::current_exception();
@@ -108,11 +115,21 @@ class ThreadPool {
       }
     };
     const int helpers =
-        static_cast<int>(std::min<std::int64_t>(size(), n - 1));
+        static_cast<int>(std::min<std::int64_t>(size(), chunks - 1));
     for (int t = 0; t < helpers; ++t) submit(drain);
     drain();
     wait_idle();
     if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Runs fn(i) for every i in [0, n) — the chunked overload with one index
+  /// per chunk. The calling thread participates; the first exception is
+  /// rethrown.
+  template <class Fn>
+  void parallel_for(std::int64_t n, Fn&& fn) {
+    parallel_for(n, 1, [&fn](std::int64_t begin, std::int64_t end) {
+      for (std::int64_t i = begin; i < end; ++i) fn(i);
+    });
   }
 
   /// Resolves a thread-count request: positive values pass through; 0 means

@@ -1,10 +1,16 @@
 // Thread pool tests: coverage/exactly-once semantics of parallel_for,
-// inline fallback, exception propagation, and request resolution.
+// inline fallback, exception propagation, request resolution, and the
+// chunked overload's determinism contract — chunk boundaries are a pure
+// function of (n, chunk), never of thread count or scheduling, which is
+// what the fleet layer's thread-count-invariant aggregation leans on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "util/thread_pool.hpp"
@@ -55,6 +61,94 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   for (int i = 0; i < 50; ++i) pool.submit([&] { n++; });
   pool.wait_idle();
   EXPECT_EQ(n.load(), 50);
+}
+
+using Range = std::pair<std::int64_t, std::int64_t>;
+
+std::vector<Range> collect_ranges(ThreadPool& pool, std::int64_t n,
+                                  std::int64_t chunk) {
+  std::mutex mu;
+  std::vector<Range> ranges;
+  pool.parallel_for(n, chunk, [&](std::int64_t begin, std::int64_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  return ranges;
+}
+
+TEST(ThreadPoolChunked, RangesAreDeterministicAndCoverExactly) {
+  ThreadPool serial(0);
+  ThreadPool parallel(7);
+  for (const auto& [n, chunk] :
+       std::vector<Range>{{10, 3}, {12, 4}, {1, 16}, {100, 7}, {5, 1}}) {
+    const std::vector<Range> a = collect_ranges(serial, n, chunk);
+    const std::vector<Range> b = collect_ranges(parallel, n, chunk);
+    EXPECT_EQ(a, b) << "chunk boundaries depend on thread count (n=" << n
+                    << ", chunk=" << chunk << ")";
+    // Exact cover of [0, n): contiguous, non-overlapping, full-size chunks
+    // except possibly the last.
+    std::int64_t expect_begin = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].first, expect_begin);
+      EXPECT_EQ(a[i].second - a[i].first,
+                i + 1 < a.size() ? chunk : n - a[i].first);
+      expect_begin = a[i].second;
+    }
+    EXPECT_EQ(expect_begin, n);
+  }
+}
+
+TEST(ThreadPoolChunked, EveryIndexVisitedExactlyOnce) {
+  constexpr std::int64_t kN = 1000;
+  ThreadPool pool(7);
+  std::vector<std::atomic<int>> visits(kN);
+  pool.parallel_for(kN, 16, [&](std::int64_t begin, std::int64_t end) {
+    for (std::int64_t i = begin; i < end; ++i) {
+      visits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (std::int64_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolChunked, DegenerateInputs) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  pool.parallel_for(0, 8, [&](std::int64_t, std::int64_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0) << "n == 0 must be a no-op";
+  pool.parallel_for(5, 100, [&](std::int64_t begin, std::int64_t end) {
+    EXPECT_EQ(begin, 0);
+    EXPECT_EQ(end, 5);
+    ++calls;
+  });
+  EXPECT_EQ(calls.load(), 1) << "chunk > n collapses to one chunk";
+  // A non-positive chunk clamps to 1 instead of dividing by zero.
+  std::atomic<int> singles{0};
+  pool.parallel_for(3, 0, [&](std::int64_t begin, std::int64_t end) {
+    EXPECT_EQ(end, begin + 1);
+    ++singles;
+  });
+  EXPECT_EQ(singles.load(), 3);
+}
+
+TEST(ThreadPoolChunked, FirstExceptionRethrownAndPoolSurvives) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(64, 4,
+                        [&](std::int64_t begin, std::int64_t) {
+                          if (begin == 16) {
+                            throw std::runtime_error("chunk failed");
+                          }
+                        }),
+      std::runtime_error);
+  // The pool is still usable after a throwing run.
+  std::atomic<int> ok{0};
+  pool.parallel_for(8, 2, [&](std::int64_t b, std::int64_t e) {
+    ok += static_cast<int>(e - b);
+  });
+  EXPECT_EQ(ok.load(), 8);
 }
 
 TEST(ThreadPool, ResolveHonorsRequestThenEnvThenHardware) {
