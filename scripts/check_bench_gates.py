@@ -24,6 +24,11 @@ max(0.85, 0.45 * effective)) and recomputes speedup_ok /
 soa_no_regression from the raw numbers, so a hand-edited verdict cannot
 disagree with the measurements it claims to summarize.
 
+For BENCH_serve.json it likewise re-derives the DP strip-blocking
+requirement from the recorded mode (bench_serve.cpp: break-even 1.0 in
+full mode, a 0.5 noise floor in smoke) and recomputes dp_block_ok from
+dp_block_speedup.
+
 Usage: python3 scripts/check_bench_gates.py [repo_root]
 """
 import glob
@@ -61,6 +66,26 @@ def check_fleet_derivations(doc):
                    f"{doc['soa_per_mission_ratio']} (max {SOA_MAX_RATIO})")
     except (KeyError, TypeError, ValueError) as err:
         yield f"fleet derivation fields missing/malformed ({err!r})"
+
+
+def serve_required_dp_block(smoke):
+    return 0.5 if smoke else 1.0
+
+
+def check_serve_derivations(doc):
+    """Re-derives BENCH_serve.json's scaled verdicts; yields error strings."""
+    try:
+        required = serve_required_dp_block(bool(doc["smoke"]))
+        if abs(doc["dp_block_required"] - required) > 1e-9:
+            yield (f"dp_block_required {doc['dp_block_required']} != "
+                   f"{required} derived from smoke={doc['smoke']}")
+        if doc["dp_block_ok"] != (
+                doc["dp_block_speedup"] >= doc["dp_block_required"]):
+            yield (f"dp_block_ok inconsistent with speedup "
+                   f"{doc['dp_block_speedup']} vs required "
+                   f"{doc['dp_block_required']}")
+    except (KeyError, TypeError, ValueError) as err:
+        yield f"serve derivation fields missing/malformed ({err!r})"
 
 
 def gates(node, path="", in_skipped_array=False):
@@ -109,6 +134,10 @@ def main():
                 failed.append(f"{name}{path}")
         if name == "BENCH_fleet.json":
             for err in check_fleet_derivations(doc):
+                print(f"{name}: {err}", file=sys.stderr)
+                failed.append(f"{name}: derivation")
+        if name == "BENCH_serve.json":
+            for err in check_serve_derivations(doc):
                 print(f"{name}: {err}", file=sys.stderr)
                 failed.append(f"{name}: derivation")
     if failed:

@@ -56,6 +56,13 @@ ScheduleGovernor::ScheduleGovernor(const graph::Model& model,
   mckp::DpWorkspace ws;
   const std::vector<mckp::Solution> sols =
       mckp::solve_dp_sweep(inst, capacities, pc.mckp_ticks, ws);
+  // Retained for the serving layer: the instance itself plus the affine
+  // deadline -> capacity reserve the builder applied (constant per model).
+  mckp_instance_ = std::move(inst);
+  if (!slacks.empty()) {
+    const double qos0 = t_base_us_ * (1.0 + slacks.front());
+    mckp_reserve_us_ = qos0 - builder.mckp_capacity(qos0);
+  }
 
   for (std::size_t i = 0; i < slacks.size(); ++i) {
     if (!sols[i].feasible) continue;

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "core/pipeline.hpp"
+#include "mckp/mckp.hpp"
 #include "runtime/schedule.hpp"
 #include "scenario/policy.hpp"
 
@@ -75,11 +76,25 @@ class ScheduleGovernor final : public scenario::LadderPolicy {
   }
   [[nodiscard]] const GovernorConfig& config() const { return cfg_; }
 
+  /// Per-layer MCKP instance the ladder was solved from (classes = layers,
+  /// items = each layer's Pareto-optimal operating points; `capacity`
+  /// unset). Retained for the serving layer (serve::ScheduleServer), which
+  /// re-sweeps it at quantized deadlines the precomputed rungs do not cover.
+  [[nodiscard]] const mckp::Instance& mckp_instance() const {
+    return mckp_instance_;
+  }
+  /// Constant overhead subtracted from a QoS window to obtain the MCKP
+  /// latency budget (ScheduleBuilder::mckp_capacity): capacity =
+  /// max(0, deadline_us - mckp_reserve_us()).
+  [[nodiscard]] double mckp_reserve_us() const { return mckp_reserve_us_; }
+
  private:
   GovernorConfig cfg_;
   double t_base_us_ = 0.0;
   dse::ExploreStats explore_stats_;
   std::vector<runtime::Schedule> schedules_;    ///< Aligned with rungs_.
+  mckp::Instance mckp_instance_;
+  double mckp_reserve_us_ = 0.0;
 };
 
 }  // namespace daedvfs::governor

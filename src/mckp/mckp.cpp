@@ -1,6 +1,7 @@
 #include "mckp/mckp.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
 
@@ -8,6 +9,8 @@ namespace daedvfs::mckp {
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+std::atomic<int> g_dp_block_cells{kDefaultDpBlockCells};
 
 Solution finalize(const Instance& inst, double capacity,
                   std::vector<int> chosen) {
@@ -54,13 +57,23 @@ struct DpGrid {
 
 /// Fills ws.dp (final row: min value at each budget cell) and ws.parent
 /// (per-class choice at each cell) for `inst` on `grid`. Returns false when
-/// some class has no items (no feasible assignment exists at any capacity).
+/// some class has no items, or when a class exceeds kMaxClassItems — the
+/// int16_t parent table cannot index such a class, so the instance is
+/// rejected as infeasible instead of wrapping indices into a corrupt
+/// backtrack (the documented contract, mckp.hpp).
+///
+/// The per-class passes run strip-blocked (dp_block_cells() budget cells at
+/// a time, items looped inside each strip) so the dp/next/parent strips
+/// stay cache-resident across a class's items; per budget cell the item
+/// application order is unchanged (j ascending, strict '<' keeps the first
+/// minimum), so every block size produces bit-identical tables.
 bool build_dp(const Instance& inst, const DpGrid& grid, DpWorkspace& ws) {
   const std::size_t n = inst.classes.size();
   for (const auto& cls : inst.classes) {
-    if (cls.empty()) return false;
+    if (cls.empty() || cls.size() > kMaxClassItems) return false;
   }
   const int width = grid.width;
+  const int block = dp_block_cells();
 
   // dp[w] = min value achievable using classes 0..k with total weight <= w.
   // The workspace grows monotonically and is reused across solves; only the
@@ -78,16 +91,28 @@ bool build_dp(const Instance& inst, const DpGrid& grid, DpWorkspace& ws) {
   const auto parent_row = [&](std::size_t k) {
     return ws.parent.data() + k * uwidth;
   };
+  // Item weights in ticks, hoisted out of the strip loop (recomputed per
+  // class, reused per strip).
+  std::vector<int> ticks;
 
   // Class 0 seeds the table.
   int16_t* par0 = parent_row(0);
-  for (std::size_t j = 0; j < inst.classes[0].size(); ++j) {
-    const int64_t wt = grid.to_ticks(inst.classes[0][j].weight);
-    if (wt >= width) continue;
-    for (int w = static_cast<int>(wt); w < width; ++w) {
-      if (inst.classes[0][j].value < dp[static_cast<std::size_t>(w)]) {
-        dp[static_cast<std::size_t>(w)] = inst.classes[0][j].value;
-        par0[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+  const std::vector<Item>& cls0 = inst.classes[0];
+  ticks.resize(cls0.size());
+  for (std::size_t j = 0; j < cls0.size(); ++j) {
+    const int64_t wt = grid.to_ticks(cls0[j].weight);
+    ticks[j] = wt < width ? static_cast<int>(wt) : width;  // width = skip
+  }
+  for (int s0 = 0; s0 < width; s0 += block) {
+    const int s1 = std::min(width, s0 + block);
+    for (std::size_t j = 0; j < cls0.size(); ++j) {
+      const int wt = ticks[j];
+      const double value = cls0[j].value;
+      for (int w = std::max(s0, wt); w < s1; ++w) {
+        if (value < dp[static_cast<std::size_t>(w)]) {
+          dp[static_cast<std::size_t>(w)] = value;
+          par0[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+        }
       }
     }
   }
@@ -95,18 +120,26 @@ bool build_dp(const Instance& inst, const DpGrid& grid, DpWorkspace& ws) {
   for (std::size_t k = 1; k < n; ++k) {
     std::fill_n(next.begin(), uwidth, kInf);
     int16_t* par = parent_row(k);
-    for (std::size_t j = 0; j < inst.classes[k].size(); ++j) {
-      const Item& it = inst.classes[k][j];
-      const int64_t wt = grid.to_ticks(it.weight);
-      if (wt >= width) continue;
-      for (int w = static_cast<int>(wt); w < width; ++w) {
-        const double base =
-            dp[static_cast<std::size_t>(w - static_cast<int>(wt))];
-        if (base == kInf) continue;
-        const double v = base + it.value;
-        if (v < next[static_cast<std::size_t>(w)]) {
-          next[static_cast<std::size_t>(w)] = v;
-          par[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+    const std::vector<Item>& cls = inst.classes[k];
+    ticks.resize(cls.size());
+    for (std::size_t j = 0; j < cls.size(); ++j) {
+      const int64_t wt = grid.to_ticks(cls[j].weight);
+      ticks[j] = wt < width ? static_cast<int>(wt) : width;
+    }
+    for (int s0 = 0; s0 < width; s0 += block) {
+      const int s1 = std::min(width, s0 + block);
+      for (std::size_t j = 0; j < cls.size(); ++j) {
+        const int wt = ticks[j];
+        const double value = cls[j].value;
+        // dp[w - wt] streams sequentially within the strip.
+        for (int w = std::max(s0, wt); w < s1; ++w) {
+          const double base = dp[static_cast<std::size_t>(w - wt)];
+          if (base == kInf) continue;
+          const double v = base + value;
+          if (v < next[static_cast<std::size_t>(w)]) {
+            next[static_cast<std::size_t>(w)] = v;
+            par[static_cast<std::size_t>(w)] = static_cast<int16_t>(j);
+          }
         }
       }
     }
@@ -125,24 +158,30 @@ std::vector<int> backtrack(const Instance& inst, const DpGrid& grid,
   int w = w_start;
   for (std::size_t k = n; k-- > 0;) {
     const int16_t* par = ws.parent.data() + k * uwidth;
-    // Find the item recorded for the smallest budget >= current consumption.
-    int16_t j = par[static_cast<std::size_t>(w)];
-    // parent may be -1 at w if dp[w] was inherited; scan down to the actual
-    // recording point (values only improve at recorded cells).
-    int ww = w;
-    while (j == -1 && ww > 0) {
-      --ww;
-      j = par[static_cast<std::size_t>(ww)];
-    }
-    if (j == -1) return {};
+    const int16_t j = par[static_cast<std::size_t>(w)];
+    // Every finite dp cell records a parent: next[w]/par[w] are only ever
+    // written together, and an exactly-one-item-per-class DP has no
+    // inherit-without-choice transition. A missing parent at a cell the
+    // caller verified finite therefore means the table is corrupt — fail
+    // loudly (empty solution) instead of scanning down to a different cell
+    // and returning a silently wrong assignment.
+    if (j < 0) return {};
     chosen[k] = j;
-    w = ww - static_cast<int>(grid.to_ticks(
-                 inst.classes[k][static_cast<std::size_t>(j)].weight));
+    w -= static_cast<int>(grid.to_ticks(
+        inst.classes[k][static_cast<std::size_t>(j)].weight));
   }
   return chosen;
 }
 
 }  // namespace
+
+int dp_block_cells() {
+  return g_dp_block_cells.load(std::memory_order_relaxed);
+}
+
+void set_dp_block_cells(int cells) {
+  g_dp_block_cells.store(cells < 1 ? 1 : cells, std::memory_order_relaxed);
+}
 
 Solution solve_dp(const Instance& inst, int max_ticks) {
   DpWorkspace ws;

@@ -1,8 +1,12 @@
 // Small fixed-size thread pool for fan-out work (candidate profiling in the
-// DSE). Deliberately minimal: submit() + wait_idle() + an index-sharded
-// parallel_for. Determinism rule: callers must write results into
-// preassigned slots keyed by index, never append from workers, so output is
-// independent of scheduling order and thread count.
+// DSE, fleet simulation, schedule serving). Deliberately minimal: submit() +
+// wait_idle() + an index-sharded parallel_for. Determinism rule: callers
+// must write results into preassigned slots keyed by index, never append
+// from workers, so output is independent of scheduling order and thread
+// count. parallel_for tracks completion per call (not via the pool-global
+// wait_idle), so it is safe to nest inside a pool task and to issue from
+// several external threads sharing one pool — the fleet and serve layers
+// rely on both.
 #pragma once
 
 #include <algorithm>
@@ -13,6 +17,7 @@
 #include <cstdlib>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -96,21 +101,46 @@ class ThreadPool {
   /// Chunks are claimed from an atomic cursor; the calling thread
   /// participates. Blocks until all chunks complete. The first exception
   /// thrown by any chunk is rethrown.
+  ///
+  /// Completion is tracked per call — a per-call chunk counter, never the
+  /// pool-global wait_idle() — so parallel_for composes: a task already
+  /// running ON the pool may fan out again (the caller drains the cursor
+  /// itself, so progress never depends on a free worker), and two external
+  /// threads sharing one pool wait only for their own chunks, not each
+  /// other's. Helper tasks submitted here that only get scheduled after the
+  /// call returned find the cursor exhausted and exit; they keep the call
+  /// state alive via shared_ptr and never touch fn.
   template <class Fn>
   void parallel_for(std::int64_t n, std::int64_t chunk, Fn&& fn) {
     if (n <= 0) return;
     chunk = std::max<std::int64_t>(chunk, 1);
     const std::int64_t chunks = (n + chunk - 1) / chunk;
-    std::atomic<std::int64_t> next{0};
-    std::exception_ptr first_error;
-    std::mutex error_mu;
-    auto drain = [&, n, chunk] {
-      for (std::int64_t c; (c = next.fetch_add(1)) < chunks;) {
+    struct Call {
+      std::atomic<std::int64_t> next{0};
+      std::atomic<std::int64_t> done{0};
+      std::int64_t chunks = 0;
+      std::mutex mu;
+      std::condition_variable cv;
+      std::exception_ptr first_error;
+    };
+    auto call = std::make_shared<Call>();
+    call->chunks = chunks;
+    // fn stays on this frame; chunks only execute before the frame returns
+    // (the final-done wait below), late helpers never dereference it.
+    Fn* const fn_ptr = &fn;
+    auto drain = [call, fn_ptr, n, chunk] {
+      for (std::int64_t c; (c = call->next.fetch_add(1)) < call->chunks;) {
         try {
-          fn(c * chunk, std::min(n, (c + 1) * chunk));
+          (*fn_ptr)(c * chunk, std::min(n, (c + 1) * chunk));
         } catch (...) {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
+          std::lock_guard<std::mutex> lock(call->mu);
+          if (!call->first_error) call->first_error = std::current_exception();
+        }
+        if (call->done.fetch_add(1) + 1 == call->chunks) {
+          // Notify under the mutex so a waiter between its predicate check
+          // and its sleep cannot miss the final completion.
+          std::lock_guard<std::mutex> lock(call->mu);
+          call->cv.notify_all();
         }
       }
     };
@@ -118,8 +148,11 @@ class ThreadPool {
         static_cast<int>(std::min<std::int64_t>(size(), chunks - 1));
     for (int t = 0; t < helpers; ++t) submit(drain);
     drain();
-    wait_idle();
-    if (first_error) std::rethrow_exception(first_error);
+    {
+      std::unique_lock<std::mutex> lock(call->mu);
+      call->cv.wait(lock, [&] { return call->done.load() == call->chunks; });
+      if (call->first_error) std::rethrow_exception(call->first_error);
+    }
   }
 
   /// Runs fn(i) for every i in [0, n) — the chunked overload with one index

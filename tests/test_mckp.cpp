@@ -270,5 +270,89 @@ TEST(DpSweep, EmptyInstanceAndEmptyCapacities) {
   EXPECT_TRUE(solve_dp_sweep(inst, {}, 100, ws).empty());
 }
 
+/// Property: on a multi-rung ladder whose LARGEST capacity equals
+/// inst.capacity, the sweep's answer at that rung is bitwise identical to a
+/// dedicated solve_dp — the shared grid is built on the largest capacity,
+/// so that rung sees exactly the dedicated solve's discretization. The
+/// serving layer leans on this: its memoized sweep must not be a weaker
+/// oracle than per-deadline solves.
+class SweepCapMaxIdentity : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(SweepCapMaxIdentity, MatchesDedicatedSolveDp) {
+  const uint32_t seed = GetParam();
+  const Instance inst = random_instance(seed, 10, 5, 0.35);
+  const std::vector<double> caps = {inst.capacity * 0.4, inst.capacity * 0.7,
+                                    inst.capacity * 0.85, inst.capacity};
+  DpWorkspace ws_sweep, ws_solo;
+  const std::vector<Solution> sweep = solve_dp_sweep(inst, caps, 8000,
+                                                     ws_sweep);
+  const Solution solo = solve_dp(inst, 8000, ws_solo);
+  ASSERT_EQ(sweep.size(), caps.size());
+  const Solution& at_max = sweep.back();
+  ASSERT_EQ(at_max.feasible, solo.feasible) << "seed " << seed;
+  if (!solo.feasible) return;
+  EXPECT_EQ(at_max.chosen, solo.chosen) << "seed " << seed;
+  EXPECT_EQ(at_max.total_value, solo.total_value) << "seed " << seed;
+  EXPECT_EQ(at_max.total_weight, solo.total_weight) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SweepCapMaxIdentity, ::testing::Range(0u, 20u));
+
+TEST(Dp, OversizeClassIsRejectedNotWrapped) {
+  // A class with more than kMaxClassItems items cannot be indexed by the
+  // int16_t parent table; build_dp must report infeasible instead of
+  // wrapping the item index.
+  Instance inst;
+  inst.classes.emplace_back();
+  std::vector<Item>& cls = inst.classes.back();
+  cls.reserve(kMaxClassItems + 1);
+  for (std::size_t j = 0; j < kMaxClassItems + 1; ++j) {
+    cls.push_back({1.0, static_cast<double>(j)});
+  }
+  inst.capacity = 10.0;
+  EXPECT_FALSE(solve_dp(inst, 64).feasible);
+  DpWorkspace ws;
+  const std::vector<Solution> sweep = solve_dp_sweep(inst, {10.0}, 64, ws);
+  EXPECT_FALSE(sweep[0].feasible);
+
+  // Exactly at the limit is still solvable.
+  cls.resize(kMaxClassItems);
+  const Solution at_limit = solve_dp(inst, 64);
+  ASSERT_TRUE(at_limit.feasible);
+  EXPECT_EQ(at_limit.chosen[0], 0) << "min-value item of the class";
+}
+
+TEST(Dp, BlockedSweepMatchesUnblockedBitwise) {
+  // Strip-blocking the DP inner loop is a pure traversal reordering: the
+  // per-cell item application order is unchanged, so every block size must
+  // give bitwise-identical tables (and thus solutions) — including block
+  // sizes smaller than, equal to, and far larger than the DP width.
+  const int restore = dp_block_cells();
+  for (uint32_t seed = 70; seed < 75; ++seed) {
+    const Instance inst = random_instance(seed, 11, 6, 0.4);
+    const std::vector<double> caps = {inst.capacity * 0.6, inst.capacity,
+                                      inst.capacity * 1.5};
+    set_dp_block_cells(1 << 30);  // one flat strip: the unblocked loop
+    DpWorkspace ws_flat;
+    const std::vector<Solution> flat = solve_dp_sweep(inst, caps, 6000,
+                                                      ws_flat);
+    for (int block : {1, 7, 64, 1024, kDefaultDpBlockCells}) {
+      set_dp_block_cells(block);
+      DpWorkspace ws;
+      const std::vector<Solution> blocked = solve_dp_sweep(inst, caps, 6000,
+                                                           ws);
+      ASSERT_EQ(blocked.size(), flat.size());
+      for (std::size_t i = 0; i < flat.size(); ++i) {
+        ASSERT_EQ(blocked[i].feasible, flat[i].feasible)
+            << "seed " << seed << " block " << block << " cap " << i;
+        EXPECT_EQ(blocked[i].chosen, flat[i].chosen);
+        EXPECT_EQ(blocked[i].total_value, flat[i].total_value);
+        EXPECT_EQ(blocked[i].total_weight, flat[i].total_weight);
+      }
+    }
+  }
+  set_dp_block_cells(restore);
+}
+
 }  // namespace
 }  // namespace daedvfs::mckp

@@ -7,9 +7,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -149,6 +154,120 @@ TEST(ThreadPoolChunked, FirstExceptionRethrownAndPoolSurvives) {
     ok += static_cast<int>(e - b);
   });
   EXPECT_EQ(ok.load(), 8);
+}
+
+/// Converts a deadlock into a bounded, loud failure: if the guarded scope
+/// does not disarm the watchdog within `limit`, the process aborts (a hung
+/// nested parallel_for would otherwise stall the whole suite).
+class Watchdog {
+ public:
+  explicit Watchdog(std::chrono::seconds limit)
+      : thread_([this, limit] {
+          std::unique_lock<std::mutex> lock(mu_);
+          if (!cv_.wait_for(lock, limit, [this] { return disarmed_; })) {
+            std::fprintf(stderr,
+                         "Watchdog: nested parallel_for deadlocked\n");
+            std::abort();
+          }
+        }) {}
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+TEST(ThreadPoolNested, NestedParallelForCompletes) {
+  // Regression: an inner parallel_for issued from a task that is itself
+  // running on the pool used to wait on the GLOBAL pending count, which the
+  // caller's own in-flight task keeps nonzero -> deadlock once all workers
+  // sat in outer bodies. Per-call completion tracking fixes this: the
+  // caller drains its own chunk cursor, so progress never depends on a free
+  // worker.
+  Watchdog guard(std::chrono::seconds(60));
+  for (int workers : {1, 2, 4}) {
+    ThreadPool pool(workers);
+    constexpr std::int64_t kOuter = 8;
+    constexpr std::int64_t kInner = 100;
+    std::atomic<std::int64_t> total{0};
+    pool.parallel_for(kOuter, [&](std::int64_t) {
+      pool.parallel_for(kInner, [&](std::int64_t) { total++; });
+    });
+    EXPECT_EQ(total.load(), kOuter * kInner) << workers << " workers";
+  }
+}
+
+TEST(ThreadPoolNested, NestedChunkedParallelForCompletes) {
+  Watchdog guard(std::chrono::seconds(60));
+  ThreadPool pool(3);
+  constexpr std::int64_t kN = 64;
+  std::vector<std::atomic<int>> visits(kN * kN);
+  pool.parallel_for(kN, 4, [&](std::int64_t ob, std::int64_t oe) {
+    for (std::int64_t i = ob; i < oe; ++i) {
+      pool.parallel_for(kN, 8, [&](std::int64_t ib, std::int64_t ie) {
+        for (std::int64_t j = ib; j < ie; ++j) {
+          visits[static_cast<std::size_t>(i * kN + j)].fetch_add(1);
+        }
+      });
+    }
+  });
+  for (std::int64_t i = 0; i < kN * kN; ++i) {
+    ASSERT_EQ(visits[static_cast<std::size_t>(i)].load(), 1) << "cell " << i;
+  }
+}
+
+TEST(ThreadPoolNested, TwoConcurrentParallelForsShareOnePool) {
+  // Two tasks already on the pool each fan out their own parallel_for. With
+  // global wait_idle() semantics either caller could wait on the OTHER
+  // call's pending work (or deadlock); per-call latches keep them
+  // independent.
+  Watchdog guard(std::chrono::seconds(60));
+  ThreadPool pool(2);
+  constexpr std::int64_t kN = 4000;
+  std::atomic<std::int64_t> a{0}, b{0}, done{0};
+  pool.submit([&] {
+    pool.parallel_for(kN, [&](std::int64_t) { a++; });
+    done++;
+  });
+  pool.submit([&] {
+    pool.parallel_for(kN, 16, [&](std::int64_t begin, std::int64_t end) {
+      b += end - begin;
+    });
+    done++;
+  });
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 2);
+  EXPECT_EQ(a.load(), kN);
+  EXPECT_EQ(b.load(), kN);
+}
+
+TEST(ThreadPoolNested, InnerExceptionPropagatesThroughOuter) {
+  Watchdog guard(std::chrono::seconds(60));
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(4,
+                        [&](std::int64_t i) {
+                          pool.parallel_for(50, [&](std::int64_t j) {
+                            if (i == 2 && j == 25) {
+                              throw std::runtime_error("inner boom");
+                            }
+                          });
+                        }),
+      std::runtime_error);
+  // Both the inner and outer call states must have unwound cleanly.
+  std::atomic<int> n{0};
+  pool.parallel_for(10, [&](std::int64_t) { n++; });
+  EXPECT_EQ(n.load(), 10);
 }
 
 TEST(ThreadPool, ResolveHonorsRequestThenEnvThenHardware) {
