@@ -29,6 +29,13 @@ requirement from the recorded mode (bench_serve.cpp: break-even 1.0 in
 full mode, a 0.5 noise floor in smoke) and recomputes dp_block_ok from
 dp_block_speedup.
 
+For BENCH_scenario.json it re-derives the mission_v5 planner verdicts
+(planner_dominates_lateness / planner_dominates_availability) from the
+raw energy / lateness / availability numbers the bench recorded, with a
+relative epsilon absorbing the artifact's 6-significant-digit rounding —
+so a hand-edited "planner dominates" boolean cannot disagree with the
+measurements next to it.
+
 Usage: python3 scripts/check_bench_gates.py [repo_root]
 """
 import glob
@@ -37,7 +44,13 @@ import os
 import sys
 
 SKIP_KEYS = {"smoke", "on_front", "battery_depleted", "truncated"}
-SKIP_ARRAYS = {"policies", "pareto", "availability_pareto", "fleet_pareto"}
+SKIP_ARRAYS = {"policies", "fault_policies", "pareto", "availability_pareto",
+               "fleet_pareto"}
+
+# The bench artifacts print numbers at 6 significant digits; dominance
+# re-derivation must tolerate that rounding (a relative epsilon well above
+# the 1e-6 rounding step but far below any real dominance margin).
+REL_EPS = 1e-5
 
 SOA_MAX_RATIO = 1.25  # mirrored from bench_fleet.cpp
 
@@ -86,6 +99,46 @@ def check_serve_derivations(doc):
                    f"{doc['dp_block_required']}")
     except (KeyError, TypeError, ValueError) as err:
         yield f"serve derivation fields missing/malformed ({err!r})"
+
+
+def dominates_or_ties(a, b, lower_is_better=True):
+    """a dominates-or-ties b on one axis, within the artifact's rounding."""
+    if lower_is_better:
+        return a <= b * (1.0 + REL_EPS) + 1e-12
+    return a >= b * (1.0 - REL_EPS) - 1e-12
+
+
+def check_scenario_derivations(doc):
+    """Re-derives BENCH_scenario.json's planner verdicts from raw numbers."""
+    try:
+        v5 = doc["mission_v5"]
+        lateness = (
+            dominates_or_ties(v5["planner_total_uj"],
+                              v5["predictive_total_uj"]) and
+            dominates_or_ties(v5["planner_mean_lateness_s"],
+                              v5["predictive_mean_lateness_s"]))
+        if v5["planner_dominates_lateness"] and not lateness:
+            yield ("planner_dominates_lateness contradicted by raw numbers: "
+                   f"planner ({v5['planner_total_uj']} uJ, "
+                   f"{v5['planner_mean_lateness_s']} s) vs predictive "
+                   f"({v5['predictive_total_uj']} uJ, "
+                   f"{v5['predictive_mean_lateness_s']} s)")
+        availability = (
+            dominates_or_ties(v5["planner_fault_total_uj"],
+                              v5["ckpt_predictive_total_uj"]) and
+            dominates_or_ties(v5["planner_availability"],
+                              v5["ckpt_predictive_availability"],
+                              lower_is_better=False))
+        if v5["planner_dominates_availability"] and not availability:
+            yield ("planner_dominates_availability contradicted by raw "
+                   f"numbers: planner ({v5['planner_fault_total_uj']} uJ, "
+                   f"availability {v5['planner_availability']}) vs ckpt "
+                   f"predictive ({v5['ckpt_predictive_total_uj']} uJ, "
+                   f"availability {v5['ckpt_predictive_availability']})")
+        if v5["planner_exercised"] and int(v5["planner_replans"]) <= 0:
+            yield "planner_exercised claimed with zero recorded replans"
+    except (KeyError, TypeError, ValueError) as err:
+        yield f"scenario derivation fields missing/malformed ({err!r})"
 
 
 def gates(node, path="", in_skipped_array=False):
@@ -138,6 +191,10 @@ def main():
                 failed.append(f"{name}: derivation")
         if name == "BENCH_serve.json":
             for err in check_serve_derivations(doc):
+                print(f"{name}: {err}", file=sys.stderr)
+                failed.append(f"{name}: derivation")
+        if name == "BENCH_scenario.json":
+            for err in check_scenario_derivations(doc):
                 print(f"{name}: {err}", file=sys.stderr)
                 failed.append(f"{name}: derivation")
     if failed:

@@ -12,6 +12,8 @@ RadioModel::RadioModel(RadioParams p) : params_(p) {
   const double payload_us = params_.payload_bytes * 8.0 / params_.link_kbps * 1e3;
   tx_us_ = ramp_us + payload_us;
   tx_uj_ = tx_us_ * tx_mw * 1e-3;
+  payload_us_ = payload_us;
+  payload_uj_ = payload_us * tx_mw * 1e-3;
 }
 
 }  // namespace daedvfs::power

@@ -11,6 +11,13 @@
 // same model: every retry of a lost frame pays `tx_uj()` again — PA ramp
 // included — and occupies the slot for another `tx_us()` plus its backoff,
 // so a noisy channel costs both energy and latency debt.
+//
+// Radio duty-cycling (PR 10): when the engine drains a backlog back-to-back
+// inside one slot it can keep the PA ramped across the burst — the first
+// frame of each batch pays the full `tx_us()`/`tx_uj()`, the follow frames
+// pay only `payload_us()`/`payload_uj()` (the ramp is amortized). The split
+// is exposed here so the engine, the governor's catch-up budget, and the
+// batched-vs-per-frame differential test all price a batch identically.
 #pragma once
 
 namespace daedvfs::power {
@@ -40,12 +47,21 @@ class RadioModel {
   /// Burst energy per served frame: tx draw over the burst duration. 0 when
   /// disabled.
   [[nodiscard]] double tx_uj() const { return tx_uj_; }
+  /// Payload-only burst duration — what a follow frame in a duty-cycled
+  /// batch occupies while the PA is already ramped. 0 when disabled.
+  [[nodiscard]] double payload_us() const { return payload_us_; }
+  /// Payload-only burst energy for a follow frame in a batch. 0 when
+  /// disabled. Always <= tx_uj(): batching can only ever amortize the ramp,
+  /// never invent energy (the differential-test invariant).
+  [[nodiscard]] double payload_uj() const { return payload_uj_; }
   [[nodiscard]] const RadioParams& params() const { return params_; }
 
  private:
   RadioParams params_;
   double tx_us_ = 0.0;
   double tx_uj_ = 0.0;
+  double payload_us_ = 0.0;
+  double payload_uj_ = 0.0;
 };
 
 }  // namespace daedvfs::power

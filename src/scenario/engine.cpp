@@ -139,6 +139,10 @@ struct MissionBatch::Block {
   std::vector<Connectivity> link;
   std::vector<IntervalSet> outages;
   std::vector<double> radio_us, radio_uj;
+  // Duty-cycling split (PR 10): payload-only cost of a follow frame riding
+  // an already-ramped PA, plus the per-node batch bound (1 = per-frame).
+  std::vector<double> radio_follow_us, radio_follow_uj;
+  std::vector<std::uint32_t> radio_batch;
   std::vector<std::uint8_t> radio_enabled;
 
   // Backlog rings: one shared slab, node i owns [off[i], off[i] + cap[i]).
@@ -203,6 +207,9 @@ std::size_t MissionBatch::add(const MissionSpec& s) {
   const power::RadioModel radio(s.radio);
   b.radio_us.push_back(radio.tx_us());
   b.radio_uj.push_back(radio.tx_uj());
+  b.radio_follow_us.push_back(radio.payload_us());
+  b.radio_follow_uj.push_back(radio.payload_uj());
+  b.radio_batch.push_back(std::max<std::uint32_t>(s.radio_batch_frames, 1));
   b.radio_enabled.push_back(radio.enabled() ? 1 : 0);
 
   // Ring region: queue bound + 1 (push-then-evict never wraps onto live
@@ -288,6 +295,9 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
   const std::uint32_t harvest_count = b.harvest_count[node];
   const double radio_us = b.radio_us[node];
   const double radio_uj = b.radio_uj[node];
+  const double radio_follow_us = b.radio_follow_us[node];
+  const double radio_follow_uj = b.radio_follow_uj[node];
+  const std::uint32_t radio_batch = b.radio_batch[node];
   Connectivity& link = b.link[node];
   Xorshift64& rng = b.rng[node];
   const double max_peak_mhz = b.max_peak_mhz;
@@ -428,6 +438,12 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
       predicted = -1;
       wake = WakeState::at(b.sim.boot);
       wake_set = 1;
+      // Any horizon plan a forecast-aware governor rolled forward dies with
+      // the volatile state — checkpoints never capture plans, so a restore
+      // replans from the restored rung preference alone.
+      if (tr != nullptr) {
+        tr->instant(obs::Track::kGovernor, "plan_invalidate", now_s * 1e6);
+      }
       if (ckpt.valid()) {
         while (!queue.empty() && queue.back() > ckpt.at_s) {
           queue.pop_back();
@@ -568,11 +584,21 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
     const double slot_end_s = now_s + period_s;
     double total_active_s = 0.0;
     bool first = true;
+    std::uint32_t batch_pos = 0;
     FrameContext ctx;
     while (!queue.empty()) {
       const double serve_s = now_s + total_active_s;
       if (!first && !link.connected(serve_s)) break;
       const double capture_s = queue.front();
+
+      // ---- Radio duty-cycling: frames drained back-to-back share one PA
+      // ramp per batch of radio_batch frames. The batch leader pays the
+      // full burst (ramp + payload); followers ride the already-ramped PA
+      // and pay payload only. radio_batch == 1 is per-frame bursts,
+      // bit-identical to the pre-batching engine.
+      const bool follow = radio_batch > 1 && (batch_pos % radio_batch) != 0;
+      const double frame_radio_us = follow ? radio_follow_us : radio_us;
+      const double frame_radio_uj = follow ? radio_follow_uj : radio_uj;
 
       ctx = FrameContext{};
       ctx.time_s = serve_s;
@@ -583,7 +609,8 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
       ctx.backlog = static_cast<std::uint32_t>(queue.size() - 1);
       ctx.window_remaining_s =
           link.gated() ? link.window_end() - serve_s : -1.0;
-      ctx.radio_us = radio_us;
+      ctx.radio_us = frame_radio_us;
+      ctx.harvest_mw = effective_intake_mw(spec, harvest_mw, ambient_c);
       if (wake_set) ctx.wake = wake;
 
       const int next = policy.choose(ctx, cur);
@@ -595,7 +622,7 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
       // the uplink burst extends the frame's slot occupancy instead — its
       // delay surfaces as backlog latency debt, not as a deadline miss.
       const double compute_us = trans.us + rung.t_us;
-      const double frame_us = compute_us + radio_us;
+      const double frame_us = compute_us + frame_radio_us;
       if (!first && serve_s + frame_us * 1e-6 > slot_end_s) break;
       queue.pop_front();
 
@@ -618,10 +645,10 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
         }
         prelock_pending = false;
       }
-      battery.drain_uj(rung.e_uj + trans.uj + radio_uj);
+      battery.drain_uj(rung.e_uj + trans.uj + frame_radio_uj);
       r.inference_uj += rung.e_uj;
       r.transition_uj += trans.uj;
-      r.radio_uj += radio_uj;
+      r.radio_uj += frame_radio_uj;
       ++r.frames_per_rung[static_cast<std::size_t>(next)];
       ++r.frames;
       const double debt_s = serve_s - capture_s;
@@ -635,9 +662,9 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
         if (missed) {
           tr->instant(obs::Track::kFrames, "deadline_miss", serve_s * 1e6);
         }
-        if (radio_us > 0.0) {
+        if (frame_radio_us > 0.0) {
           tr->complete(obs::Track::kRadio, "tx", serve_s * 1e6 + compute_us,
-                       radio_us);
+                       frame_radio_us);
         }
       }
 
@@ -651,9 +678,12 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
       // is abandoned as a tx failure when the budget is exhausted, when the
       // next burst cannot finish inside the connectivity window, or when
       // the battery dies mid-burst.
-      double uplink_us = radio_us;
+      double uplink_us = frame_radio_us;
       if (lossy) {
         double attempt_start_s = serve_s + compute_us * 1e-6;
+        // Retries always pay the full burst — the PA ramped down during the
+        // backoff — even when the first attempt rode a shared batch ramp.
+        double attempt_us = frame_radio_us;
         bool fail = tx_attempt_fails(attempt_start_s);
         std::uint32_t attempt = 0;
         while (fail) {
@@ -666,7 +696,7 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
                                   : 0.5;
           const double backoff_s = retry_backoff_s(faults.radio, attempt, unit);
           const double next_start_s =
-              attempt_start_s + radio_us * 1e-6 + backoff_s;
+              attempt_start_s + attempt_us * 1e-6 + backoff_s;
           if (link.gated() &&
               next_start_s + radio_us * 1e-6 > link.window_end()) {
             ++r.tx_failures;  // the backoff crossed the window boundary
@@ -682,6 +712,7 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
           battery.drain_uj(radio_uj);
           r.retry_uj += radio_uj;
           attempt_start_s = next_start_s;
+          attempt_us = radio_us;
           if (battery.depleted()) {
             ++r.tx_failures;  // died mid-retry-burst: delivery unconfirmed
             break;
@@ -693,6 +724,7 @@ MissionReport MissionBatch::run(std::size_t node, obs::Sink* sink) {
       cur = next;
       wake = WakeState::after(rung);
       wake_set = 1;
+      ++batch_pos;
       total_active_s += (compute_us + uplink_us) * 1e-6;
 
       // ---- Faults: degraded-mode pressure input — the deadline-miss EWMA

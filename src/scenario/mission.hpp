@@ -144,6 +144,14 @@ struct MissionSpec {
   /// `tx_us`). Default-disabled: missions without radio params serve frames
   /// for free (pre-v2 behavior, bit for bit).
   power::RadioParams radio;
+  /// Radio duty-cycling (PR 10): frames drained back-to-back inside one
+  /// slot share a single PA ramp per batch of up to this many frames — the
+  /// first frame of each batch pays the full `tx_us`/`tx_uj`, follow frames
+  /// pay payload-only time/energy, and the governor's catch-up budget sees
+  /// the amortized per-frame radio time (FrameContext::radio_us). Retries
+  /// of a lost frame always re-ramp (a backoff powers the PA down). 1 =
+  /// per-frame bursts (pre-PR 10 behavior, bit for bit).
+  std::uint32_t radio_batch_frames = 1;
 
   // ---- Fault model (PR 6) ---------------------------------------------
 

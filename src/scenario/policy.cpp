@@ -149,6 +149,13 @@ void LadderPolicy::set_sink(obs::Sink* sink) {
   tier_counters_[kTierCoolest] = &mx->counter("governor.tier_coolest");
 }
 
+int LadderPolicy::raw_pick(const FrameContext& ctx,
+                           const std::optional<WakeState>& wake,
+                           bool free_wake) const {
+  if (rungs_.empty()) return -1;
+  return pick_rung(rungs_, switching_, pm_, ctx, wake, free_wake).rung;
+}
+
 int LadderPolicy::choose(const FrameContext& ctx, int current_rung) const {
   if (rungs_.empty()) return -1;
   std::optional<WakeState> wake = ctx.wake;

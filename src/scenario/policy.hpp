@@ -100,8 +100,16 @@ struct FrameContext {
   /// Per-frame uplink transmit time (power::RadioModel), 0 when the radio
   /// model is disabled. Serving a frame occupies the slot for compute PLUS
   /// this burst, so the backlog catch-up budget subtracts it from each
-  /// frame's share of the closing window.
+  /// frame's share of the closing window. Under radio duty-cycling
+  /// (MissionSpec::radio_batch_frames) this is the amortized cost of *this*
+  /// frame — payload-only for a follow frame riding an already-ramped PA —
+  /// which is how batching is netted into the catch-up budget.
   double radio_us = 0.0;
+  /// Effective harvest intake (panel thermal derating applied) at the
+  /// frame's slot — forecast state the planning governor
+  /// (governor/planning.hpp) correlates with its harvest calendar. Always
+  /// populated by the engine; myopic policies ignore it.
+  double harvest_mw = 0.0;
   /// Clock-tree state at wake, when the engine tracks it (pre-lock aware).
   /// Unset on a cold start or when calling choose() outside the engine —
   /// policies then fall back to the previous rung's exit state.
@@ -220,10 +228,21 @@ class LadderPolicy : public SchedulePolicy {
   /// (governor.tier_* counters, docs/observability.md). Purely
   /// observational — decisions are unchanged; nullptr detaches. Counter
   /// references are hoisted here once so the per-frame cost is one pointer
-  /// test + increment.
-  void set_sink(obs::Sink* sink);
+  /// test + increment. Virtual so planning subclasses can hoist their own
+  /// planner.* instruments alongside.
+  virtual void set_sink(obs::Sink* sink);
 
  protected:
+  /// The tiered decision rule without metrics emission — the raw pick the
+  /// planning governor (governor/planning.cpp) replays over its lookahead
+  /// horizon. `wake` prices the wake transition (nullopt = free-standing
+  /// pick); `free_wake` reduces every transition to the bare mux toggle
+  /// (what a pre-lock establishes). Byte-for-byte the selection loop
+  /// choose()/predict_next() run, so a horizon rollout can never drift from
+  /// the online rule.
+  [[nodiscard]] int raw_pick(const FrameContext& ctx,
+                             const std::optional<WakeState>& wake,
+                             bool free_wake) const;
   /// For subclasses (the governor) that build the ladder after base-class
   /// construction.
   LadderPolicy(clock::SwitchCostParams switching,

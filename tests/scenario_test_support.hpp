@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <string>
 
+#include "governor/planning.hpp"
 #include "scenario/engine.hpp"
 #include "sim/mcu.hpp"
 
@@ -78,7 +79,19 @@ class SpecRng {
 /// perturbs the legacy part of a seed's spec.
 struct SpecFeatures {
   bool faults = false;  ///< Resets/checkpoints, lossy radio, degradation.
+  /// Forecast-error dimensions (PR 10): surprise bursts the planner's
+  /// forecast does not know about, harvest forecast noise, and
+  /// window-calendar drift. Drawn from a third independent seeded stream,
+  /// so enabling them perturbs neither the legacy nor the fault draws of a
+  /// seed's spec — and only the surprise bursts touch the *spec*; the
+  /// noise/drift distort the forecast alone (fuzz_forecast below).
+  bool forecast = false;
 };
+
+/// Salt of the forecast-error stream — the third independent xorshift
+/// stream, alongside the jitter stream (seed) and the fault stream
+/// (seed ^ engine salt).
+inline constexpr std::uint64_t kForecastStreamSalt = 0xf04eca57ULL;
 
 /// The one seeded random-MissionSpec builder shared by the fuzz harness and
 /// the fault tests (no copy-pasted spec literals): bursts x QoS events x
@@ -187,7 +200,59 @@ inline MissionSpec random_mission_spec(std::uint64_t seed,
           static_cast<std::uint32_t>(1 + rng.upto(8));
     }
   }
+
+  // ---- Forecast-error dimensions (third stream; see SpecFeatures). The
+  // surprise bursts are REAL events appended to the spec; the harvest
+  // noise and window drift are drawn here (stream position!) but applied
+  // only to the planner's forecast by fuzz_forecast, which replays this
+  // exact draw sequence.
+  if (features.forecast) {
+    SpecRng frng((seed ^ kForecastStreamSalt) * 0x9e3779b97f4a7c15ULL + 1);
+    const int n_surprise = frng.upto(3);
+    for (int i = 0; i < n_surprise; ++i) {
+      spec.bursts.push_back({frng.range(0.0, spec.horizon_s),
+                             frng.range(100.0, 20000.0),
+                             frng.range(0.5, 5.0)});
+    }
+    if (rng.coin()) {
+      spec.radio_batch_frames = static_cast<std::uint32_t>(1 + rng.upto(16));
+    }
+    (void)frng.range(0.5, 1.5);       // harvest forecast noise (forecast-only)
+    (void)frng.range(-600.0, 600.0);  // window calendar drift (forecast-only)
+  }
   return spec;
+}
+
+/// The distorted forecast matching a `features.forecast` spec: replays the
+/// spec builder's third-stream draws to (a) strip the surprise bursts the
+/// planner must not foresee, (b) scale every forecast harvest step by the
+/// noise factor, and (c) drift the forecast window calendar — so the
+/// planner plans against a *wrong* calendar while the engine runs the real
+/// one. For a spec built without `features.forecast` this is simply the
+/// perfect forecast.
+inline governor::MissionForecast fuzz_forecast(
+    const MissionSpec& spec, std::uint64_t seed,
+    double t_base_us = kSyntheticTBase) {
+  SpecRng frng((seed ^ kForecastStreamSalt) * 0x9e3779b97f4a7c15ULL + 1);
+  MissionSpec known = spec;
+  const int n_surprise = frng.upto(3);
+  for (int i = 0; i < n_surprise; ++i) {
+    frng.unit();  // start_s draw
+    frng.unit();  // duration_s draw
+    frng.unit();  // period_s draw
+    if (!known.bursts.empty()) known.bursts.pop_back();  // appended last
+  }
+  const double harvest_noise = frng.range(0.5, 1.5);
+  const double window_drift_s = frng.range(-600.0, 600.0);
+  governor::MissionForecast f =
+      governor::MissionForecast::from_spec(known, t_base_us);
+  f.base_harvest_mw *= harvest_noise;
+  for (HarvestEvent& h : f.harvest) h.intake_mw *= harvest_noise;
+  for (governor::ForecastSpan& s : f.windows) {
+    s.start_s += window_drift_s;
+    s.end_s += window_drift_s;
+  }
+  return f;
 }
 
 /// The MissionReport invariants every scenario — fuzzed or hand-written —
@@ -241,8 +306,26 @@ inline void check_mission_invariants(const MissionSpec& spec,
         << "missions without harvest events must only ever discharge";
   }
   EXPECT_GE(r.radio_uj, 0.0);
-  if (!power::RadioModel(spec.radio).enabled()) {
+  const power::RadioModel radio(spec.radio);
+  if (!radio.enabled()) {
     EXPECT_EQ(r.radio_uj, 0.0) << "a disabled radio serves frames for free";
+  } else {
+    // Radio duty-cycling brackets: every served frame pays at least its
+    // payload energy (a batch amortizes ramps, never payloads) and at most
+    // a full per-frame burst (batching can only save). Equality at the top
+    // for radio_batch_frames <= 1.
+    const double frames_d = static_cast<double>(r.frames);
+    EXPECT_LE(r.radio_uj,
+              frames_d * radio.tx_uj() * (1.0 + 1e-9) + 1e-6)
+        << "batching must never charge more than per-frame bursts";
+    EXPECT_GE(r.radio_uj * (1.0 + 1e-9) + 1e-6,
+              frames_d * radio.payload_uj())
+        << "every uplinked frame pays its payload energy";
+    if (spec.radio_batch_frames <= 1) {
+      EXPECT_NEAR(r.radio_uj, frames_d * radio.tx_uj(),
+                  1e-9 * std::max(1.0, frames_d * radio.tx_uj()))
+          << "per-frame bursts price every frame at the full burst";
+    }
   }
   // ---- Fault accounting: bounded, and inert exactly when the matching
   // fault is undeclared.
